@@ -1,0 +1,95 @@
+// A1 — copy-on-write rollback vs. checkpoint-file rollback.
+//
+// Paper (Section 4.3): "This rollback operation can be expressed with
+// process migration by having a process write a checkpoint file each time
+// it enters a new speculation ... since the migration mechanism recompiles
+// the program, and the entire process state must be reconstructed, this
+// operation can be very expensive. Taking the checkpoint is expensive,
+// since the entire state must be written to a file, even parts of the
+// state that have not changed ... By contrast, speculation uses a
+// copy-on-write mechanism to keep track of modified state ... and does not
+// need to recompile the code."
+//
+// Shape to reproduce: COW abort cost scales with the *mutated* fraction
+// and stays orders of magnitude below checkpoint-file save+restore, which
+// pays for the whole heap plus recompilation regardless of mutation.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "bench/workloads.hpp"
+#include "migrate/image.hpp"
+#include "migrate/migrator.hpp"
+
+namespace {
+
+using namespace mojave;
+
+/// COW path: enter a level, mutate pct% of the blocks, roll back.
+void BM_RollbackCow(benchmark::State& state) {
+  const int pct = static_cast<int>(state.range(0));
+  runtime::Heap heap(runtime::HeapConfig{.old_capacity = 32u << 20});
+  spec::SpeculationManager spec(heap);
+  auto workload = bench::fill_heap(heap, 100, 128);  // ≈ 200 KB
+  heap.collect(true);
+
+  for (auto _ : state) {
+    const SpecLevel level = spec.speculate({});
+    bench::mutate_fraction(heap, workload, pct);
+    spec.rollback(level, 0, /*retry=*/false);
+  }
+  state.counters["mutation_pct"] = pct;
+}
+
+/// Checkpoint-file path for the same logical operation: write the full
+/// state image at "speculation entry", mutate, then restore by unpacking
+/// the file (which re-verifies and recompiles the program).
+void BM_RollbackCheckpointFile(benchmark::State& state) {
+  const int pct = static_cast<int>(state.range(0));
+  auto workload = bench::make_migratable_process(200);  // ≈ 200 KB heap
+  const auto path =
+      std::filesystem::temp_directory_path() / "mojave_ablation_cow.img";
+
+  // Blocks to mutate between checkpoint and rollback.
+  std::vector<BlockIndex> blocks;
+  workload.process->heap().table().for_each_entry(
+      [&](BlockIndex idx, runtime::Block*& b) {
+        if (b->h.kind == runtime::BlockKind::kTagged && b->h.count >= 1) {
+          blocks.push_back(idx);
+        }
+      });
+
+  for (auto _ : state) {
+    // "Enter the speculation": save the full state to a file.
+    auto packed = migrate::pack_process(
+        *workload.process, workload.hook->label(),
+        workload.hook->resume_fun(), workload.hook->resume_args(),
+        migrate::ImageKind::kFir);
+    migrate::Migrator::write_image_file(path, packed.bytes);
+
+    // Mutate pct% of blocks (skipping entries the pack-time collection
+    // reclaimed, e.g. migrate_env blocks from previous iterations).
+    const std::size_t n =
+        blocks.size() * static_cast<std::size_t>(pct) / 100;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (workload.process->heap().table().is_free(blocks[i])) continue;
+      workload.process->heap().write_slot(blocks[i], 0,
+                                          runtime::Value::from_int(5));
+    }
+
+    // "Abort": reconstruct everything from the file.
+    const auto bytes = migrate::Migrator::read_image_file(path);
+    auto unpacked = migrate::unpack_process(bytes);
+    benchmark::DoNotOptimize(unpacked.process.get());
+  }
+  state.counters["mutation_pct"] = pct;
+}
+
+}  // namespace
+
+BENCHMARK(BM_RollbackCow)->Arg(10)->Arg(50)->Arg(100)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_RollbackCheckpointFile)->Arg(10)->Arg(50)->Arg(100)
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

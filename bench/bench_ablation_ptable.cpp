@@ -1,0 +1,93 @@
+// A2 — the price of the pointer table.
+//
+// Paper (Section 4.1.1): the table's validation "can be performed in a
+// small number of assembly instructions", but "this level of transparency
+// has a cost: in addition to the execution overhead, the header of each
+// block in the heap contains an index. In the IA32 runtime, the overhead
+// is in excess of 12 bytes per block, including the pointer table."
+//
+// Shape to reproduce: validated indirect access costs a small constant
+// factor over a raw array access, and the per-block memory overhead is a
+// fixed few dozen bytes (reported as a counter; ours is larger than the
+// paper's 12 because the header also carries GC and speculation state).
+#include <benchmark/benchmark.h>
+
+#include "bench/workloads.hpp"
+
+namespace {
+
+using namespace mojave;
+
+constexpr std::size_t kBlocks = 256;
+constexpr std::uint32_t kSlots = 64;
+
+/// Full runtime path: table validation + bounds + tag checks + write hook.
+void BM_CheckedHeapAccess(benchmark::State& state) {
+  runtime::Heap heap(runtime::HeapConfig{.old_capacity = 32u << 20});
+  auto workload = bench::fill_heap(heap, kBlocks, kSlots);
+  Rng rng(7);
+  std::int64_t sum = 0;
+  for (auto _ : state) {
+    const BlockIndex idx = workload.blocks[rng.below(kBlocks)];
+    const std::uint32_t slot = static_cast<std::uint32_t>(rng.below(kSlots));
+    heap.write_slot(idx, slot, runtime::Value::from_int(1));
+    sum += heap.read_slot(idx, slot).as_int();
+  }
+  benchmark::DoNotOptimize(sum);
+  state.counters["per_block_overhead_bytes"] =
+      static_cast<double>(heap.per_block_overhead());
+  state.counters["table_bytes"] =
+      static_cast<double>(heap.table().overhead_bytes());
+}
+
+/// Dereference without the hook/tag machinery: block lookup + direct slot.
+void BM_TableLookupOnly(benchmark::State& state) {
+  runtime::Heap heap(runtime::HeapConfig{.old_capacity = 32u << 20});
+  auto workload = bench::fill_heap(heap, kBlocks, kSlots);
+  Rng rng(7);
+  std::int64_t sum = 0;
+  for (auto _ : state) {
+    const BlockIndex idx = workload.blocks[rng.below(kBlocks)];
+    const std::uint32_t slot = static_cast<std::uint32_t>(rng.below(kSlots));
+    runtime::Block* b = heap.deref(idx);  // validated table lookup
+    const runtime::Value& v = b->slots()[slot];  // no bounds re-check
+    if (v.is(runtime::Tag::kInt)) sum += v.as_int();
+  }
+  benchmark::DoNotOptimize(sum);
+}
+
+/// The unmanaged baseline: a plain array of arrays, no table, no checks.
+void BM_RawArrayAccess(benchmark::State& state) {
+  std::vector<std::vector<std::int64_t>> blocks(
+      kBlocks, std::vector<std::int64_t>(kSlots, 3));
+  Rng rng(7);
+  std::int64_t sum = 0;
+  for (auto _ : state) {
+    auto& b = blocks[rng.below(kBlocks)];
+    const std::size_t slot = rng.below(kSlots);
+    b[slot] = 1;
+    sum += b[slot];
+  }
+  benchmark::DoNotOptimize(sum);
+}
+
+/// Relocation transparency: a major compaction moves every block, yet all
+/// indices stay valid — the table absorbs the relocation. This measures
+/// that table patch cost per block.
+void BM_RelocationPatch(benchmark::State& state) {
+  runtime::Heap heap(runtime::HeapConfig{.old_capacity = 64u << 20});
+  auto workload = bench::fill_heap(heap, 4096, 16);
+  for (auto _ : state) {
+    heap.collect(/*major=*/true);
+  }
+  state.counters["blocks"] = 4096;
+}
+
+}  // namespace
+
+BENCHMARK(BM_CheckedHeapAccess);
+BENCHMARK(BM_TableLookupOnly);
+BENCHMARK(BM_RawArrayAccess);
+BENCHMARK(BM_RelocationPatch)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// E6 — the OS context-switch yardstick.
+//
+// Paper (Section 5): "By comparison, the context switch time on the
+// cluster used for data collection was about 300µsec if only 2 processes
+// with heap sizes of 200KB ran in parallel." The point of the comparison:
+// every speculation primitive costs less than the OS charges just to
+// switch between two processes, so language-level speculation is cheap
+// relative to any scheme that needs extra processes or kernel transitions.
+//
+// Measured here as half the round-trip of a two-thread condvar ping-pong,
+// with each thread owning a ~200 KB working set it touches per wake (as in
+// the paper's setup, where the processes had 200 KB heaps).
+#include <benchmark/benchmark.h>
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace {
+
+void BM_ContextSwitchPingPong(benchmark::State& state) {
+  constexpr std::size_t kWorkingSet = 200 * 1024 / sizeof(std::uint64_t);
+  std::vector<std::uint64_t> mine(kWorkingSet, 1);
+  std::vector<std::uint64_t> theirs(kWorkingSet, 2);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  int turn = 0;  // 0 = bench thread, 1 = peer
+  bool stop = false;
+
+  std::thread peer([&] {
+    std::uint64_t sink = 0;
+    while (true) {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return turn == 1 || stop; });
+      if (stop) return;
+      // Touch the peer working set so the switch pays the cache cost.
+      for (std::size_t i = 0; i < theirs.size(); i += 64) sink += theirs[i];
+      turn = 0;
+      cv.notify_all();
+    }
+    benchmark::DoNotOptimize(sink);
+  });
+
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    std::unique_lock<std::mutex> lock(mu);
+    turn = 1;
+    cv.notify_all();
+    cv.wait(lock, [&] { return turn == 0; });
+    for (std::size_t i = 0; i < mine.size(); i += 64) sink += mine[i];
+  }
+  benchmark::DoNotOptimize(sink);
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    stop = true;
+  }
+  cv.notify_all();
+  peer.join();
+
+  // One iteration = two switches (there and back), so a single context
+  // switch costs half the reported iteration time.
+  state.counters["switches_per_iter"] = 2.0;
+}
+
+}  // namespace
+
+BENCHMARK(BM_ContextSwitchPingPong)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,156 @@
+// E7 — the grid application: checkpoint-interval overhead and the cost of
+// recovery versus restarting from scratch.
+//
+// Paper (Sections 2 and 5): "Depending on the failure frequency, this
+// parameter [the checkpoint interval] can be adjusted to balance the
+// overhead of speculations against the expected cost of fault recovery"
+// and "the overhead from using speculative execution and process migration
+// is small compared to having to re-start the application from scratch".
+//
+// Shape to reproduce:
+//   * runtime grows as the checkpoint interval shrinks (more commits +
+//     checkpoint writes), with modest overhead at sane intervals;
+//   * completing a run through a mid-run failure (rollback + resurrection)
+//     costs far less than the failure-free runtime of a from-scratch
+//     restart would add.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <filesystem>
+#include <thread>
+
+#include "gridapp/heat.hpp"
+#include "support/stopwatch.hpp"
+
+namespace {
+
+using namespace mojave;
+
+gridapp::HeatConfig bench_grid(std::uint32_t interval) {
+  gridapp::HeatConfig cfg;
+  cfg.nodes = 4;
+  cfg.rows = 32;
+  cfg.cols = 32;
+  cfg.steps = 160;
+  cfg.checkpoint_interval = interval;
+  return cfg;
+}
+
+cluster::ClusterConfig bench_cluster() {
+  cluster::ClusterConfig ccfg;
+  ccfg.recv_timeout_seconds = 30.0;
+  return ccfg;
+}
+
+/// Failure-free runtime vs checkpoint interval (Arg = interval; 0 = no
+/// checkpointing, the baseline).
+void BM_GridInterval(benchmark::State& state) {
+  const auto interval = static_cast<std::uint32_t>(state.range(0));
+  const auto cfg = bench_grid(interval);
+  double checkpoints = 0;
+  double ckpt_ms = 0;
+  double insns = 0;
+  double ckpt_kb = 0;
+  for (auto _ : state) {
+    const auto run = gridapp::run_heat(cfg, bench_cluster());
+    if (!run.all_clean) state.SkipWithError("grid run failed");
+    benchmark::DoNotOptimize(run.sums.data());
+    checkpoints = 0;
+    ckpt_ms = 0;
+    insns = 0;
+    for (const auto& node : run.nodes) {
+      checkpoints += static_cast<double>(node.checkpoints);
+      ckpt_ms += node.checkpoint_seconds * 1e3;
+      insns += static_cast<double>(node.instructions);
+      ckpt_kb = static_cast<double>(node.checkpoint_bytes) / 1024.0;
+    }
+  }
+  state.counters["interval"] = interval;
+  state.counters["checkpoints_per_run"] = checkpoints;
+  // Deterministic work metrics: wall time on a loaded host is noisy, but
+  // the checkpoint cost (pack time) and executed instructions are not.
+  state.counters["ckpt_cost_ms"] = ckpt_ms;
+  state.counters["vm_minsns"] = insns / 1e6;
+  state.counters["image_kb"] = ckpt_kb;
+}
+
+/// Completion time with one injected failure + resurrection, versus the
+/// arithmetic cost of restarting from scratch at the same failure point.
+double fault_free_insns_ = 0;
+
+void BM_GridRecoveryVsRestart(benchmark::State& state) {
+  const auto cfg = bench_grid(10);
+  double fault_free_s = 0;
+  {
+    Stopwatch sw;
+    const auto run = gridapp::run_heat(cfg, bench_cluster());
+    if (!run.all_clean) state.SkipWithError("baseline failed");
+    fault_free_s = sw.seconds();
+    fault_free_insns_ = 0;
+    for (const auto& node : run.nodes) {
+      fault_free_insns_ += static_cast<double>(node.instructions);
+    }
+  }
+
+  // Inject the failure after the victim's 6th checkpoint (step ~60 of
+  // 160), detected by watching the checkpoint file being overwritten.
+  // This is where the recovery-vs-restart gap the paper argues for lives:
+  // a restart re-executes the whole 6-interval prefix on every node, while
+  // recovery re-executes at most one interval.
+  constexpr int kKillAfterCheckpoints = 6;
+  double faulted_s = 0;
+  std::int64_t n = 0;
+  double faulted_insns = 0;
+  for (auto _ : state) {
+    Stopwatch sw;
+    const auto run = gridapp::run_heat(
+        cfg, bench_cluster(), [&](cluster::Cluster& cl) {
+          cl.enable_auto_resurrection(0.01);
+          namespace fs = std::filesystem;
+          const fs::path ckpt =
+              cl.storage().path_for(cl.checkpoint_name(1));
+          int seen = 0;
+          fs::file_time_type last{};
+          for (int spin = 0; spin < 20000 && seen < kKillAfterCheckpoints;
+               ++spin) {
+            std::error_code ec;
+            const auto t = fs::last_write_time(ckpt, ec);
+            if (!ec && t != last) {
+              last = t;
+              ++seen;
+            }
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+          }
+          cl.kill(1);
+        });
+    faulted_s += sw.seconds();
+    if (!run.all_clean) state.SkipWithError("faulted run did not recover");
+    faulted_insns = 0;
+    for (const auto& node : run.nodes) {
+      faulted_insns += static_cast<double>(node.instructions);
+    }
+    ++n;
+  }
+  faulted_s /= static_cast<double>(n);
+
+  // Work lost to the failure under each policy, in VM instructions:
+  // recovery re-executes ≤ 1 checkpoint interval; a restart at the same
+  // point re-pays the whole prefix on every node.
+  const double per_interval = fault_free_insns_ / 16.0;  // 160 steps / 10
+  state.counters["fault_free_minsns"] = fault_free_insns_ / 1e6;
+  state.counters["recovery_lost_minsns"] =
+      (faulted_insns - fault_free_insns_) / 1e6;
+  state.counters["restart_lost_minsns"] =
+      per_interval * kKillAfterCheckpoints / 1e6;
+  state.counters["fault_free_ms"] = fault_free_s * 1e3;
+  state.counters["with_failure_ms"] = faulted_s * 1e3;
+}
+
+}  // namespace
+
+BENCHMARK(BM_GridInterval)->Arg(0)->Arg(5)->Arg(10)->Arg(20)->Arg(40)
+    ->Unit(benchmark::kMillisecond)->MinTime(0.5);
+BENCHMARK(BM_GridRecoveryVsRestart)
+    ->Unit(benchmark::kMillisecond)->MinTime(0.5);
+
+BENCHMARK_MAIN();

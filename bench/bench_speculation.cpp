@@ -1,0 +1,134 @@
+// E3/E4/E5 — speculation entry, abort, and commit costs as a function of
+// the fraction of the heap mutated during the speculation.
+//
+// Paper (Section 5), for a process with a 200 KB heap:
+//   entry  ≈ 40 µs, independent of mutation;
+//   abort  ≈ 120 µs at 10% mutation → 135 µs at 100%;
+//   commit ≈  81 µs at 10% → 87 µs at 100%.
+//
+// Shape to reproduce: entry is flat in the mutation fraction; abort and
+// commit grow mildly with it (the work is proportional to the number of
+// copy-on-write records, not to heap size); abort costs more than commit;
+// and all three are well below an OS context switch (bench_context_switch).
+//
+// Arg(0) = mutation percentage. The workload heap is 100 blocks × 128
+// slots × 16 B ≈ 200 KB, as in the paper.
+#include <benchmark/benchmark.h>
+
+#include "bench/workloads.hpp"
+#include "support/stopwatch.hpp"
+
+namespace {
+
+using namespace mojave;
+using mojave::Stopwatch;
+
+constexpr std::size_t kBlocks = 100;
+constexpr std::uint32_t kSlots = 128;  // ≈ 200 KB of payload total
+
+struct SpecBench {
+  runtime::Heap heap;
+  spec::SpeculationManager spec{heap};
+  bench::HeapWorkload workload;
+
+  SpecBench() : heap(runtime::HeapConfig{.old_capacity = 32u << 20}) {
+    workload = bench::fill_heap(heap, kBlocks, kSlots);
+    heap.collect(true);  // steady state: everything in the old generation
+  }
+};
+
+void BM_SpeculateEntry(benchmark::State& state) {
+  SpecBench b;
+  const int pct = static_cast<int>(state.range(0));
+  double entry_s = 0;
+  std::int64_t n = 0;
+  for (auto _ : state) {
+    // Mutation happens *around* the entry (inside the previous level);
+    // entry cost must not depend on it. Timed with a manual stopwatch so
+    // the surrounding work cannot contaminate the number.
+    Stopwatch sw;
+    const SpecLevel level = b.spec.speculate({});
+    entry_s += sw.seconds();
+    ++n;
+    bench::mutate_fraction(b.heap, b.workload, pct);
+    b.spec.rollback(level, 0, /*retry=*/false);
+  }
+  state.counters["mutation_pct"] = pct;
+  state.counters["entry_us"] = entry_s / static_cast<double>(n) * 1e6;
+}
+
+void BM_SpeculateAbort(benchmark::State& state) {
+  SpecBench b;
+  const int pct = static_cast<int>(state.range(0));
+  double abort_s = 0;
+  std::int64_t n = 0;
+  std::uint64_t preserved = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    const SpecLevel level = b.spec.speculate({});
+    bench::mutate_fraction(b.heap, b.workload, pct);
+    preserved = b.spec.preserved_blocks();
+    state.ResumeTiming();
+    Stopwatch sw;
+    b.spec.rollback(level, 0, /*retry=*/false);
+    abort_s += sw.seconds();
+    ++n;
+  }
+  state.counters["mutation_pct"] = pct;
+  state.counters["abort_us"] = abort_s / static_cast<double>(n) * 1e6;
+  state.counters["cow_blocks"] = static_cast<double>(preserved);
+}
+
+void BM_SpeculateCommit(benchmark::State& state) {
+  SpecBench b;
+  const int pct = static_cast<int>(state.range(0));
+  double commit_s = 0;
+  std::int64_t n = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    const SpecLevel level = b.spec.speculate({});
+    bench::mutate_fraction(b.heap, b.workload, pct);
+    state.ResumeTiming();
+    Stopwatch sw;
+    b.spec.commit(level);
+    commit_s += sw.seconds();
+    ++n;
+    // Keep the heap from growing without bound: collect occasionally.
+    if (n % 64 == 0) {
+      state.PauseTiming();
+      b.heap.collect(true);
+      state.ResumeTiming();
+    }
+  }
+  state.counters["mutation_pct"] = pct;
+  state.counters["commit_us"] = commit_s / static_cast<double>(n) * 1e6;
+}
+
+/// Nested levels: deep speculation stacks with out-of-order commits, the
+/// general case of Section 4.3.1.
+void BM_NestedSpeculation(benchmark::State& state) {
+  SpecBench b;
+  const auto depth = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    for (std::uint32_t i = 0; i < depth; ++i) {
+      (void)b.spec.speculate({});
+      bench::mutate_fraction(b.heap, b.workload, 5);
+    }
+    // Commit oldest-first: every commit folds into the level below.
+    for (std::uint32_t i = 0; i < depth; ++i) b.spec.commit(1);
+  }
+  state.counters["depth"] = depth;
+}
+
+}  // namespace
+
+BENCHMARK(BM_SpeculateEntry)->Arg(0)->Arg(10)->Arg(50)->Arg(100)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SpeculateAbort)->Arg(10)->Arg(25)->Arg(50)->Arg(75)->Arg(100)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SpeculateCommit)->Arg(10)->Arg(25)->Arg(50)->Arg(75)->Arg(100)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_NestedSpeculation)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

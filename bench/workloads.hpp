@@ -1,0 +1,179 @@
+// Shared workload builders for the benchmark harness.
+//
+// The paper's measurements (Section 5) are parameterized on process heap
+// size (200 KB for the speculation costs, ~1 MB for migration) and on the
+// fraction of the heap mutated inside a speculation. These helpers build
+// processes and heaps with those shapes.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "fir/builder.hpp"
+#include "migrate/image.hpp"
+#include "runtime/heap.hpp"
+#include "spec/speculation.hpp"
+#include "support/rng.hpp"
+#include "vm/interpreter.hpp"
+#include "vm/process.hpp"
+
+namespace mojave::bench {
+
+/// Populate `heap` with `nblocks` live tagged blocks of `slots` slots each,
+/// pinned via the returned RootSet. Slot payloads mix ints and pointers so
+/// GC traversal and serialization see realistic shapes.
+struct HeapWorkload {
+  std::unique_ptr<runtime::RootSet> roots;
+  std::vector<BlockIndex> blocks;
+};
+
+inline HeapWorkload fill_heap(runtime::Heap& heap, std::size_t nblocks,
+                              std::uint32_t slots) {
+  HeapWorkload w;
+  w.roots = std::make_unique<runtime::RootSet>(heap);
+  Rng rng(42);
+  for (std::size_t i = 0; i < nblocks; ++i) {
+    const BlockIndex idx = heap.alloc_tagged(slots);
+    w.blocks.push_back(idx);
+    w.roots->pin(runtime::Value::from_ptr(idx, 0));
+    for (std::uint32_t s = 0; s < slots; ++s) {
+      if (!w.blocks.empty() && rng.chance(0.2)) {
+        const BlockIndex target = w.blocks[rng.below(w.blocks.size())];
+        heap.write_slot(idx, s, runtime::Value::from_ptr(target, 0));
+      } else {
+        heap.write_slot(idx, s,
+                        runtime::Value::from_int(
+                            static_cast<std::int64_t>(rng.next())));
+      }
+    }
+  }
+  return w;
+}
+
+/// Write one slot in `pct`% of the workload's blocks (each first write
+/// inside a speculation clones the whole block copy-on-write).
+inline void mutate_fraction(runtime::Heap& heap, const HeapWorkload& w,
+                            int pct) {
+  const std::size_t n = w.blocks.size() * static_cast<std::size_t>(pct) / 100;
+  for (std::size_t i = 0; i < n; ++i) {
+    heap.write_slot(w.blocks[i], 0, runtime::Value::from_int(77));
+  }
+}
+
+/// A migration-capture hook: records the resume continuation instead of
+/// executing a protocol, so benches can pack the same live process
+/// repeatedly.
+class CaptureHook final : public vm::MigrationHook {
+ public:
+  Action on_migrate(vm::Interpreter&, MigrateLabel label, const std::string&,
+                    FunIndex resume_fun,
+                    std::span<const runtime::Value> resume_args) override {
+    label_ = label;
+    resume_fun_ = resume_fun;
+    resume_args_.assign(resume_args.begin(), resume_args.end());
+    return Action::kExit;
+  }
+
+  MigrateLabel label() const { return label_; }
+  FunIndex resume_fun() const { return resume_fun_; }
+  const std::vector<runtime::Value>& resume_args() const {
+    return resume_args_;
+  }
+
+ private:
+  MigrateLabel label_ = 0;
+  FunIndex resume_fun_ = 0;
+  std::vector<runtime::Value> resume_args_;
+};
+
+/// Build a process whose live heap is ~`heap_kbytes` and drive it to a
+/// migration point, ready to be packed. The program allocates a linked
+/// array-of-arrays (so the image has realistic pointer structure), then
+/// executes `migrate`, which the CaptureHook intercepts.
+struct MigratableProcess {
+  std::unique_ptr<vm::Process> process;
+  std::unique_ptr<CaptureHook> hook;
+};
+
+/// `code_functions` controls how much *program text* travels with the
+/// process: the paper migrates whole applications whose FIR the
+/// destination must verify and recompile, so migration cost has a code
+/// component as well as a heap component.
+inline MigratableProcess make_migratable_process(std::size_t heap_kbytes,
+                                                 std::size_t code_functions = 0) {
+  using fir::Atom;
+  using fir::Binop;
+  using fir::Type;
+
+  // Each row: 64 slots = 1 KiB of payload.
+  const auto rows = static_cast<std::int64_t>(heap_kbytes);
+  fir::ProgramBuilder pb("mig_workload");
+  // Synthetic application code: straight-line arithmetic functions the
+  // destination has to typecheck and lower even though the benchmark's
+  // driver never calls them.
+  for (std::size_t f = 0; f < code_functions; ++f) {
+    const auto id = pb.declare("work" + std::to_string(f),
+                               {Type::integer(), Type::integer()});
+    auto fb = pb.define(id, {"x", "y"});
+    Atom acc = fb.arg(0);
+    for (int k = 0; k < 24; ++k) {
+      const Binop op = k % 3 == 0   ? Binop::kAdd
+                       : k % 3 == 1 ? Binop::kMul
+                                    : Binop::kXor;
+      acc = Atom::variable(
+          fb.let_binop("t" + std::to_string(k), op, acc,
+                       k % 2 == 0 ? fb.arg(1) : Atom::integer(k + 1)));
+    }
+    fb.halt(acc);
+  }
+  auto main_id = pb.declare("main", {});
+  auto loop_id = pb.declare("loop", {Type::integer(), Type::ptr()});
+  auto go_id = pb.declare("go", {Type::ptr()});
+  auto done_id = pb.declare("done", {Type::ptr()});
+  {
+    auto fb = pb.define(main_id, {});
+    auto dir = fb.let_alloc("dir", Atom::integer(rows), Atom::integer(0));
+    fb.tail_call(Atom::fun_ref(loop_id), {Atom::integer(0), fb.v(dir)});
+  }
+  {
+    auto fb = pb.define(loop_id, {"i", "dir"});
+    auto done = fb.let_binop("done", Binop::kGe, fb.arg(0),
+                             Atom::integer(rows));
+    fb.branch(
+        fb.v(done),
+        [&](auto& t) { t.tail_call(Atom::fun_ref(go_id), {t.arg(1)}); },
+        [&](auto& e) {
+          auto row = e.let_alloc("row", Atom::integer(64), Atom::integer(1));
+          e.write(e.arg(1), e.arg(0), e.v(row));
+          // Put a little structure in the row.
+          e.write(e.v(row), Atom::integer(0), e.arg(0));
+          e.write(e.v(row), Atom::integer(1), e.arg(1));
+          auto i1 = e.let_binop("i1", Binop::kAdd, e.arg(0), Atom::integer(1));
+          e.tail_call(Atom::fun_ref(loop_id), {e.v(i1), e.arg(1)});
+        });
+  }
+  {
+    auto fb = pb.define(go_id, {"dir"});
+    auto tgt = fb.let_atom("tgt", Type::ptr(), pb.str("checkpoint://bench"));
+    fb.migrate(1, fb.v(tgt), Atom::fun_ref(done_id), {fb.arg(0)});
+  }
+  {
+    auto fb = pb.define(done_id, {"dir"});
+    fb.halt(Atom::integer(0));
+  }
+
+  MigratableProcess out;
+  vm::ProcessConfig cfg;
+  cfg.heap.old_capacity =
+      std::max<std::size_t>(8u << 20, heap_kbytes * 1024 * 4);
+  out.process = std::make_unique<vm::Process>(pb.take("main"), cfg);
+  out.hook = std::make_unique<CaptureHook>();
+  out.process->vm().set_migration_hook(out.hook.get());
+  const auto run = out.process->run();
+  if (run.kind != vm::RunResult::Kind::kMigratedAway) {
+    throw Error("migration workload did not reach its migration point");
+  }
+  return out;
+}
+
+}  // namespace mojave::bench

@@ -1,0 +1,87 @@
+// The paper's evaluation application (Figure 2): a distributed 2D heat
+// stencil on a simulated cluster, with the speculative checkpointing main
+// loop, an injected node failure, automatic resurrection from the shared
+// checkpoint store, and verification that the answer is identical to the
+// failure-free sequential reference.
+//
+//   $ ./examples/heat_grid
+#include <chrono>
+#include <cmath>
+#include <iostream>
+#include <thread>
+
+#include "gridapp/heat.hpp"
+#include "support/stopwatch.hpp"
+
+int main() {
+  using namespace mojave;
+
+  gridapp::HeatConfig cfg;
+  cfg.nodes = 4;
+  cfg.rows = 32;
+  cfg.cols = 24;
+  cfg.steps = 120;
+  cfg.checkpoint_interval = 20;
+
+  std::cout << "2D heat diffusion, " << cfg.rows << "x" << cfg.cols
+            << " grid, " << cfg.steps << " timesteps, " << cfg.nodes
+            << " simulated nodes, checkpoint every "
+            << cfg.checkpoint_interval << " steps\n";
+  std::cout << "the per-node program is MojC compiled through the Mojave "
+               "pipeline;\nits main loop is the paper's Figure 2: "
+               "speculate / exchange-or-rollback /\ncompute / "
+               "commit+checkpoint\n\n";
+
+  cluster::ClusterConfig ccfg;
+  ccfg.num_nodes = cfg.nodes;
+  ccfg.recv_timeout_seconds = 30.0;
+
+  Stopwatch sw;
+  const auto run = gridapp::run_heat(cfg, ccfg, [&](cluster::Cluster& cl) {
+    cl.enable_auto_resurrection(0.02);
+    // Let rank 2 checkpoint at least once, then kill it mid-computation.
+    const std::string ckpt = cl.checkpoint_name(2);
+    for (int i = 0; i < 5000 && !cl.storage().exists(ckpt); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    if (cl.storage().exists(ckpt)) {
+      std::cout << "!! injecting failure: killing node 2\n";
+      cl.kill(2);
+    } else {
+      std::cout << "(node 2 never checkpointed; skipping fault injection)\n";
+    }
+  });
+  const double elapsed = sw.seconds();
+
+  const auto ref = gridapp::heat_reference_sums(cfg);
+  bool verified = run.all_clean;
+  std::cout << "\nper-rank interior sums (distributed vs reference):\n";
+  for (std::uint32_t r = 0; r < cfg.nodes; ++r) {
+    const double got = run.sums[r];
+    const double want = ref[r];
+    const bool match = std::abs(got - want) < 1e-9;
+    verified = verified && match;
+    std::cout << "  rank " << r << ": " << got << " vs " << want
+              << (match ? "  [match]" : "  [MISMATCH]") << "\n";
+  }
+
+  std::uint64_t restarts = 0;
+  std::uint64_t rollbacks = 0;
+  std::uint64_t preserved = 0;
+  for (const auto& node : run.nodes) {
+    restarts += node.restarts;
+    rollbacks += node.spec.rollbacks;
+    preserved += node.spec.blocks_preserved;
+    if (!node.error.empty()) {
+      std::cout << "  rank " << node.rank << " error: " << node.error << "\n";
+    }
+  }
+  std::cout << "\nresurrections: " << restarts
+            << ", speculation rollbacks: " << rollbacks
+            << ", COW blocks preserved: " << preserved << "\n";
+  std::cout << "wall time: " << elapsed << " s\n";
+  std::cout << (verified ? "VERIFIED: fault-tolerant run matches the "
+                           "failure-free reference\n"
+                         : "VERIFICATION FAILED\n");
+  return verified ? 0 : 1;
+}

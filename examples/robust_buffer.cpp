@@ -1,0 +1,90 @@
+// Rx-style failure recovery through speculation (paper, Section 2):
+// "applications that suffer from unchecked buffer overflow issues could be
+// instrumented using speculative execution ... if a buffer overflow occurs
+// the program is rolled back to where the memory allocation occurred and a
+// different path of execution (potentially allocating more memory and
+// retrying) could be taken, thus preventing the application from
+// crashing."
+//
+// The runtime's safety checks catch the overflow; with trap-to-speculation
+// enabled, the trap becomes a rollback of the active speculation (c = -2)
+// instead of a crash, and the program grows the buffer and retries.
+//
+//   $ ./examples/robust_buffer
+#include <iostream>
+
+#include "frontend/compile.hpp"
+#include "vm/process.hpp"
+
+namespace {
+
+const char* kSource = R"(
+/* Producer whose output size is not known in advance: it writes n records
+   into buf and traps if buf is too small — the "buggy library call". */
+void produce(ptr buf, int n) {
+  int i = 0;
+  while (i < n) {
+    buf[i] = i * 3 + 1;   /* overflows when i >= len(buf) */
+    i = i + 1;
+  }
+}
+
+int main() {
+  int need = 100;   /* records the producer will emit */
+  int cap = 4;      /* initial guess, far too small   */
+  int attempts = 0;
+  int total = 0;
+
+  while (1) {
+    int id = speculate();
+    if (id <= 0) {
+      /* We are the re-entered continuation of a trapped attempt
+         (id == -2). Leave the re-entered level, grow, retry. */
+      int lvl = spec_level();
+      commit(lvl);
+      cap = cap * 2;
+      attempts = attempts + 1;
+      print_string("overflow trapped; growing buffer to ");
+      print_int(cap);
+      print_string("\n");
+      continue;
+    }
+    ptr buf = alloc(cap);
+    produce(buf, need);   /* may trap mid-way; rollback undoes everything */
+    commit(id);
+    /* Success: checksum the records. */
+    int i = 0;
+    while (i < need) { total = total + buf[i]; i = i + 1; }
+    break;
+  }
+
+  print_string("succeeded after ");
+  print_int(attempts);
+  print_string(" grow-retries, checksum ");
+  print_int(total);
+  print_string("\n");
+  return attempts;
+}
+)";
+
+}  // namespace
+
+int main() {
+  using namespace mojave;
+  try {
+    fir::Program program = frontend::compile_source("robust", kSource);
+    vm::ProcessConfig cfg;
+    cfg.trap_to_speculation = true;  // the Rx-style instrumentation switch
+    vm::Process process(std::move(program), cfg);
+    const auto result = process.run();
+    // cap doubles 4 → 8 → ... → 128 ≥ 100: five grow-retries.
+    std::cout << "\nprocess halted; grow-retries = " << result.exit_code
+              << " (expected 5)\n";
+    std::cout << "rollbacks performed by the runtime: "
+              << process.spec().stats().rollbacks << "\n";
+    return result.exit_code == 5 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,63 @@
+#include "cluster/storage.hpp"
+
+#include <fstream>
+
+#include "support/error.hpp"
+
+namespace mojave::cluster {
+
+namespace fs = std::filesystem;
+
+SharedStorage::SharedStorage(fs::path root) : root_(std::move(root)) {
+  fs::create_directories(root_);
+}
+
+void SharedStorage::write(const std::string& name,
+                          std::span<const std::byte> bytes) const {
+  const fs::path target = path_for(name);
+  const fs::path tmp = target.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw Error("storage: cannot open " + tmp.string());
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out) throw Error("storage: short write to " + tmp.string());
+  }
+  std::error_code ec;
+  fs::rename(tmp, target, ec);
+  if (ec) throw Error("storage: rename failed: " + ec.message());
+}
+
+std::optional<std::vector<std::byte>> SharedStorage::read(
+    const std::string& name) const {
+  std::ifstream in(path_for(name), std::ios::binary | std::ios::ate);
+  if (!in) return std::nullopt;
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::byte> bytes(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!in) return std::nullopt;
+  return bytes;
+}
+
+bool SharedStorage::exists(const std::string& name) const {
+  return fs::exists(path_for(name));
+}
+
+void SharedStorage::remove(const std::string& name) const {
+  std::error_code ec;
+  fs::remove(path_for(name), ec);
+}
+
+std::vector<std::string> SharedStorage::list() const {
+  std::vector<std::string> names;
+  for (const auto& entry : fs::directory_iterator(root_)) {
+    if (entry.is_regular_file() &&
+        entry.path().extension() != ".tmp") {
+      names.push_back(entry.path().filename().string());
+    }
+  }
+  return names;
+}
+
+}  // namespace mojave::cluster

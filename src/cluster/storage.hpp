@@ -1,0 +1,40 @@
+// SharedStorage: the cluster-visible checkpoint store.
+//
+// "The existence of a reliable and distributed storage medium is needed
+// for a real fault-tolerant implementation. For the purpose of this
+// example an NFS mount point visible across the entire cluster provided
+// the required functionality" (paper, Section 2). Here a directory plays
+// the NFS mount: writes are atomic (temp file + rename), so a resurrection
+// daemon on any node either sees a complete checkpoint or the previous
+// one, never a torn image.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mojave::cluster {
+
+class SharedStorage {
+ public:
+  explicit SharedStorage(std::filesystem::path root);
+
+  [[nodiscard]] const std::filesystem::path& root() const { return root_; }
+  [[nodiscard]] std::filesystem::path path_for(const std::string& name) const {
+    return root_ / name;
+  }
+
+  void write(const std::string& name, std::span<const std::byte> bytes) const;
+  [[nodiscard]] std::optional<std::vector<std::byte>> read(
+      const std::string& name) const;
+  [[nodiscard]] bool exists(const std::string& name) const;
+  void remove(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> list() const;
+
+ private:
+  std::filesystem::path root_;
+};
+
+}  // namespace mojave::cluster

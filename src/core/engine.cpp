@@ -1,0 +1,96 @@
+#include "core/engine.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "fir/optimize.hpp"
+#include "fir/printer.hpp"
+#include "fir/typecheck.hpp"
+#include "frontend/compile.hpp"
+#include "migrate/image.hpp"
+
+namespace mojave {
+
+Engine::Engine(EngineOptions options) : options_(std::move(options)) {}
+
+fir::Program Engine::compile(const std::string& name,
+                             const std::string& source) const {
+  fir::Program program = frontend::compile_source(name, source);
+  if (options_.optimize) fir::optimize(program);
+  fir::typecheck(program);
+  if (options_.dump_fir != nullptr) {
+    *options_.dump_fir << fir::to_string(program);
+  }
+  return program;
+}
+
+fir::Program Engine::compile_file(const std::filesystem::path& path) const {
+  return compile(path.stem().string(), read_text_file(path));
+}
+
+EngineResult Engine::run_source(const std::string& name,
+                                const std::string& source) {
+  return run_program(compile(name, source));
+}
+
+EngineResult Engine::run_file(const std::filesystem::path& path) {
+  return run_program(compile_file(path));
+}
+
+EngineResult Engine::run_program(fir::Program program) {
+  vm::Process process(std::move(program), options_.process);
+  if (options_.enable_migration) {
+    process.adopt_hook(std::make_unique<migrate::Migrator>(process));
+  }
+  return finish(process, process.run());
+}
+
+EngineResult Engine::resume_file(const std::filesystem::path& image_path) {
+  const auto bytes = migrate::Migrator::read_image_file(image_path);
+  migrate::UnpackResult unpacked =
+      migrate::unpack_process(bytes, options_.process);
+  if (options_.enable_migration) {
+    unpacked.process->adopt_hook(
+        std::make_unique<migrate::Migrator>(*unpacked.process));
+  }
+  vm::Process& process = *unpacked.process;
+  return finish(process, process.resume(unpacked.resume_fun,
+                                        std::move(unpacked.resume_args)));
+}
+
+EngineResult Engine::finish(vm::Process& process, vm::RunResult run) const {
+  EngineResult result;
+  result.run = run;
+  result.spec = process.spec().stats();
+  result.vm = process.vm().stats();
+  return result;
+}
+
+std::uint16_t Engine::serve(std::uint16_t port) {
+  migrate::MigrationServer::Options opts;
+  opts.port = port;
+  opts.cfg = options_.process;
+  const bool enable_migration = options_.enable_migration;
+  opts.prepare = [enable_migration](vm::Process& proc) {
+    if (enable_migration) {
+      proc.adopt_hook(std::make_unique<migrate::Migrator>(proc));
+    }
+  };
+  server_ = std::make_unique<migrate::MigrationServer>(std::move(opts));
+  return server_->port();
+}
+
+void Engine::stop_server() {
+  if (server_) server_->stop();
+  server_.reset();
+}
+
+std::string read_text_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open " + path.string());
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return text;
+}
+
+}  // namespace mojave

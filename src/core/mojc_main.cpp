@@ -1,0 +1,216 @@
+// mojc — the Mojave compiler driver.
+//
+//   mojc run <file.mjc> [--dump-fir] [--trap-spec] [--max-insns N]
+//       Compile and execute a MojC program.
+//   mojc compile <file.mjc> [-o out.fir]
+//       Compile to a serialized FIR image (what migration ships).
+//   mojc exec <file.fir>
+//       Typecheck, lower and run a serialized FIR image.
+//   mojc resume <checkpoint.img>
+//       Reconstruct and resume a process from a checkpoint/suspend image
+//       (the resurrection entry point daemons use).
+//   mojc serve [port]
+//       Run a migration server: accept inbound processes, verify,
+//       recompile, and execute them.
+//   mojc inspect <image>
+//       Print what an image contains without running it.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "fir/serialize.hpp"
+#include "fir/printer.hpp"
+#include "risc/disasm.hpp"
+#include "risc/lower.hpp"
+#include "vm/lowering.hpp"
+#include "migrate/image.hpp"
+#include "support/log.hpp"
+
+namespace {
+
+using namespace mojave;
+
+int usage() {
+  std::cerr <<
+      "usage:\n"
+      "  mojc run <file.mjc> [--dump-fir] [--trap-spec] [--no-opt] [--max-insns N]\n"
+      "  mojc compile <file.mjc> [-o out.fir]\n"
+      "  mojc exec <file.fir>\n"
+      "  mojc resume <checkpoint.img>\n"
+      "  mojc serve [port]\n"
+      "  mojc inspect <image>\n"
+      "  mojc dump <file.mjc> [--risc]\n";
+  return 2;
+}
+
+struct Flags {
+  bool dump_fir = false;
+  bool no_opt = false;
+  bool trap_spec = false;
+  std::uint64_t max_insns = 0;
+  std::string output;
+  std::vector<std::string> positional;
+};
+
+Flags parse_flags(int argc, char** argv, int first) {
+  Flags flags;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--dump-fir") {
+      flags.dump_fir = true;
+    } else if (arg == "--no-opt") {
+      flags.no_opt = true;
+    } else if (arg == "--trap-spec") {
+      flags.trap_spec = true;
+    } else if (arg == "--max-insns" && i + 1 < argc) {
+      flags.max_insns = std::stoull(argv[++i]);
+    } else if (arg == "-o" && i + 1 < argc) {
+      flags.output = argv[++i];
+    } else {
+      flags.positional.push_back(arg);
+    }
+  }
+  return flags;
+}
+
+Engine make_engine(const Flags& flags) {
+  EngineOptions opts;
+  opts.process.trap_to_speculation = flags.trap_spec;
+  opts.process.max_instructions = flags.max_insns;
+  opts.optimize = !flags.no_opt;
+  if (flags.dump_fir) opts.dump_fir = &std::cerr;
+  return Engine(std::move(opts));
+}
+
+int report(const EngineResult& result) {
+  if (result.run.kind == vm::RunResult::Kind::kMigratedAway) {
+    std::cerr << "[mojc] process migrated away or suspended\n";
+    return 0;
+  }
+  std::cerr << "[mojc] halted with code " << result.run.exit_code << " ("
+            << result.vm.instructions << " instructions, "
+            << result.spec.speculates << " speculations, "
+            << result.spec.rollbacks << " rollbacks)\n";
+  return static_cast<int>(result.run.exit_code);
+}
+
+int cmd_run(const Flags& flags) {
+  if (flags.positional.size() != 1) return usage();
+  Engine engine = make_engine(flags);
+  return report(engine.run_file(flags.positional[0]));
+}
+
+int cmd_compile(const Flags& flags) {
+  if (flags.positional.size() != 1) return usage();
+  Engine engine = make_engine(flags);
+  const fir::Program program = engine.compile_file(flags.positional[0]);
+  const auto bytes = fir::encode_program(program);
+  const std::string out = flags.output.empty()
+                              ? flags.positional[0] + ".fir"
+                              : flags.output;
+  std::ofstream f(out, std::ios::binary | std::ios::trunc);
+  if (!f) {
+    std::cerr << "cannot write " << out << "\n";
+    return 1;
+  }
+  f.write(reinterpret_cast<const char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  std::cerr << "[mojc] wrote " << bytes.size() << " bytes of FIR ("
+            << program.functions.size() << " functions) to " << out << "\n";
+  return 0;
+}
+
+int cmd_exec(const Flags& flags) {
+  if (flags.positional.size() != 1) return usage();
+  std::ifstream f(flags.positional[0], std::ios::binary);
+  if (!f) {
+    std::cerr << "cannot open " << flags.positional[0] << "\n";
+    return 1;
+  }
+  std::vector<char> raw((std::istreambuf_iterator<char>(f)),
+                        std::istreambuf_iterator<char>());
+  const fir::Program program = fir::decode_program(
+      std::as_bytes(std::span(raw.data(), raw.size())));
+  Engine engine = make_engine(flags);
+  return report(engine.run_program(fir::clone_program(program)));
+}
+
+int cmd_resume(const Flags& flags) {
+  if (flags.positional.size() != 1) return usage();
+  Engine engine = make_engine(flags);
+  return report(engine.resume_file(flags.positional[0]));
+}
+
+int cmd_serve(const Flags& flags) {
+  std::uint16_t port = 0;
+  if (!flags.positional.empty()) {
+    port = static_cast<std::uint16_t>(std::stoi(flags.positional[0]));
+  }
+  Logger::instance().set_level(LogLevel::kInfo);
+  Engine engine = make_engine(flags);
+  const std::uint16_t bound = engine.serve(port);
+  std::cerr << "[mojc] migration server listening on 127.0.0.1:" << bound
+            << " — inbound processes are verified, recompiled, and run\n";
+  // Serve until killed.
+  while (true) std::this_thread::sleep_for(std::chrono::seconds(3600));
+}
+
+int cmd_dump(const Flags& flags, bool risc_backend) {
+  if (flags.positional.size() != 1) return usage();
+  Engine engine = make_engine(flags);
+  const fir::Program program = engine.compile_file(flags.positional[0]);
+  std::cout << "=== FIR ===\n" << fir::to_string(program);
+  if (risc_backend) {
+    std::cout << "=== RISC ===\n" << risc::disassemble(risc::lower(program));
+  } else {
+    std::cout << "=== bytecode ===\n" << vm::disassemble(vm::lower(program));
+  }
+  return 0;
+}
+
+int cmd_inspect(const Flags& flags) {
+  if (flags.positional.size() != 1) return usage();
+  const auto bytes =
+      migrate::Migrator::read_image_file(flags.positional[0]);
+  const auto info = migrate::inspect_image(bytes);
+  std::cout << "program:    " << info.program_name << "\n"
+            << "kind:       "
+            << (info.kind == migrate::ImageKind::kFir
+                    ? "FIR (untrusted: destination re-verifies)"
+                    : "binary (trusted bytecode)")
+            << "\n"
+            << "image size: " << info.total_bytes << " bytes\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const Flags flags = parse_flags(argc, argv, 2);
+  try {
+    if (cmd == "run") return cmd_run(flags);
+    if (cmd == "compile") return cmd_compile(flags);
+    if (cmd == "exec") return cmd_exec(flags);
+    if (cmd == "resume") return cmd_resume(flags);
+    if (cmd == "serve") return cmd_serve(flags);
+    if (cmd == "inspect") return cmd_inspect(flags);
+    if (cmd == "dump") {
+      Flags f = flags;
+      bool risc_backend = false;
+      std::erase_if(f.positional, [&](const std::string& a) {
+        if (a == "--risc") { risc_backend = true; return true; }
+        return false;
+      });
+      return cmd_dump(f, risc_backend);
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "mojc: " << e.what() << "\n";
+    return 1;
+  }
+}

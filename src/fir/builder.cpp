@@ -1,0 +1,292 @@
+#include "fir/builder.hpp"
+
+namespace mojave::fir {
+
+Expr& FunctionBuilder::append(ExprKind kind) {
+  if (closed_ || tail_ == nullptr) {
+    throw TypeError("append to a terminated FIR body in function " +
+                    fn_->name);
+  }
+  *tail_ = std::make_unique<Expr>();
+  Expr& e = **tail_;
+  e.kind = kind;
+  tail_ = &e.next;
+  return e;
+}
+
+VarId FunctionBuilder::fresh(const std::string& name) {
+  const VarId id = fn_->num_vars++;
+  fn_->var_names.push_back(name);
+  return id;
+}
+
+void FunctionBuilder::terminate() {
+  closed_ = true;
+  tail_ = nullptr;
+}
+
+VarId FunctionBuilder::let_atom(const std::string& name, Type ty, Atom a) {
+  Expr& e = append(ExprKind::kLetAtom);
+  e.bind = fresh(name);
+  e.bind_ty = std::move(ty);
+  e.a = a;
+  return e.bind;
+}
+
+VarId FunctionBuilder::let_unop(const std::string& name, Unop op, Atom a) {
+  Expr& e = append(ExprKind::kLetUnop);
+  e.bind = fresh(name);
+  e.unop = op;
+  e.a = a;
+  return e.bind;
+}
+
+VarId FunctionBuilder::let_binop(const std::string& name, Binop op, Atom a,
+                                 Atom b) {
+  Expr& e = append(ExprKind::kLetBinop);
+  e.bind = fresh(name);
+  e.binop = op;
+  e.a = a;
+  e.b = b;
+  return e.bind;
+}
+
+VarId FunctionBuilder::let_alloc(const std::string& name, Atom nslots,
+                                 Atom init) {
+  Expr& e = append(ExprKind::kLetAllocTagged);
+  e.bind = fresh(name);
+  e.bind_ty = Type::ptr();
+  e.a = nslots;
+  e.b = init;
+  return e.bind;
+}
+
+VarId FunctionBuilder::let_alloc_raw(const std::string& name, Atom nbytes) {
+  Expr& e = append(ExprKind::kLetAllocRaw);
+  e.bind = fresh(name);
+  e.bind_ty = Type::ptr();
+  e.a = nbytes;
+  return e.bind;
+}
+
+VarId FunctionBuilder::let_read(const std::string& name, Type ty, Atom ptr,
+                                Atom off) {
+  Expr& e = append(ExprKind::kLetRead);
+  e.bind = fresh(name);
+  e.bind_ty = std::move(ty);
+  e.a = ptr;
+  e.b = off;
+  return e.bind;
+}
+
+void FunctionBuilder::write(Atom ptr, Atom off, Atom value) {
+  Expr& e = append(ExprKind::kWrite);
+  e.a = ptr;
+  e.b = off;
+  e.c_atom = value;
+}
+
+VarId FunctionBuilder::let_raw_load(const std::string& name,
+                                    std::uint32_t width, Atom ptr, Atom off) {
+  Expr& e = append(ExprKind::kLetRawLoad);
+  e.bind = fresh(name);
+  e.bind_ty = Type::integer();
+  e.width = width;
+  e.a = ptr;
+  e.b = off;
+  return e.bind;
+}
+
+void FunctionBuilder::raw_store(std::uint32_t width, Atom ptr, Atom off,
+                                Atom value) {
+  Expr& e = append(ExprKind::kRawStore);
+  e.width = width;
+  e.a = ptr;
+  e.b = off;
+  e.c_atom = value;
+}
+
+VarId FunctionBuilder::let_raw_loadf(const std::string& name, Atom ptr,
+                                     Atom off) {
+  Expr& e = append(ExprKind::kLetRawLoadF);
+  e.bind = fresh(name);
+  e.bind_ty = Type::real();
+  e.a = ptr;
+  e.b = off;
+  return e.bind;
+}
+
+void FunctionBuilder::raw_storef(Atom ptr, Atom off, Atom value) {
+  Expr& e = append(ExprKind::kRawStoreF);
+  e.a = ptr;
+  e.b = off;
+  e.c_atom = value;
+}
+
+VarId FunctionBuilder::let_len(const std::string& name, Atom ptr) {
+  Expr& e = append(ExprKind::kLetLen);
+  e.bind = fresh(name);
+  e.bind_ty = Type::integer();
+  e.a = ptr;
+  return e.bind;
+}
+
+VarId FunctionBuilder::let_ptr_add(const std::string& name, Atom ptr,
+                                   Atom delta) {
+  Expr& e = append(ExprKind::kLetPtrAdd);
+  e.bind = fresh(name);
+  e.bind_ty = Type::ptr();
+  e.a = ptr;
+  e.b = delta;
+  return e.bind;
+}
+
+VarId FunctionBuilder::let_external(const std::string& name, Type ty,
+                                    const std::string& external,
+                                    std::vector<Atom> args) {
+  Expr& e = append(ExprKind::kLetExternal);
+  e.bind = fresh(name);
+  e.bind_ty = std::move(ty);
+  e.ext_name = external;
+  e.args = std::move(args);
+  return e.bind;
+}
+
+void FunctionBuilder::branch(
+    Atom cond, const std::function<void(FunctionBuilder&)>& then_fn,
+    const std::function<void(FunctionBuilder&)>& else_fn) {
+  Expr& e = append(ExprKind::kIf);
+  e.a = cond;
+  terminate();  // both arms own their continuations
+
+  FunctionBuilder then_b(fn_, &e.next);
+  then_fn(then_b);
+  if (!then_b.closed_) {
+    throw TypeError("then-branch not terminated in " + fn_->name);
+  }
+  FunctionBuilder else_b(fn_, &e.els);
+  else_fn(else_b);
+  if (!else_b.closed_) {
+    throw TypeError("else-branch not terminated in " + fn_->name);
+  }
+}
+
+void FunctionBuilder::tail_call(Atom fun, std::vector<Atom> args) {
+  Expr& e = append(ExprKind::kTailCall);
+  e.fun = fun;
+  e.args = std::move(args);
+  terminate();
+}
+
+void FunctionBuilder::speculate(Atom fun, std::vector<Atom> args) {
+  Expr& e = append(ExprKind::kSpeculate);
+  e.fun = fun;
+  e.args = std::move(args);
+  terminate();
+}
+
+void FunctionBuilder::commit(Atom level, Atom fun, std::vector<Atom> args) {
+  Expr& e = append(ExprKind::kCommit);
+  e.a = level;
+  e.fun = fun;
+  e.args = std::move(args);
+  terminate();
+}
+
+void FunctionBuilder::rollback(Atom level, Atom c) {
+  Expr& e = append(ExprKind::kRollback);
+  e.a = level;
+  e.b = c;
+  terminate();
+}
+
+void FunctionBuilder::abort_spec(Atom level, Atom c) {
+  Expr& e = append(ExprKind::kAbort);
+  e.a = level;
+  e.b = c;
+  terminate();
+}
+
+void FunctionBuilder::migrate(MigrateLabel label, Atom target, Atom fun,
+                              std::vector<Atom> args) {
+  Expr& e = append(ExprKind::kMigrate);
+  e.label = label;
+  e.a = target;
+  e.fun = fun;
+  e.args = std::move(args);
+  terminate();
+}
+
+void FunctionBuilder::halt(Atom code) {
+  Expr& e = append(ExprKind::kHalt);
+  e.a = code;
+  terminate();
+}
+
+std::uint32_t ProgramBuilder::declare(const std::string& name,
+                                      std::vector<Type> param_tys) {
+  for (const Function& f : fns_) {
+    if (f.name == name) throw TypeError("duplicate function name: " + name);
+  }
+  Function fn;
+  fn.name = name;
+  fn.id = static_cast<std::uint32_t>(fns_.size());
+  fn.param_tys = std::move(param_tys);
+  fn.num_vars = fn.arity();
+  fns_.push_back(std::move(fn));
+  return fns_.back().id;
+}
+
+FunctionBuilder ProgramBuilder::define(std::uint32_t id,
+                                       std::vector<std::string> param_names) {
+  Function& fn = fns_.at(id);
+  if (fn.body != nullptr) throw TypeError("function defined twice: " + fn.name);
+  if (param_names.size() != fn.arity()) {
+    throw TypeError("parameter name count mismatch for " + fn.name);
+  }
+  fn.var_names = std::move(param_names);
+  return FunctionBuilder(&fn, &fn.body);
+}
+
+namespace {
+void check_terminated(const Function& fn, const Expr* e) {
+  if (e == nullptr) {
+    throw TypeError("unterminated body in function " + fn.name);
+  }
+  switch (e->kind) {
+    case ExprKind::kTailCall:
+    case ExprKind::kSpeculate:
+    case ExprKind::kCommit:
+    case ExprKind::kRollback:
+    case ExprKind::kAbort:
+    case ExprKind::kMigrate:
+    case ExprKind::kHalt:
+      return;
+    case ExprKind::kIf:
+      check_terminated(fn, e->next.get());
+      check_terminated(fn, e->els.get());
+      return;
+    default:
+      check_terminated(fn, e->next.get());
+      return;
+  }
+}
+}  // namespace
+
+Program ProgramBuilder::take(const std::string& entry_name) {
+  prog_.functions.reserve(fns_.size());
+  for (Function& fn : fns_) prog_.functions.push_back(std::move(fn));
+  fns_.clear();
+  const Function* entry = prog_.find(entry_name);
+  if (entry == nullptr) throw TypeError("no entry function: " + entry_name);
+  for (const Function& fn : prog_.functions) {
+    if (fn.body == nullptr) {
+      throw TypeError("function declared but never defined: " + fn.name);
+    }
+    check_terminated(fn, fn.body.get());
+  }
+  prog_.entry = entry->id;
+  return std::move(prog_);
+}
+
+}  // namespace mojave::fir

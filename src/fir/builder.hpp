@@ -1,0 +1,117 @@
+// Fluent construction of FIR programs.
+//
+// The MojC frontend lowers through this API, and tests/benches use it to
+// assemble programs directly. Functions are declared first (so mutually
+// recursive continuations can reference each other) and defined afterwards.
+//
+//   ProgramBuilder pb("demo");
+//   auto loop = pb.declare("loop", {Type::integer()});
+//   {
+//     FunctionBuilder fb = pb.define(loop, {"i"});
+//     auto cond = fb.let_binop("c", Binop::kLt, fb.arg(0), Atom::integer(10));
+//     fb.branch(fb.v(cond),
+//               [&](FunctionBuilder& t) { ... t.tail_call(...); },
+//               [&](FunctionBuilder& e) { e.halt(Atom::integer(0)); });
+//   }
+//   Program p = pb.take("loop");
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fir/ir.hpp"
+#include "support/error.hpp"
+
+namespace mojave::fir {
+
+class ProgramBuilder;
+
+class FunctionBuilder {
+ public:
+  /// Variable id of parameter `i`.
+  [[nodiscard]] VarId param(std::uint32_t i) const {
+    if (i >= fn_->arity()) throw TypeError("parameter index out of range");
+    return i;
+  }
+  /// Atom for parameter `i`.
+  [[nodiscard]] Atom arg(std::uint32_t i) const {
+    return Atom::variable(param(i));
+  }
+  /// Atom for a variable.
+  [[nodiscard]] static Atom v(VarId var) { return Atom::variable(var); }
+
+  VarId let_atom(const std::string& name, Type ty, Atom a);
+  VarId let_unop(const std::string& name, Unop op, Atom a);
+  VarId let_binop(const std::string& name, Binop op, Atom a, Atom b);
+  VarId let_alloc(const std::string& name, Atom nslots, Atom init);
+  VarId let_alloc_raw(const std::string& name, Atom nbytes);
+  VarId let_read(const std::string& name, Type ty, Atom ptr, Atom off);
+  void write(Atom ptr, Atom off, Atom value);
+  VarId let_raw_load(const std::string& name, std::uint32_t width, Atom ptr,
+                     Atom off);
+  void raw_store(std::uint32_t width, Atom ptr, Atom off, Atom value);
+  VarId let_raw_loadf(const std::string& name, Atom ptr, Atom off);
+  void raw_storef(Atom ptr, Atom off, Atom value);
+  VarId let_len(const std::string& name, Atom ptr);
+  VarId let_ptr_add(const std::string& name, Atom ptr, Atom delta);
+  VarId let_external(const std::string& name, Type ty,
+                     const std::string& external, std::vector<Atom> args);
+
+  /// if (cond != 0) then-branch else else-branch. Both branches must
+  /// terminate (CPS: there is no join point).
+  void branch(Atom cond, const std::function<void(FunctionBuilder&)>& then_fn,
+              const std::function<void(FunctionBuilder&)>& else_fn);
+
+  void tail_call(Atom fun, std::vector<Atom> args);
+  void speculate(Atom fun, std::vector<Atom> args);
+  void commit(Atom level, Atom fun, std::vector<Atom> args);
+  void rollback(Atom level, Atom c);
+  void abort_spec(Atom level, Atom c);
+  void migrate(MigrateLabel label, Atom target, Atom fun,
+               std::vector<Atom> args);
+  void halt(Atom code);
+
+ private:
+  friend class ProgramBuilder;
+  FunctionBuilder(Function* fn, ExprPtr* tail) : fn_(fn), tail_(tail) {}
+
+  Expr& append(ExprKind kind);
+  VarId fresh(const std::string& name);
+  void terminate();
+
+  Function* fn_;
+  ExprPtr* tail_;
+  bool closed_ = false;
+};
+
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string name) { prog_.name = std::move(name); }
+
+  /// Reserve a function id so bodies can reference it before definition.
+  std::uint32_t declare(const std::string& name, std::vector<Type> param_tys);
+
+  /// Begin the body of a declared function. The returned builder must emit
+  /// a terminator before the program is taken.
+  [[nodiscard]] FunctionBuilder define(std::uint32_t id,
+                                       std::vector<std::string> param_names);
+
+  /// Atom for an interned string literal.
+  [[nodiscard]] Atom str(const std::string& s) {
+    return Atom::string(prog_.intern_string(s));
+  }
+
+  [[nodiscard]] Program take(const std::string& entry_name);
+
+ private:
+  Program prog_;
+  /// Functions under construction live in a deque so FunctionBuilder's
+  /// Function* stays valid while later declarations arrive; take() moves
+  /// them into the program's dense vector.
+  std::deque<Function> fns_;
+};
+
+}  // namespace mojave::fir

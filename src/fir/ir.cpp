@@ -1,0 +1,124 @@
+#include "fir/ir.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace mojave::fir {
+
+std::string Type::to_string() const {
+  switch (kind) {
+    case TyKind::kUnit:
+      return "unit";
+    case TyKind::kInt:
+      return "int";
+    case TyKind::kFloat:
+      return "float";
+    case TyKind::kPtr:
+      return "ptr";
+    case TyKind::kFun: {
+      std::ostringstream out;
+      out << "(";
+      for (std::size_t i = 0; i < params.size(); ++i) {
+        if (i) out << ", ";
+        out << params[i].to_string();
+      }
+      out << ") -> .";
+      return out.str();
+    }
+  }
+  return "?";
+}
+
+bool binop_is_float(Binop op) {
+  switch (op) {
+    case Binop::kFAdd:
+    case Binop::kFSub:
+    case Binop::kFMul:
+    case Binop::kFDiv:
+    case Binop::kFLt:
+    case Binop::kFLe:
+    case Binop::kFGt:
+    case Binop::kFGe:
+    case Binop::kFEq:
+    case Binop::kFNe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool binop_yields_int(Binop op) {
+  switch (op) {
+    case Binop::kFAdd:
+    case Binop::kFSub:
+    case Binop::kFMul:
+    case Binop::kFDiv:
+      return false;
+    default:
+      return true;
+  }
+}
+
+const Function& Program::function(std::uint32_t id) const {
+  if (id >= functions.size()) {
+    throw TypeError("function id " + std::to_string(id) + " out of range");
+  }
+  return functions[id];
+}
+
+const Function* Program::find(const std::string& fn_name) const {
+  for (const Function& f : functions) {
+    if (f.name == fn_name) return &f;
+  }
+  return nullptr;
+}
+
+std::uint32_t Program::intern_string(const std::string& s) {
+  for (std::uint32_t i = 0; i < strings.size(); ++i) {
+    if (strings[i] == s) return i;
+  }
+  strings.push_back(s);
+  return static_cast<std::uint32_t>(strings.size() - 1);
+}
+
+Program clone_program(const Program& p) {
+  Program out;
+  out.name = p.name;
+  out.strings = p.strings;
+  out.entry = p.entry;
+  out.functions.reserve(p.functions.size());
+  for (const Function& fn : p.functions) {
+    Function copy;
+    copy.name = fn.name;
+    copy.id = fn.id;
+    copy.param_tys = fn.param_tys;
+    copy.num_vars = fn.num_vars;
+    copy.var_names = fn.var_names;
+    copy.body = clone_expr(*fn.body);
+    out.functions.push_back(std::move(copy));
+  }
+  return out;
+}
+
+ExprPtr clone_expr(const Expr& e) {
+  auto out = std::make_unique<Expr>();
+  out->kind = e.kind;
+  out->bind = e.bind;
+  out->bind_ty = e.bind_ty;
+  out->a = e.a;
+  out->b = e.b;
+  out->c_atom = e.c_atom;
+  out->unop = e.unop;
+  out->binop = e.binop;
+  out->width = e.width;
+  out->fun = e.fun;
+  out->args = e.args;
+  out->ext_name = e.ext_name;
+  out->label = e.label;
+  if (e.next) out->next = clone_expr(*e.next);
+  if (e.els) out->els = clone_expr(*e.els);
+  return out;
+}
+
+}  // namespace mojave::fir

@@ -1,0 +1,238 @@
+// The FIR: Mojave's semi-functional intermediate representation.
+//
+// "MCC compiles all source languages to a semi-functional intermediate
+// representation (FIR). FIR is a type-safe intermediate language where
+// variables are immutable, but heap values can be modified. Function calls
+// in the source language are converted to tail-calls using continuation
+// passing style. Loops are expressed with recursive functions."
+// (paper, Section 3)
+//
+// A program is a set of functions; a function body is a chain of
+// let-bindings ending in a control transfer (tail call, conditional, halt)
+// or one of the four distributed-computing pseudo-instructions:
+//
+//   speculate f(c, a1..an)     — enter a level, call f with c = level id
+//   commit [l] f(a1..an)       — fold level l, continue with f
+//   rollback [l, c]            — revert levels ≥ l, re-enter l (retry)
+//   abort [l, c]               — revert levels ≥ l without re-entry
+//   migrate [i, target] f(..)  — whole-process migration, resume at f
+//
+// The FIR is machine-independent and fully serializable (see
+// fir/serialize.hpp): migration ships FIR, never native code, so the
+// destination can re-verify and recompile it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace mojave::fir {
+
+using VarId = std::uint32_t;
+
+// --- Types -------------------------------------------------------------------
+
+enum class TyKind : std::uint8_t {
+  kUnit = 0,
+  kInt = 1,
+  kFloat = 2,
+  kPtr = 3,  ///< pointer to a heap block (tagged or raw; checked at runtime)
+  kFun = 4,  ///< continuation: parameter types, no return (CPS)
+};
+
+struct Type {
+  TyKind kind = TyKind::kUnit;
+  std::vector<Type> params;  ///< kFun only
+
+  [[nodiscard]] static Type unit() { return {TyKind::kUnit, {}}; }
+  [[nodiscard]] static Type integer() { return {TyKind::kInt, {}}; }
+  [[nodiscard]] static Type real() { return {TyKind::kFloat, {}}; }
+  [[nodiscard]] static Type ptr() { return {TyKind::kPtr, {}}; }
+  [[nodiscard]] static Type fun(std::vector<Type> params) {
+    return {TyKind::kFun, std::move(params)};
+  }
+
+  [[nodiscard]] bool operator==(const Type& o) const {
+    return kind == o.kind && params == o.params;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+// --- Atoms ---------------------------------------------------------------------
+
+/// An atom is a value that needs no computation: a literal, a variable, a
+/// reference to a function, or a reference to the program string pool.
+struct Atom {
+  enum class Kind : std::uint8_t {
+    kUnit = 0,
+    kInt = 1,
+    kFloat = 2,
+    kVar = 3,
+    kFunRef = 4,
+    kString = 5,  ///< index into Program::strings; evaluates to a ptr
+    kNull = 6,    ///< the null pointer: table index 0, traps on deref
+  };
+
+  Kind kind = Kind::kUnit;
+  std::int64_t i = 0;
+  double f = 0.0;
+  VarId var = 0;
+  std::uint32_t fun = 0;
+  std::uint32_t string_id = 0;
+
+  [[nodiscard]] static Atom unit() { return {}; }
+  [[nodiscard]] static Atom integer(std::int64_t v) {
+    Atom a;
+    a.kind = Kind::kInt;
+    a.i = v;
+    return a;
+  }
+  [[nodiscard]] static Atom real(double v) {
+    Atom a;
+    a.kind = Kind::kFloat;
+    a.f = v;
+    return a;
+  }
+  [[nodiscard]] static Atom variable(VarId v) {
+    Atom a;
+    a.kind = Kind::kVar;
+    a.var = v;
+    return a;
+  }
+  [[nodiscard]] static Atom fun_ref(std::uint32_t id) {
+    Atom a;
+    a.kind = Kind::kFunRef;
+    a.fun = id;
+    return a;
+  }
+  [[nodiscard]] static Atom string(std::uint32_t id) {
+    Atom a;
+    a.kind = Kind::kString;
+    a.string_id = id;
+    return a;
+  }
+  [[nodiscard]] static Atom null_ptr() {
+    Atom a;
+    a.kind = Kind::kNull;
+    return a;
+  }
+};
+
+// --- Operators -------------------------------------------------------------------
+
+enum class Unop : std::uint8_t {
+  kNeg = 0,         // int negate
+  kNot = 1,         // logical not (0 → 1, nonzero → 0)
+  kBitNot = 2,      // bitwise complement
+  kFNeg = 3,        // float negate
+  kIntOfFloat = 4,  // truncate
+  kFloatOfInt = 5,
+};
+
+enum class Binop : std::uint8_t {
+  // integer arithmetic
+  kAdd = 0, kSub, kMul, kDiv, kMod,
+  kAnd, kOr, kXor, kShl, kShr,
+  // integer comparison (result: int 0/1)
+  kLt, kLe, kGt, kGe, kEq, kNe,
+  // float arithmetic
+  kFAdd, kFSub, kFMul, kFDiv,
+  // float comparison (result: int 0/1)
+  kFLt, kFLe, kFGt, kFGe, kFEq, kFNe,
+};
+
+[[nodiscard]] bool binop_is_float(Binop op);
+[[nodiscard]] bool binop_yields_int(Binop op);
+
+// --- Expressions -----------------------------------------------------------------
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind : std::uint8_t {
+  kLetAtom = 0,      // let bind : ty = a
+  kLetUnop,          // let bind = unop a
+  kLetBinop,         // let bind = a binop b
+  kLetAllocTagged,   // let bind = alloc(a slots, init = b)
+  kLetAllocRaw,      // let bind = alloc_raw(a bytes)
+  kLetRead,          // let bind : ty = read(a, b)   — tag checked vs ty
+  kWrite,            // write(a, b) := c_atom
+  kLetRawLoad,       // let bind = raw_load{width}(a, b)
+  kRawStore,         // raw_store{width}(a, b) := c_atom
+  kLetRawLoadF,      // let bind = raw_loadf(a, b)
+  kRawStoreF,        // raw_storef(a, b) := c_atom
+  kLetLen,           // let bind = block_size(a)  (slots or bytes)
+  kLetPtrAdd,        // let bind = ptr_add(a, b)  — derived (base, off+b) pair
+  kIf,               // if a != 0 then next else els
+  kTailCall,         // fun(args...)
+  kSpeculate,        // speculate fun(c, args...)
+  kCommit,           // commit [a] fun(args...)
+  kRollback,         // rollback [a, b]   (retry)
+  kAbort,            // abort [a, b]      (no re-entry)
+  kMigrate,          // migrate [label, a] fun(args...)
+  kLetExternal,      // let bind : ty = external name(args...)
+  kHalt,             // halt(a)
+};
+
+/// One FIR expression node. A single fat struct keeps the representation
+/// simple, serializable, and cheap to traverse; unused fields are default.
+struct Expr {
+  ExprKind kind = ExprKind::kHalt;
+
+  VarId bind = 0;
+  Type bind_ty;
+
+  Atom a, b, c_atom;
+  Unop unop = Unop::kNeg;
+  Binop binop = Binop::kAdd;
+  std::uint32_t width = 8;  ///< raw access width in bytes
+
+  Atom fun;                 ///< callee for calls/speculate/commit/migrate
+  std::vector<Atom> args;
+  std::string ext_name;     ///< kLetExternal
+  MigrateLabel label = 0;   ///< kMigrate
+
+  ExprPtr next;             ///< continuation / then-branch
+  ExprPtr els;              ///< else-branch (kIf only)
+};
+
+// --- Functions & programs -----------------------------------------------------------
+
+struct Function {
+  std::string name;
+  std::uint32_t id = 0;
+  std::vector<Type> param_tys;
+  /// Parameters are variables 0..param_tys.size()-1; locals follow.
+  std::uint32_t num_vars = 0;
+  std::vector<std::string> var_names;  ///< diagnostic names, indexed by VarId
+  ExprPtr body;
+
+  [[nodiscard]] std::uint32_t arity() const {
+    return static_cast<std::uint32_t>(param_tys.size());
+  }
+  [[nodiscard]] Type type() const { return Type::fun(param_tys); }
+};
+
+struct Program {
+  std::string name;
+  std::vector<Function> functions;
+  std::vector<std::string> strings;
+  std::uint32_t entry = 0;
+
+  [[nodiscard]] const Function& function(std::uint32_t id) const;
+  [[nodiscard]] const Function* find(const std::string& name) const;
+  [[nodiscard]] std::uint32_t intern_string(const std::string& s);
+};
+
+/// Deep copy of an expression tree (used by optimization & tests).
+[[nodiscard]] ExprPtr clone_expr(const Expr& e);
+
+/// Deep copy of a whole program (SPMD launches compile one program and
+/// hand each node its own copy).
+[[nodiscard]] Program clone_program(const Program& p);
+
+}  // namespace mojave::fir

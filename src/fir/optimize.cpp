@@ -1,0 +1,230 @@
+#include "fir/optimize.hpp"
+
+#include <map>
+#include <optional>
+#include <set>
+
+#include "support/error.hpp"
+
+namespace mojave::fir {
+
+namespace {
+
+/// Fold a unop over a literal; nullopt when not foldable.
+std::optional<Atom> fold_unop(Unop op, const Atom& a) {
+  if (a.kind == Atom::Kind::kInt) {
+    switch (op) {
+      case Unop::kNeg:
+        return Atom::integer(-a.i);
+      case Unop::kNot:
+        return Atom::integer(a.i == 0 ? 1 : 0);
+      case Unop::kBitNot:
+        return Atom::integer(~a.i);
+      case Unop::kFloatOfInt:
+        return Atom::real(static_cast<double>(a.i));
+      default:
+        return std::nullopt;
+    }
+  }
+  if (a.kind == Atom::Kind::kFloat) {
+    switch (op) {
+      case Unop::kFNeg:
+        return Atom::real(-a.f);
+      case Unop::kIntOfFloat:
+        return Atom::integer(static_cast<std::int64_t>(a.f));
+      default:
+        return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+/// Fold a binop over literals with the interpreter's exact semantics.
+/// Division/modulo by a literal zero are left alone: the trap happens at
+/// run time, as the language defines.
+std::optional<Atom> fold_binop(Binop op, const Atom& a, const Atom& b) {
+  if (a.kind == Atom::Kind::kInt && b.kind == Atom::Kind::kInt) {
+    const std::int64_t x = a.i;
+    const std::int64_t y = b.i;
+    switch (op) {
+      case Binop::kAdd: return Atom::integer(x + y);
+      case Binop::kSub: return Atom::integer(x - y);
+      case Binop::kMul: return Atom::integer(x * y);
+      case Binop::kDiv:
+        if (y == 0) return std::nullopt;
+        return Atom::integer(x / y);
+      case Binop::kMod:
+        if (y == 0) return std::nullopt;
+        return Atom::integer(x % y);
+      case Binop::kAnd: return Atom::integer(x & y);
+      case Binop::kOr: return Atom::integer(x | y);
+      case Binop::kXor: return Atom::integer(x ^ y);
+      case Binop::kShl: return Atom::integer(x << (y & 63));
+      case Binop::kShr: return Atom::integer(x >> (y & 63));
+      case Binop::kLt: return Atom::integer(x < y ? 1 : 0);
+      case Binop::kLe: return Atom::integer(x <= y ? 1 : 0);
+      case Binop::kGt: return Atom::integer(x > y ? 1 : 0);
+      case Binop::kGe: return Atom::integer(x >= y ? 1 : 0);
+      case Binop::kEq: return Atom::integer(x == y ? 1 : 0);
+      case Binop::kNe: return Atom::integer(x != y ? 1 : 0);
+      default: return std::nullopt;
+    }
+  }
+  if (a.kind == Atom::Kind::kFloat && b.kind == Atom::Kind::kFloat) {
+    const double x = a.f;
+    const double y = b.f;
+    switch (op) {
+      case Binop::kFAdd: return Atom::real(x + y);
+      case Binop::kFSub: return Atom::real(x - y);
+      case Binop::kFMul: return Atom::real(x * y);
+      case Binop::kFDiv: return Atom::real(x / y);
+      case Binop::kFLt: return Atom::integer(x < y ? 1 : 0);
+      case Binop::kFLe: return Atom::integer(x <= y ? 1 : 0);
+      case Binop::kFGt: return Atom::integer(x > y ? 1 : 0);
+      case Binop::kFGe: return Atom::integer(x >= y ? 1 : 0);
+      case Binop::kFEq: return Atom::integer(x == y ? 1 : 0);
+      case Binop::kFNe: return Atom::integer(x != y ? 1 : 0);
+      default: return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+class FunctionOptimizer {
+ public:
+  explicit FunctionOptimizer(OptimizeStats& stats) : stats_(stats) {}
+
+  void run(Function& fn) {
+    std::map<VarId, Atom> env;
+    forward(fn.body, env);
+    std::set<VarId> used;
+    backward(fn.body, used);
+  }
+
+ private:
+  void subst(Atom& a, const std::map<VarId, Atom>& env) {
+    if (a.kind != Atom::Kind::kVar) return;
+    const auto it = env.find(a.var);
+    if (it != env.end()) {
+      a = it->second;
+      ++stats_.copies_propagated;
+    }
+  }
+
+  void subst_all(Expr& e, const std::map<VarId, Atom>& env) {
+    subst(e.a, env);
+    subst(e.b, env);
+    subst(e.c_atom, env);
+    subst(e.fun, env);
+    for (Atom& a : e.args) subst(a, env);
+  }
+
+  /// Forward pass: propagate copies & constants, fold, splice branches.
+  void forward(ExprPtr& head, std::map<VarId, Atom> env) {
+    ExprPtr* slot = &head;
+    while (*slot != nullptr) {
+      Expr& e = **slot;
+      subst_all(e, env);
+      switch (e.kind) {
+        case ExprKind::kLetAtom: {
+          // Bind the (already substituted) atom and drop the node.
+          env[e.bind] = e.a;
+          ExprPtr next = std::move(e.next);
+          *slot = std::move(next);
+          ++stats_.copies_propagated;
+          continue;
+        }
+        case ExprKind::kLetUnop:
+          if (auto folded = fold_unop(e.unop, e.a)) {
+            env[e.bind] = *folded;
+            ExprPtr next = std::move(e.next);
+            *slot = std::move(next);
+            ++stats_.constants_folded;
+            continue;
+          }
+          break;
+        case ExprKind::kLetBinop:
+          if (auto folded = fold_binop(e.binop, e.a, e.b)) {
+            env[e.bind] = *folded;
+            ExprPtr next = std::move(e.next);
+            *slot = std::move(next);
+            ++stats_.constants_folded;
+            continue;
+          }
+          break;
+        case ExprKind::kIf:
+          if (e.a.kind == Atom::Kind::kInt) {
+            // Splice in the taken arm and keep optimizing from here.
+            ExprPtr taken =
+                e.a.i != 0 ? std::move(e.next) : std::move(e.els);
+            *slot = std::move(taken);
+            ++stats_.branches_folded;
+            continue;
+          }
+          forward(e.next, env);
+          forward(e.els, env);
+          return;
+        default:
+          break;
+      }
+      slot = &e.next;
+    }
+  }
+
+  /// Backward pass: drop pure, unused lets; record every used variable.
+  void backward(ExprPtr& head, std::set<VarId>& used) {
+    if (head == nullptr) return;
+    Expr& e = *head;
+    if (e.kind == ExprKind::kIf) {
+      backward(e.next, used);
+      backward(e.els, used);
+      mark(e, used);
+      return;
+    }
+    backward(e.next, used);
+    const bool pure_let =
+        (e.kind == ExprKind::kLetUnop ||
+         (e.kind == ExprKind::kLetBinop && e.binop != Binop::kDiv &&
+          e.binop != Binop::kMod) ||
+         e.kind == ExprKind::kLetAtom);
+    if (pure_let && !used.contains(e.bind)) {
+      ExprPtr next = std::move(e.next);
+      head = std::move(next);
+      ++stats_.dead_lets_removed;
+      return;
+    }
+    mark(e, used);
+  }
+
+  static void mark_atom(const Atom& a, std::set<VarId>& used) {
+    if (a.kind == Atom::Kind::kVar) used.insert(a.var);
+  }
+
+  static void mark(const Expr& e, std::set<VarId>& used) {
+    mark_atom(e.a, used);
+    mark_atom(e.b, used);
+    mark_atom(e.c_atom, used);
+    mark_atom(e.fun, used);
+    for (const Atom& a : e.args) mark_atom(a, used);
+  }
+
+  OptimizeStats& stats_;
+};
+
+}  // namespace
+
+OptimizeStats optimize(Program& program) {
+  OptimizeStats stats;
+  for (Function& fn : program.functions) {
+    // Iterate to a (bounded) fixpoint: folding exposes new copies, which
+    // expose new folds.
+    for (int pass = 0; pass < 8; ++pass) {
+      OptimizeStats before = stats;
+      FunctionOptimizer(stats).run(fn);
+      if (stats.total() == before.total()) break;
+    }
+  }
+  return stats;
+}
+
+}  // namespace mojave::fir

@@ -1,0 +1,42 @@
+// FIR optimization passes.
+//
+// MCC positions the FIR as the place where analysis and transformation
+// happen ("MCC provides an active test bed for research", Section 3; the
+// FIR "could be used to verify the correctness of the programs"). This
+// module implements the classical safe passes over the CPS representation:
+//
+//   * copy propagation   — `let x = a` binds are substituted away;
+//   * constant folding   — unops/binops over literals are evaluated at
+//     compile time with exactly the interpreter's semantics (division and
+//     modulo by a literal zero are NOT folded: the runtime trap is the
+//     program's defined behaviour);
+//   * branch folding     — `if` over a literal condition is replaced by
+//     the taken arm;
+//   * dead-let elimination — pure, unused bindings are dropped. Heap
+//     reads, allocations, and anything that can trap stay put.
+//
+// Passes iterate to a fixpoint (bounded). The result always re-typechecks,
+// and the VM must produce identical observable behaviour — properties the
+// test suite enforces on randomized programs.
+#pragma once
+
+#include "fir/ir.hpp"
+
+namespace mojave::fir {
+
+struct OptimizeStats {
+  std::uint64_t constants_folded = 0;
+  std::uint64_t copies_propagated = 0;
+  std::uint64_t branches_folded = 0;
+  std::uint64_t dead_lets_removed = 0;
+
+  [[nodiscard]] std::uint64_t total() const {
+    return constants_folded + copies_propagated + branches_folded +
+           dead_lets_removed;
+  }
+};
+
+/// Optimize in place; returns what was done.
+OptimizeStats optimize(Program& program);
+
+}  // namespace mojave::fir

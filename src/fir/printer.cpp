@@ -1,0 +1,222 @@
+#include "fir/printer.hpp"
+
+#include <sstream>
+
+namespace mojave::fir {
+
+namespace {
+
+const char* unop_name(Unop op) {
+  switch (op) {
+    case Unop::kNeg: return "neg";
+    case Unop::kNot: return "not";
+    case Unop::kBitNot: return "bnot";
+    case Unop::kFNeg: return "fneg";
+    case Unop::kIntOfFloat: return "int_of_float";
+    case Unop::kFloatOfInt: return "float_of_int";
+  }
+  return "?";
+}
+
+const char* binop_name(Binop op) {
+  switch (op) {
+    case Binop::kAdd: return "+";
+    case Binop::kSub: return "-";
+    case Binop::kMul: return "*";
+    case Binop::kDiv: return "/";
+    case Binop::kMod: return "%";
+    case Binop::kAnd: return "&";
+    case Binop::kOr: return "|";
+    case Binop::kXor: return "^";
+    case Binop::kShl: return "<<";
+    case Binop::kShr: return ">>";
+    case Binop::kLt: return "<";
+    case Binop::kLe: return "<=";
+    case Binop::kGt: return ">";
+    case Binop::kGe: return ">=";
+    case Binop::kEq: return "==";
+    case Binop::kNe: return "!=";
+    case Binop::kFAdd: return "+.";
+    case Binop::kFSub: return "-.";
+    case Binop::kFMul: return "*.";
+    case Binop::kFDiv: return "/.";
+    case Binop::kFLt: return "<.";
+    case Binop::kFLe: return "<=.";
+    case Binop::kFGt: return ">.";
+    case Binop::kFGe: return ">=.";
+    case Binop::kFEq: return "==.";
+    case Binop::kFNe: return "!=.";
+  }
+  return "?";
+}
+
+class Printer {
+ public:
+  explicit Printer(const Function& fn) : fn_(fn) {}
+
+  std::string run() {
+    out_ << "fun " << fn_.name << "(";
+    for (std::uint32_t i = 0; i < fn_.arity(); ++i) {
+      if (i) out_ << ", ";
+      out_ << var(i) << ": " << fn_.param_tys[i].to_string();
+    }
+    out_ << ") =\n";
+    print(fn_.body.get(), 1);
+    return out_.str();
+  }
+
+ private:
+  std::string var(VarId id) const {
+    if (id < fn_.var_names.size() && !fn_.var_names[id].empty()) {
+      return fn_.var_names[id];
+    }
+    return "v" + std::to_string(id);
+  }
+
+  std::string atom(const Atom& a) const {
+    switch (a.kind) {
+      case Atom::Kind::kUnit: return "()";
+      case Atom::Kind::kInt: return std::to_string(a.i);
+      case Atom::Kind::kFloat: {
+        std::ostringstream o;
+        o << a.f;
+        return o.str();
+      }
+      case Atom::Kind::kVar: return var(a.var);
+      case Atom::Kind::kFunRef: return "@" + std::to_string(a.fun);
+      case Atom::Kind::kString: return "str#" + std::to_string(a.string_id);
+      case Atom::Kind::kNull: return "null";
+    }
+    return "?";
+  }
+
+  std::string atoms(const std::vector<Atom>& as) const {
+    std::string s;
+    for (std::size_t i = 0; i < as.size(); ++i) {
+      if (i) s += ", ";
+      s += atom(as[i]);
+    }
+    return s;
+  }
+
+  void indent(int depth) {
+    for (int i = 0; i < depth; ++i) out_ << "  ";
+  }
+
+  void print(const Expr* e, int depth) {
+    for (; e != nullptr; e = e->next.get()) {
+      indent(depth);
+      switch (e->kind) {
+        case ExprKind::kLetAtom:
+          out_ << "let " << var(e->bind) << " : " << e->bind_ty.to_string()
+               << " = " << atom(e->a) << "\n";
+          break;
+        case ExprKind::kLetUnop:
+          out_ << "let " << var(e->bind) << " = " << unop_name(e->unop) << " "
+               << atom(e->a) << "\n";
+          break;
+        case ExprKind::kLetBinop:
+          out_ << "let " << var(e->bind) << " = " << atom(e->a) << " "
+               << binop_name(e->binop) << " " << atom(e->b) << "\n";
+          break;
+        case ExprKind::kLetAllocTagged:
+          out_ << "let " << var(e->bind) << " = alloc(" << atom(e->a) << ", "
+               << atom(e->b) << ")\n";
+          break;
+        case ExprKind::kLetAllocRaw:
+          out_ << "let " << var(e->bind) << " = alloc_raw(" << atom(e->a)
+               << ")\n";
+          break;
+        case ExprKind::kLetRead:
+          out_ << "let " << var(e->bind) << " : " << e->bind_ty.to_string()
+               << " = read(" << atom(e->a) << ", " << atom(e->b) << ")\n";
+          break;
+        case ExprKind::kWrite:
+          out_ << "write(" << atom(e->a) << ", " << atom(e->b)
+               << ") := " << atom(e->c_atom) << "\n";
+          break;
+        case ExprKind::kLetRawLoad:
+          out_ << "let " << var(e->bind) << " = raw_load" << e->width * 8
+               << "(" << atom(e->a) << ", " << atom(e->b) << ")\n";
+          break;
+        case ExprKind::kRawStore:
+          out_ << "raw_store" << e->width * 8 << "(" << atom(e->a) << ", "
+               << atom(e->b) << ") := " << atom(e->c_atom) << "\n";
+          break;
+        case ExprKind::kLetRawLoadF:
+          out_ << "let " << var(e->bind) << " = raw_loadf(" << atom(e->a)
+               << ", " << atom(e->b) << ")\n";
+          break;
+        case ExprKind::kRawStoreF:
+          out_ << "raw_storef(" << atom(e->a) << ", " << atom(e->b)
+               << ") := " << atom(e->c_atom) << "\n";
+          break;
+        case ExprKind::kLetLen:
+          out_ << "let " << var(e->bind) << " = block_size(" << atom(e->a)
+               << ")\n";
+          break;
+        case ExprKind::kLetPtrAdd:
+          out_ << "let " << var(e->bind) << " = ptr_add(" << atom(e->a)
+               << ", " << atom(e->b) << ")\n";
+          break;
+        case ExprKind::kIf:
+          out_ << "if " << atom(e->a) << " then\n";
+          print(e->next.get(), depth + 1);
+          indent(depth);
+          out_ << "else\n";
+          print(e->els.get(), depth + 1);
+          return;
+        case ExprKind::kTailCall:
+          out_ << atom(e->fun) << "(" << atoms(e->args) << ")\n";
+          return;
+        case ExprKind::kSpeculate:
+          out_ << "speculate " << atom(e->fun) << "(c, " << atoms(e->args)
+               << ")\n";
+          return;
+        case ExprKind::kCommit:
+          out_ << "commit [" << atom(e->a) << "] " << atom(e->fun) << "("
+               << atoms(e->args) << ")\n";
+          return;
+        case ExprKind::kRollback:
+          out_ << "rollback [" << atom(e->a) << ", " << atom(e->b) << "]\n";
+          return;
+        case ExprKind::kAbort:
+          out_ << "abort [" << atom(e->a) << ", " << atom(e->b) << "]\n";
+          return;
+        case ExprKind::kMigrate:
+          out_ << "migrate [" << e->label << ", " << atom(e->a) << "] "
+               << atom(e->fun) << "(" << atoms(e->args) << ")\n";
+          return;
+        case ExprKind::kLetExternal:
+          out_ << "let " << var(e->bind) << " : " << e->bind_ty.to_string()
+               << " = external " << e->ext_name << "(" << atoms(e->args)
+               << ")\n";
+          break;
+        case ExprKind::kHalt:
+          out_ << "halt " << atom(e->a) << "\n";
+          return;
+      }
+    }
+  }
+
+  const Function& fn_;
+  std::ostringstream out_;
+};
+
+}  // namespace
+
+std::string to_string(const Function& fn) { return Printer(fn).run(); }
+
+std::string to_string(const Program& program) {
+  std::ostringstream out;
+  out << "program " << program.name << " (entry @" << program.entry << ")\n";
+  for (std::uint32_t i = 0; i < program.strings.size(); ++i) {
+    out << "str#" << i << " = \"" << program.strings[i] << "\"\n";
+  }
+  for (const Function& fn : program.functions) {
+    out << to_string(fn) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace mojave::fir

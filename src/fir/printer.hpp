@@ -1,0 +1,13 @@
+// Human-readable FIR pretty-printer, for diagnostics and golden tests.
+#pragma once
+
+#include <string>
+
+#include "fir/ir.hpp"
+
+namespace mojave::fir {
+
+[[nodiscard]] std::string to_string(const Program& program);
+[[nodiscard]] std::string to_string(const Function& fn);
+
+}  // namespace mojave::fir

@@ -1,0 +1,247 @@
+#include "fir/serialize.hpp"
+
+#include <string>
+
+#include "support/error.hpp"
+
+namespace mojave::fir {
+
+namespace {
+
+constexpr std::uint32_t kMaxFunctions = 1u << 20;
+constexpr std::uint32_t kMaxVars = 1u << 20;
+constexpr std::uint32_t kMaxExprs = 1u << 24;
+
+void write_type(Writer& w, const Type& ty) {
+  w.u8(static_cast<std::uint8_t>(ty.kind));
+  if (ty.kind == TyKind::kFun) {
+    w.u32(static_cast<std::uint32_t>(ty.params.size()));
+    for (const Type& p : ty.params) write_type(w, p);
+  }
+}
+
+Type read_type(Reader& r, int depth = 0) {
+  if (depth > 64) throw ImageError("type nesting too deep");
+  const auto kind = static_cast<TyKind>(r.u8());
+  switch (kind) {
+    case TyKind::kUnit:
+    case TyKind::kInt:
+    case TyKind::kFloat:
+    case TyKind::kPtr:
+      return Type{kind, {}};
+    case TyKind::kFun: {
+      const std::uint32_t n = r.u32();
+      if (n > kMaxVars) throw ImageError("function type too wide");
+      Type ty{TyKind::kFun, {}};
+      ty.params.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        ty.params.push_back(read_type(r, depth + 1));
+      }
+      return ty;
+    }
+  }
+  throw ImageError("unknown type kind " +
+                   std::to_string(static_cast<unsigned>(kind)));
+}
+
+void write_atom(Writer& w, const Atom& a) {
+  w.u8(static_cast<std::uint8_t>(a.kind));
+  switch (a.kind) {
+    case Atom::Kind::kUnit:
+      break;
+    case Atom::Kind::kInt:
+      w.i64(a.i);
+      break;
+    case Atom::Kind::kFloat:
+      w.f64(a.f);
+      break;
+    case Atom::Kind::kVar:
+      w.u32(a.var);
+      break;
+    case Atom::Kind::kFunRef:
+      w.u32(a.fun);
+      break;
+    case Atom::Kind::kString:
+      w.u32(a.string_id);
+      break;
+    case Atom::Kind::kNull:
+      break;
+  }
+}
+
+Atom read_atom(Reader& r) {
+  const auto kind = static_cast<Atom::Kind>(r.u8());
+  switch (kind) {
+    case Atom::Kind::kUnit:
+      return Atom::unit();
+    case Atom::Kind::kInt:
+      return Atom::integer(r.i64());
+    case Atom::Kind::kFloat:
+      return Atom::real(r.f64());
+    case Atom::Kind::kVar:
+      return Atom::variable(r.u32());
+    case Atom::Kind::kFunRef:
+      return Atom::fun_ref(r.u32());
+    case Atom::Kind::kString:
+      return Atom::string(r.u32());
+    case Atom::Kind::kNull:
+      return Atom::null_ptr();
+  }
+  throw ImageError("unknown atom kind " +
+                   std::to_string(static_cast<unsigned>(kind)));
+}
+
+void write_atoms(Writer& w, const std::vector<Atom>& atoms) {
+  w.u32(static_cast<std::uint32_t>(atoms.size()));
+  for (const Atom& a : atoms) write_atom(w, a);
+}
+
+std::vector<Atom> read_atoms(Reader& r) {
+  const std::uint32_t n = r.u32();
+  if (n > kMaxVars) throw ImageError("argument list too long");
+  std::vector<Atom> atoms;
+  atoms.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) atoms.push_back(read_atom(r));
+  return atoms;
+}
+
+void write_expr(Writer& w, const Expr* e) {
+  // Straight-line chains are encoded iteratively (marker 1 = another node
+  // follows); a null continuation is marker 0.
+  while (e != nullptr) {
+    w.u8(1);
+    w.u8(static_cast<std::uint8_t>(e->kind));
+    w.u32(e->bind);
+    write_type(w, e->bind_ty);
+    write_atom(w, e->a);
+    write_atom(w, e->b);
+    write_atom(w, e->c_atom);
+    w.u8(static_cast<std::uint8_t>(e->unop));
+    w.u8(static_cast<std::uint8_t>(e->binop));
+    w.u32(e->width);
+    write_atom(w, e->fun);
+    write_atoms(w, e->args);
+    w.str(e->ext_name);
+    w.u32(e->label);
+    if (e->kind == ExprKind::kIf) {
+      write_expr(w, e->next.get());
+      write_expr(w, e->els.get());
+      return;
+    }
+    e = e->next.get();
+  }
+  w.u8(0);
+}
+
+ExprPtr read_expr(Reader& r, std::uint32_t& budget) {
+  ExprPtr head;
+  ExprPtr* tail = &head;
+  while (true) {
+    const std::uint8_t marker = r.u8();
+    if (marker == 0) return head;
+    if (marker != 1) throw ImageError("bad expression marker");
+    if (budget-- == 0) throw ImageError("expression stream too large");
+    auto e = std::make_unique<Expr>();
+    const std::uint8_t kind = r.u8();
+    if (kind > static_cast<std::uint8_t>(ExprKind::kHalt)) {
+      throw ImageError("unknown expression kind");
+    }
+    e->kind = static_cast<ExprKind>(kind);
+    e->bind = r.u32();
+    e->bind_ty = read_type(r);
+    e->a = read_atom(r);
+    e->b = read_atom(r);
+    e->c_atom = read_atom(r);
+    e->unop = static_cast<Unop>(r.u8());
+    e->binop = static_cast<Binop>(r.u8());
+    e->width = r.u32();
+    e->fun = read_atom(r);
+    e->args = read_atoms(r);
+    e->ext_name = r.str();
+    e->label = r.u32();
+    const bool is_if = e->kind == ExprKind::kIf;
+    Expr* raw = e.get();
+    *tail = std::move(e);
+    if (is_if) {
+      raw->next = read_expr(r, budget);
+      raw->els = read_expr(r, budget);
+      return head;
+    }
+    tail = &raw->next;
+  }
+}
+
+}  // namespace
+
+void write_program(Writer& w, const Program& program) {
+  w.str(program.name);
+  w.u32(program.entry);
+  w.u32(static_cast<std::uint32_t>(program.strings.size()));
+  for (const std::string& s : program.strings) w.str(s);
+  w.u32(static_cast<std::uint32_t>(program.functions.size()));
+  for (const Function& fn : program.functions) {
+    w.str(fn.name);
+    w.u32(fn.id);
+    w.u32(static_cast<std::uint32_t>(fn.param_tys.size()));
+    for (const Type& ty : fn.param_tys) write_type(w, ty);
+    w.u32(fn.num_vars);
+    w.u32(static_cast<std::uint32_t>(fn.var_names.size()));
+    for (const std::string& n : fn.var_names) w.str(n);
+    write_expr(w, fn.body.get());
+  }
+}
+
+Program read_program(Reader& r) {
+  Program program;
+  program.name = r.str();
+  program.entry = r.u32();
+  const std::uint32_t nstrings = r.u32();
+  if (nstrings > kMaxExprs) throw ImageError("string pool too large");
+  program.strings.reserve(nstrings);
+  for (std::uint32_t i = 0; i < nstrings; ++i) {
+    program.strings.push_back(r.str());
+  }
+  const std::uint32_t nfuns = r.u32();
+  if (nfuns > kMaxFunctions) throw ImageError("too many functions");
+  std::uint32_t budget = kMaxExprs;
+  program.functions.reserve(nfuns);
+  for (std::uint32_t i = 0; i < nfuns; ++i) {
+    Function fn;
+    fn.name = r.str();
+    fn.id = r.u32();
+    if (fn.id != i) throw ImageError("function ids must be dense");
+    const std::uint32_t nparams = r.u32();
+    if (nparams > kMaxVars) throw ImageError("too many parameters");
+    fn.param_tys.reserve(nparams);
+    for (std::uint32_t p = 0; p < nparams; ++p) {
+      fn.param_tys.push_back(read_type(r));
+    }
+    fn.num_vars = r.u32();
+    if (fn.num_vars > kMaxVars) throw ImageError("too many variables");
+    const std::uint32_t nnames = r.u32();
+    if (nnames != fn.num_vars) throw ImageError("variable name table size");
+    fn.var_names.reserve(nnames);
+    for (std::uint32_t n = 0; n < nnames; ++n) {
+      fn.var_names.push_back(r.str());
+    }
+    fn.body = read_expr(r, budget);
+    if (fn.body == nullptr) throw ImageError("function with empty body");
+    program.functions.push_back(std::move(fn));
+  }
+  return program;
+}
+
+std::vector<std::byte> encode_program(const Program& program) {
+  Writer w;
+  write_program(w, program);
+  return w.take();
+}
+
+Program decode_program(std::span<const std::byte> bytes) {
+  Reader r(bytes);
+  Program p = read_program(r);
+  if (!r.done()) throw ImageError("trailing bytes after program");
+  return p;
+}
+
+}  // namespace mojave::fir

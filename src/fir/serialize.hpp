@@ -1,0 +1,24 @@
+// FIR program (de)serialization.
+//
+// "In order to achieve architecture independence, MCC never migrates the
+// actual executable text. Instead it migrates the FIR code for the
+// program, so the target machine can verify the safety of the code"
+// (paper, Section 4.2.2). This is the encoder/decoder for that code
+// stream; the canonical byte order comes from support/serialize.hpp and
+// the decoder bounds-checks every field, so a hostile stream is rejected
+// with ImageError rather than undefined behaviour.
+#pragma once
+
+#include "fir/ir.hpp"
+#include "support/serialize.hpp"
+
+namespace mojave::fir {
+
+void write_program(Writer& w, const Program& program);
+[[nodiscard]] Program read_program(Reader& r);
+
+/// Convenience: encode to / decode from a byte vector.
+[[nodiscard]] std::vector<std::byte> encode_program(const Program& program);
+[[nodiscard]] Program decode_program(std::span<const std::byte> bytes);
+
+}  // namespace mojave::fir

@@ -1,0 +1,279 @@
+#include "fir/typecheck.hpp"
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace mojave::fir {
+
+namespace {
+
+class Checker {
+ public:
+  explicit Checker(const Program& p) : prog_(p) {}
+
+  void run() {
+    std::set<MigrateLabel> labels;
+    for (const Function& fn : prog_.functions) {
+      collect_labels(fn, fn.body.get(), labels);
+    }
+    for (const Function& fn : prog_.functions) check_function(fn);
+    if (prog_.entry >= prog_.functions.size()) {
+      throw TypeError("entry function id out of range");
+    }
+    if (!prog_.functions[prog_.entry].param_tys.empty()) {
+      throw TypeError("entry function must take no parameters");
+    }
+  }
+
+ private:
+  [[noreturn]] void fail(const Function& fn, const std::string& msg) const {
+    throw TypeError(prog_.name + "::" + fn.name + ": " + msg);
+  }
+
+  void collect_labels(const Function& fn, const Expr* e,
+                      std::set<MigrateLabel>& labels) {
+    for (; e != nullptr; e = e->next.get()) {
+      if (e->kind == ExprKind::kMigrate) {
+        if (!labels.insert(e->label).second) {
+          fail(fn, "duplicate migrate label " + std::to_string(e->label));
+        }
+      }
+      if (e->kind == ExprKind::kIf && e->els) {
+        collect_labels(fn, e->els.get(), labels);
+      }
+    }
+  }
+
+  using Env = std::vector<std::optional<Type>>;
+
+  Type atom_type(const Function& fn, const Env& env, const Atom& a) const {
+    switch (a.kind) {
+      case Atom::Kind::kUnit:
+        return Type::unit();
+      case Atom::Kind::kInt:
+        return Type::integer();
+      case Atom::Kind::kFloat:
+        return Type::real();
+      case Atom::Kind::kVar:
+        if (a.var >= env.size() || !env[a.var].has_value()) {
+          fail(fn, "use of unbound variable v" + std::to_string(a.var));
+        }
+        return *env[a.var];
+      case Atom::Kind::kFunRef:
+        if (a.fun >= prog_.functions.size()) {
+          fail(fn, "reference to unknown function id " + std::to_string(a.fun));
+        }
+        return prog_.functions[a.fun].type();
+      case Atom::Kind::kNull:
+        return Type::ptr();
+      case Atom::Kind::kString:
+        if (a.string_id >= prog_.strings.size()) {
+          fail(fn, "reference to unknown string id " +
+                       std::to_string(a.string_id));
+        }
+        return Type::ptr();
+    }
+    fail(fn, "malformed atom");
+  }
+
+  void expect(const Function& fn, const Env& env, const Atom& a,
+              const Type& ty, const char* what) const {
+    const Type actual = atom_type(fn, env, a);
+    if (!(actual == ty)) {
+      fail(fn, std::string(what) + ": expected " + ty.to_string() + ", got " +
+                   actual.to_string());
+    }
+  }
+
+  void bind(const Function& fn, Env& env, VarId var, Type ty) const {
+    if (var >= fn.num_vars) {
+      fail(fn, "binding of out-of-range variable v" + std::to_string(var));
+    }
+    if (var >= env.size()) fail(fn, "environment misconfigured");
+    if (env[var].has_value()) {
+      fail(fn, "variable v" + std::to_string(var) +
+                   " bound twice (FIR variables are immutable)");
+    }
+    env[var] = std::move(ty);
+  }
+
+  void check_call(const Function& fn, const Env& env, const Atom& callee,
+                  const std::vector<Atom>& args, bool leading_int) const {
+    const Type fty = atom_type(fn, env, callee);
+    if (fty.kind != TyKind::kFun) {
+      fail(fn, "call of non-function value of type " + fty.to_string());
+    }
+    const std::size_t shift = leading_int ? 1 : 0;
+    if (fty.params.size() != args.size() + shift) {
+      fail(fn, "call arity mismatch: callee takes " +
+                   std::to_string(fty.params.size()) + ", given " +
+                   std::to_string(args.size() + shift));
+    }
+    if (leading_int && fty.params[0].kind != TyKind::kInt) {
+      fail(fn, "speculative continuation must take int (the c value) first");
+    }
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      expect(fn, env, args[i], fty.params[i + shift], "call argument");
+    }
+  }
+
+  void check_width(const Function& fn, std::uint32_t width) const {
+    if (width != 1 && width != 2 && width != 4 && width != 8) {
+      fail(fn, "raw access width must be 1, 2, 4 or 8");
+    }
+  }
+
+  void check_function(const Function& fn) {
+    if (fn.body == nullptr) fail(fn, "missing body");
+    if (fn.var_names.size() != fn.num_vars) {
+      fail(fn, "variable name table out of sync");
+    }
+    Env env(fn.num_vars);
+    for (std::uint32_t i = 0; i < fn.arity(); ++i) env[i] = fn.param_tys[i];
+    check_expr(fn, env, fn.body.get());
+  }
+
+  void check_expr(const Function& fn, Env env, const Expr* e) {
+    for (; e != nullptr; e = e->next.get()) {
+      switch (e->kind) {
+        case ExprKind::kLetAtom: {
+          const Type actual = atom_type(fn, env, e->a);
+          if (!(actual == e->bind_ty)) {
+            fail(fn, "let: annotation " + e->bind_ty.to_string() +
+                         " does not match value type " + actual.to_string());
+          }
+          bind(fn, env, e->bind, e->bind_ty);
+          break;
+        }
+        case ExprKind::kLetUnop:
+          switch (e->unop) {
+            case Unop::kNeg:
+            case Unop::kNot:
+            case Unop::kBitNot:
+              expect(fn, env, e->a, Type::integer(), "unop operand");
+              bind(fn, env, e->bind, Type::integer());
+              break;
+            case Unop::kFNeg:
+              expect(fn, env, e->a, Type::real(), "unop operand");
+              bind(fn, env, e->bind, Type::real());
+              break;
+            case Unop::kIntOfFloat:
+              expect(fn, env, e->a, Type::real(), "unop operand");
+              bind(fn, env, e->bind, Type::integer());
+              break;
+            case Unop::kFloatOfInt:
+              expect(fn, env, e->a, Type::integer(), "unop operand");
+              bind(fn, env, e->bind, Type::real());
+              break;
+          }
+          break;
+        case ExprKind::kLetBinop: {
+          const Type operand =
+              binop_is_float(e->binop) ? Type::real() : Type::integer();
+          expect(fn, env, e->a, operand, "binop lhs");
+          expect(fn, env, e->b, operand, "binop rhs");
+          bind(fn, env, e->bind,
+               binop_yields_int(e->binop) ? Type::integer() : Type::real());
+          break;
+        }
+        case ExprKind::kLetAllocTagged:
+          expect(fn, env, e->a, Type::integer(), "alloc size");
+          (void)atom_type(fn, env, e->b);  // any initializer value
+          bind(fn, env, e->bind, Type::ptr());
+          break;
+        case ExprKind::kLetAllocRaw:
+          expect(fn, env, e->a, Type::integer(), "alloc_raw size");
+          bind(fn, env, e->bind, Type::ptr());
+          break;
+        case ExprKind::kLetRead:
+          expect(fn, env, e->a, Type::ptr(), "read pointer");
+          expect(fn, env, e->b, Type::integer(), "read offset");
+          bind(fn, env, e->bind, e->bind_ty);
+          break;
+        case ExprKind::kWrite:
+          expect(fn, env, e->a, Type::ptr(), "write pointer");
+          expect(fn, env, e->b, Type::integer(), "write offset");
+          (void)atom_type(fn, env, e->c_atom);
+          break;
+        case ExprKind::kLetRawLoad:
+          check_width(fn, e->width);
+          expect(fn, env, e->a, Type::ptr(), "raw_load pointer");
+          expect(fn, env, e->b, Type::integer(), "raw_load offset");
+          bind(fn, env, e->bind, Type::integer());
+          break;
+        case ExprKind::kRawStore:
+          check_width(fn, e->width);
+          expect(fn, env, e->a, Type::ptr(), "raw_store pointer");
+          expect(fn, env, e->b, Type::integer(), "raw_store offset");
+          expect(fn, env, e->c_atom, Type::integer(), "raw_store value");
+          break;
+        case ExprKind::kLetRawLoadF:
+          expect(fn, env, e->a, Type::ptr(), "raw_loadf pointer");
+          expect(fn, env, e->b, Type::integer(), "raw_loadf offset");
+          bind(fn, env, e->bind, Type::real());
+          break;
+        case ExprKind::kRawStoreF:
+          expect(fn, env, e->a, Type::ptr(), "raw_storef pointer");
+          expect(fn, env, e->b, Type::integer(), "raw_storef offset");
+          expect(fn, env, e->c_atom, Type::real(), "raw_storef value");
+          break;
+        case ExprKind::kLetLen:
+          expect(fn, env, e->a, Type::ptr(), "block_size operand");
+          bind(fn, env, e->bind, Type::integer());
+          break;
+        case ExprKind::kLetPtrAdd:
+          expect(fn, env, e->a, Type::ptr(), "ptr_add pointer");
+          expect(fn, env, e->b, Type::integer(), "ptr_add delta");
+          bind(fn, env, e->bind, Type::ptr());
+          break;
+        case ExprKind::kIf:
+          expect(fn, env, e->a, Type::integer(), "branch condition");
+          check_expr(fn, env, e->next.get());
+          check_expr(fn, env, e->els.get());
+          return;  // both arms checked recursively
+        case ExprKind::kTailCall:
+          check_call(fn, env, e->fun, e->args, /*leading_int=*/false);
+          return;
+        case ExprKind::kSpeculate:
+          check_call(fn, env, e->fun, e->args, /*leading_int=*/true);
+          return;
+        case ExprKind::kCommit:
+          expect(fn, env, e->a, Type::integer(), "commit level");
+          check_call(fn, env, e->fun, e->args, /*leading_int=*/false);
+          return;
+        case ExprKind::kRollback:
+        case ExprKind::kAbort:
+          expect(fn, env, e->a, Type::integer(), "rollback level");
+          expect(fn, env, e->b, Type::integer(), "rollback c value");
+          return;
+        case ExprKind::kMigrate:
+          expect(fn, env, e->a, Type::ptr(), "migrate target");
+          check_call(fn, env, e->fun, e->args, /*leading_int=*/false);
+          return;
+        case ExprKind::kLetExternal:
+          for (const Atom& a : e->args) (void)atom_type(fn, env, a);
+          if (e->ext_name.empty()) fail(fn, "external with empty name");
+          bind(fn, env, e->bind, e->bind_ty);
+          break;
+        case ExprKind::kHalt:
+          expect(fn, env, e->a, Type::integer(), "halt code");
+          return;
+      }
+      if (e->next == nullptr) {
+        fail(fn, "control falls off the end of a non-terminator");
+      }
+    }
+  }
+
+  const Program& prog_;
+};
+
+}  // namespace
+
+void typecheck(const Program& program) { Checker(program).run(); }
+
+}  // namespace mojave::fir

@@ -1,0 +1,27 @@
+// FIR typechecker.
+//
+// "On an unpack operation, the FIR code is type-checked, recompiled, and
+// execution is resumed" (paper, Section 4.2.2). The same checker validates
+// freshly built programs (frontend output, builder output) and inbound
+// migrated programs, so a malicious or corrupt image cannot smuggle an
+// ill-typed program onto a host.
+//
+// Invariants enforced:
+//  * single static assignment: every variable is bound exactly once and
+//    only used after its binding (FIR variables are immutable);
+//  * every operator is applied at its operand types;
+//  * every call site matches the callee's parameter list exactly;
+//  * speculate continuations take an int (the c value) first;
+//  * migrate labels are unique program-wide (they correlate runtime resume
+//    points with FIR locations);
+//  * every control path ends in a terminator.
+#pragma once
+
+#include "fir/ir.hpp"
+
+namespace mojave::fir {
+
+/// Throws TypeError on the first violation.
+void typecheck(const Program& program);
+
+}  // namespace mojave::fir

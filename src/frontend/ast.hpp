@@ -1,0 +1,99 @@
+// MojC abstract syntax.
+//
+// Deliberately small: four value types (void only as a return type), the
+// usual statements, and the language-level primitives the paper
+// contributes — speculate / commit / abort / rollback / migrate — which
+// parse as ordinary calls and are recognized by the compiler.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mojave::frontend {
+
+enum class MojTy : std::uint8_t { kVoid = 0, kInt, kFloat, kPtr };
+
+[[nodiscard]] const char* moj_ty_name(MojTy t);
+
+// --- Expressions ---------------------------------------------------------
+
+struct Expr;
+using ExprP = std::unique_ptr<Expr>;
+
+enum class ExKind : std::uint8_t {
+  kIntLit,
+  kFloatLit,
+  kStringLit,
+  kVar,
+  kUnary,    // op: '-', '!', '~'
+  kBinary,   // op: + - * / % & | ^ << >> == != < <= > >= && ||
+  kIndex,    // base[index] — tagged slot read (int by default)
+  kCall,     // callee(args): builtin, extern, or user function
+};
+
+struct Expr {
+  ExKind kind;
+  int line = 0;
+
+  std::int64_t ival = 0;
+  double fval = 0.0;
+  std::string text;  // var name / string body / call name
+  char op = 0;
+  std::string op2;   // two-char operators: "==", "&&", "<=", "<<" ...
+  ExprP lhs, rhs;
+  std::vector<ExprP> args;
+};
+
+// --- Statements ----------------------------------------------------------
+
+struct Stmt;
+using StmtP = std::unique_ptr<Stmt>;
+
+enum class StKind : std::uint8_t {
+  kDecl,       // ty name = init?
+  kAssign,     // name = expr
+  kIndexAssign,// base[index] = expr
+  kExprStmt,   // call;
+  kIf,
+  kWhile,
+  kFor,      // init; cond; step — continue jumps to step
+  kDoWhile,  // body executes at least once
+  kReturn,
+  kBreak,
+  kContinue,
+  kBlock,
+};
+
+struct Stmt {
+  StKind kind;
+  int line = 0;
+
+  MojTy ty = MojTy::kVoid;   // kDecl
+  std::string name;          // kDecl / kAssign
+  ExprP expr;                // init / value / condition / return value
+  ExprP index_base, index;   // kIndexAssign
+  std::vector<StmtP> body;   // kIf (then) / kWhile / kFor / kDoWhile / kBlock
+  std::vector<StmtP> else_body;
+  StmtP for_init, for_step;  // kFor (either may be null)
+};
+
+// --- Top level -------------------------------------------------------------
+
+struct FunDecl {
+  std::string name;
+  MojTy ret = MojTy::kVoid;
+  std::vector<MojTy> param_tys;
+  std::vector<std::string> param_names;
+  std::vector<StmtP> body;
+  bool is_extern = false;
+  int line = 0;
+};
+
+struct Unit {
+  std::string name;
+  std::vector<FunDecl> functions;
+};
+
+}  // namespace mojave::frontend

@@ -1,0 +1,48 @@
+// MojC → FIR compilation.
+//
+// This pass is where the paper's promise is kept: "the compiler generates
+// process state management code automatically, removing the need for the
+// user to implement hand-written checkpointing code." Concretely:
+//
+//  * every MojC function activation stores its locals in a heap-allocated
+//    frame block, so speculation's copy-on-write versioning covers local
+//    variables exactly like any other heap data, and rollback restores
+//    them with no user involvement;
+//  * the function is split into continuation parts at every construct that
+//    suspends or transfers control — user calls, if/while joins,
+//    speculate(), commit(), migrate() — converting the program to the
+//    FIR's continuation-passing style ("function calls in the source
+//    language are converted to tail-calls using continuation passing
+//    style; loops are expressed with recursive functions");
+//  * at each such point the live state is exactly (frame pointer [, return
+//    value or c]), which is what the FIR primitives capture and restore.
+//
+// Language-level primitives recognized by the compiler:
+//   int id = speculate();        enter a level; id > 0 is the level number
+//                                on first entry, and the rollback c value
+//                                (≤ 0 by convention) after a rollback
+//   commit(id);                  commit level id
+//   abort(id);  abort(id, c);    roll back without re-entry
+//   rollback(id, c);             roll back and automatically retry
+//   migrate("protocol://...");   whole-process migration / checkpoint
+//
+// Value builtins: alloc, alloc_raw, len, ptr_add, readf, readp, i2f, f2i,
+// load8/16/32/64, loadf64, null. Void builtins: store8/16/32/64, storef64,
+// exit. Anything else undeclared must be an `extern` host function.
+#pragma once
+
+#include <string>
+
+#include "fir/ir.hpp"
+#include "frontend/ast.hpp"
+
+namespace mojave::frontend {
+
+/// Compile a parsed unit. Throws TypeError on semantic errors.
+[[nodiscard]] fir::Program compile(const Unit& unit);
+
+/// Parse + compile in one step.
+[[nodiscard]] fir::Program compile_source(const std::string& name,
+                                          const std::string& source);
+
+}  // namespace mojave::frontend

@@ -1,0 +1,318 @@
+#include "frontend/lexer.hpp"
+
+#include <cctype>
+#include <map>
+
+#include "support/error.hpp"
+
+namespace mojave::frontend {
+
+namespace {
+
+const std::map<std::string, Tok>& keywords() {
+  static const std::map<std::string, Tok> kw = {
+      {"int", Tok::kKwInt},       {"float", Tok::kKwFloat},
+      {"ptr", Tok::kKwPtr},       {"void", Tok::kKwVoid},
+      {"if", Tok::kKwIf},         {"else", Tok::kKwElse},
+      {"while", Tok::kKwWhile},   {"return", Tok::kKwReturn},
+      {"extern", Tok::kKwExtern}, {"break", Tok::kKwBreak},
+      {"continue", Tok::kKwContinue}, {"for", Tok::kKwFor},
+      {"do", Tok::kKwDo},
+  };
+  return kw;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    while (true) {
+      skip_ws();
+      Token t = next();
+      const bool eof = t.kind == Tok::kEof;
+      out.push_back(std::move(t));
+      if (eof) return out;
+    }
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError(msg + " at line " + std::to_string(line_) + ":" +
+                     std::to_string(col_));
+  }
+
+  [[nodiscard]] char peek(int ahead = 0) const {
+    const std::size_t i = pos_ + static_cast<std::size_t>(ahead);
+    return i < src_.size() ? src_[i] : '\0';
+  }
+
+  char advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  void skip_ws() {
+    while (pos_ < src_.size()) {
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+        advance();
+      } else if (c == '/' && peek(1) == '/') {
+        while (pos_ < src_.size() && peek() != '\n') advance();
+      } else if (c == '/' && peek(1) == '*') {
+        advance();
+        advance();
+        while (pos_ < src_.size() && !(peek() == '*' && peek(1) == '/')) {
+          advance();
+        }
+        if (pos_ >= src_.size()) fail("unterminated block comment");
+        advance();
+        advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  Token make(Tok kind) {
+    Token t;
+    t.kind = kind;
+    t.line = line_;
+    t.col = col_;
+    return t;
+  }
+
+  Token next() {
+    if (pos_ >= src_.size()) return make(Tok::kEof);
+    Token t = make(Tok::kEof);
+    const char c = peek();
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string ident;
+      while (std::isalnum(static_cast<unsigned char>(peek())) ||
+             peek() == '_') {
+        ident.push_back(advance());
+      }
+      const auto it = keywords().find(ident);
+      if (it != keywords().end()) {
+        t.kind = it->second;
+      } else {
+        t.kind = Tok::kIdent;
+        t.text = std::move(ident);
+      }
+      return t;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string num;
+      bool is_float = false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) {
+        num.push_back(advance());
+      }
+      if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+        is_float = true;
+        num.push_back(advance());
+        while (std::isdigit(static_cast<unsigned char>(peek()))) {
+          num.push_back(advance());
+        }
+      }
+      if (peek() == 'e' || peek() == 'E') {
+        is_float = true;
+        num.push_back(advance());
+        if (peek() == '+' || peek() == '-') num.push_back(advance());
+        if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+          fail("malformed float exponent");
+        }
+        while (std::isdigit(static_cast<unsigned char>(peek()))) {
+          num.push_back(advance());
+        }
+      }
+      if (is_float) {
+        t.kind = Tok::kFloat;
+        t.fval = std::stod(num);
+      } else {
+        t.kind = Tok::kInt;
+        try {
+          t.ival = std::stoll(num);
+        } catch (const std::out_of_range&) {
+          fail("integer literal out of range");
+        }
+      }
+      return t;
+    }
+
+    if (c == '"') {
+      advance();
+      std::string body;
+      while (true) {
+        if (pos_ >= src_.size()) fail("unterminated string literal");
+        char ch = advance();
+        if (ch == '"') break;
+        if (ch == '\\') {
+          if (pos_ >= src_.size()) fail("unterminated escape");
+          const char esc = advance();
+          switch (esc) {
+            case 'n': body.push_back('\n'); break;
+            case 't': body.push_back('\t'); break;
+            case 'r': body.push_back('\r'); break;
+            case '0': body.push_back('\0'); break;
+            case '\\': body.push_back('\\'); break;
+            case '"': body.push_back('"'); break;
+            default: fail(std::string("unknown escape \\") + esc);
+          }
+        } else {
+          body.push_back(ch);
+        }
+      }
+      t.kind = Tok::kString;
+      t.text = std::move(body);
+      return t;
+    }
+
+    advance();
+    switch (c) {
+      case '(': t.kind = Tok::kLParen; return t;
+      case ')': t.kind = Tok::kRParen; return t;
+      case '{': t.kind = Tok::kLBrace; return t;
+      case '}': t.kind = Tok::kRBrace; return t;
+      case '[': t.kind = Tok::kLBracket; return t;
+      case ']': t.kind = Tok::kRBracket; return t;
+      case ',': t.kind = Tok::kComma; return t;
+      case ';': t.kind = Tok::kSemi; return t;
+      case '+':
+        if (peek() == '=') { advance(); t.kind = Tok::kPlusAssign; }
+        else if (peek() == '+') { advance(); t.kind = Tok::kPlusPlus; }
+        else { t.kind = Tok::kPlus; }
+        return t;
+      case '-':
+        if (peek() == '=') { advance(); t.kind = Tok::kMinusAssign; }
+        else if (peek() == '-') { advance(); t.kind = Tok::kMinusMinus; }
+        else { t.kind = Tok::kMinus; }
+        return t;
+      case '*':
+        if (peek() == '=') { advance(); t.kind = Tok::kStarAssign; }
+        else { t.kind = Tok::kStar; }
+        return t;
+      case '/':
+        if (peek() == '=') { advance(); t.kind = Tok::kSlashAssign; }
+        else { t.kind = Tok::kSlash; }
+        return t;
+      case '%':
+        if (peek() == '=') { advance(); t.kind = Tok::kPercentAssign; }
+        else { t.kind = Tok::kPercent; }
+        return t;
+      case '^':
+        if (peek() == '=') { advance(); t.kind = Tok::kCaretAssign; }
+        else { t.kind = Tok::kCaret; }
+        return t;
+      case '=':
+        if (peek() == '=') { advance(); t.kind = Tok::kEq; } else { t.kind = Tok::kAssign; }
+        return t;
+      case '!':
+        if (peek() == '=') { advance(); t.kind = Tok::kNe; } else { t.kind = Tok::kBang; }
+        return t;
+      case '<':
+        if (peek() == '=') { advance(); t.kind = Tok::kLe; }
+        else if (peek() == '<') { advance(); t.kind = Tok::kShl; }
+        else { t.kind = Tok::kLt; }
+        return t;
+      case '>':
+        if (peek() == '=') { advance(); t.kind = Tok::kGe; }
+        else if (peek() == '>') { advance(); t.kind = Tok::kShr; }
+        else { t.kind = Tok::kGt; }
+        return t;
+      case '&':
+        if (peek() == '&') { advance(); t.kind = Tok::kAndAnd; }
+        else if (peek() == '=') { advance(); t.kind = Tok::kAmpAssign; }
+        else { t.kind = Tok::kAmp; }
+        return t;
+      case '|':
+        if (peek() == '|') { advance(); t.kind = Tok::kOrOr; }
+        else if (peek() == '=') { advance(); t.kind = Tok::kPipeAssign; }
+        else { t.kind = Tok::kPipe; }
+        return t;
+      default:
+        fail(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& source) { return Lexer(source).run(); }
+
+const char* token_name(Tok t) {
+  switch (t) {
+    case Tok::kEof: return "<eof>";
+    case Tok::kInt: return "int literal";
+    case Tok::kFloat: return "float literal";
+    case Tok::kString: return "string literal";
+    case Tok::kIdent: return "identifier";
+    case Tok::kKwInt: return "'int'";
+    case Tok::kKwFloat: return "'float'";
+    case Tok::kKwPtr: return "'ptr'";
+    case Tok::kKwVoid: return "'void'";
+    case Tok::kKwIf: return "'if'";
+    case Tok::kKwElse: return "'else'";
+    case Tok::kKwWhile: return "'while'";
+    case Tok::kKwReturn: return "'return'";
+    case Tok::kKwExtern: return "'extern'";
+    case Tok::kKwBreak: return "'break'";
+    case Tok::kKwContinue: return "'continue'";
+    case Tok::kKwFor: return "'for'";
+    case Tok::kKwDo: return "'do'";
+    case Tok::kPlusAssign: return "'+='";
+    case Tok::kMinusAssign: return "'-='";
+    case Tok::kStarAssign: return "'*='";
+    case Tok::kSlashAssign: return "'/='";
+    case Tok::kPercentAssign: return "'%='";
+    case Tok::kPlusPlus: return "'++'";
+    case Tok::kCaretAssign: return "'^='";
+    case Tok::kAmpAssign: return "'&='";
+    case Tok::kPipeAssign: return "'|='";
+    case Tok::kMinusMinus: return "'--'";
+    case Tok::kLParen: return "'('";
+    case Tok::kRParen: return "')'";
+    case Tok::kLBrace: return "'{'";
+    case Tok::kRBrace: return "'}'";
+    case Tok::kLBracket: return "'['";
+    case Tok::kRBracket: return "']'";
+    case Tok::kComma: return "','";
+    case Tok::kSemi: return "';'";
+    case Tok::kAssign: return "'='";
+    case Tok::kPlus: return "'+'";
+    case Tok::kMinus: return "'-'";
+    case Tok::kStar: return "'*'";
+    case Tok::kSlash: return "'/'";
+    case Tok::kPercent: return "'%'";
+    case Tok::kEq: return "'=='";
+    case Tok::kNe: return "'!='";
+    case Tok::kLt: return "'<'";
+    case Tok::kLe: return "'<='";
+    case Tok::kGt: return "'>'";
+    case Tok::kGe: return "'>='";
+    case Tok::kAndAnd: return "'&&'";
+    case Tok::kOrOr: return "'||'";
+    case Tok::kBang: return "'!'";
+    case Tok::kAmp: return "'&'";
+    case Tok::kPipe: return "'|'";
+    case Tok::kCaret: return "'^'";
+    case Tok::kShl: return "'<<'";
+    case Tok::kShr: return "'>>'";
+  }
+  return "?";
+}
+
+}  // namespace mojave::frontend

@@ -1,0 +1,51 @@
+// MojC lexer.
+//
+// MojC is the C-like source language of this reproduction (the paper's MCC
+// compiles C, Pascal, ML and Java; one frontend suffices to express every
+// program in the paper — Figures 1 and 2 are MojC almost verbatim).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mojave::frontend {
+
+enum class Tok : std::uint8_t {
+  kEof = 0,
+  kInt,        // integer literal
+  kFloat,      // float literal
+  kString,     // "..."
+  kIdent,
+  // keywords
+  kKwInt, kKwFloat, kKwPtr, kKwVoid, kKwIf, kKwElse, kKwWhile, kKwReturn,
+  kKwExtern, kKwBreak, kKwContinue, kKwFor, kKwDo,
+  // punctuation
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+  kComma, kSemi,
+  kAssign,     // =
+  kPlusAssign, kMinusAssign, kStarAssign, kSlashAssign, kPercentAssign,
+  kCaretAssign, kAmpAssign, kPipeAssign,
+  kPlusPlus, kMinusMinus,
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAndAnd, kOrOr, kBang,
+  kAmp, kPipe, kCaret, kShl, kShr,
+};
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;      // ident / string body
+  std::int64_t ival = 0;
+  double fval = 0.0;
+  int line = 1;
+  int col = 1;
+};
+
+/// Tokenize a whole translation unit; throws ParseError with line/column
+/// on malformed input. Supports //-comments and /* */ comments.
+[[nodiscard]] std::vector<Token> lex(const std::string& source);
+
+[[nodiscard]] const char* token_name(Tok t);
+
+}  // namespace mojave::frontend

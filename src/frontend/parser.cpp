@@ -1,0 +1,565 @@
+#include "frontend/parser.hpp"
+
+#include "frontend/lexer.hpp"
+#include "support/error.hpp"
+
+namespace mojave::frontend {
+
+const char* moj_ty_name(MojTy t) {
+  switch (t) {
+    case MojTy::kVoid: return "void";
+    case MojTy::kInt: return "int";
+    case MojTy::kFloat: return "float";
+    case MojTy::kPtr: return "ptr";
+  }
+  return "?";
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string name, const std::string& source)
+      : name_(std::move(name)), toks_(lex(source)) {}
+
+  Unit run() {
+    Unit unit;
+    unit.name = name_;
+    while (!at(Tok::kEof)) {
+      unit.functions.push_back(parse_top());
+    }
+    return unit;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError(name_ + ": " + msg + " at line " +
+                     std::to_string(cur().line) + ":" +
+                     std::to_string(cur().col) + " (near " +
+                     token_name(cur().kind) + ")");
+  }
+
+  [[nodiscard]] const Token& cur() const { return toks_[pos_]; }
+  [[nodiscard]] bool at(Tok k) const { return cur().kind == k; }
+
+  Token eat(Tok k) {
+    if (!at(k)) fail(std::string("expected ") + token_name(k));
+    return toks_[pos_++];
+  }
+
+  bool accept(Tok k) {
+    if (at(k)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool at_type() const {
+    return at(Tok::kKwInt) || at(Tok::kKwFloat) || at(Tok::kKwPtr) ||
+           at(Tok::kKwVoid);
+  }
+
+  MojTy parse_type() {
+    if (accept(Tok::kKwInt)) return MojTy::kInt;
+    if (accept(Tok::kKwFloat)) return MojTy::kFloat;
+    if (accept(Tok::kKwPtr)) return MojTy::kPtr;
+    if (accept(Tok::kKwVoid)) return MojTy::kVoid;
+    fail("expected a type");
+  }
+
+  FunDecl parse_top() {
+    FunDecl fn;
+    fn.is_extern = accept(Tok::kKwExtern);
+    fn.line = cur().line;
+    fn.ret = parse_type();
+    fn.name = eat(Tok::kIdent).text;
+    eat(Tok::kLParen);
+    if (!at(Tok::kRParen)) {
+      do {
+        const MojTy ty = parse_type();
+        if (ty == MojTy::kVoid) fail("void parameter");
+        fn.param_tys.push_back(ty);
+        // Parameter names are optional in extern declarations.
+        if (at(Tok::kIdent)) {
+          fn.param_names.push_back(eat(Tok::kIdent).text);
+        } else if (fn.is_extern) {
+          fn.param_names.push_back("p" +
+                                   std::to_string(fn.param_tys.size() - 1));
+        } else {
+          fail("missing parameter name");
+        }
+      } while (accept(Tok::kComma));
+    }
+    eat(Tok::kRParen);
+    if (fn.is_extern) {
+      eat(Tok::kSemi);
+      return fn;
+    }
+    fn.body = parse_block();
+    return fn;
+  }
+
+  std::vector<StmtP> parse_block() {
+    eat(Tok::kLBrace);
+    std::vector<StmtP> stmts;
+    while (!at(Tok::kRBrace)) {
+      if (at(Tok::kEof)) fail("unterminated block");
+      stmts.push_back(parse_stmt());
+    }
+    eat(Tok::kRBrace);
+    return stmts;
+  }
+
+  StmtP make_stmt(StKind kind) {
+    auto s = std::make_unique<Stmt>();
+    s->kind = kind;
+    s->line = cur().line;
+    return s;
+  }
+
+  /// Is the current token a compound-assignment operator?
+  [[nodiscard]] static const char* compound_op(Tok t) {
+    switch (t) {
+      case Tok::kPlusAssign: return "+";
+      case Tok::kMinusAssign: return "-";
+      case Tok::kStarAssign: return "*";
+      case Tok::kSlashAssign: return "/";
+      case Tok::kPercentAssign: return "%";
+      case Tok::kCaretAssign: return "^";
+      case Tok::kAmpAssign: return "&";
+      case Tok::kPipeAssign: return "|";
+      default: return nullptr;
+    }
+  }
+
+  ExprP make_var(const Token& ident) {
+    auto v = std::make_unique<Expr>();
+    v->kind = ExKind::kVar;
+    v->line = ident.line;
+    v->text = ident.text;
+    return v;
+  }
+
+  /// Desugar `lhs op= rhs` into `lhs = lhs op rhs`.
+  ExprP desugar_compound(ExprP lhs, const char* op, ExprP rhs, int line) {
+    auto bin = std::make_unique<Expr>();
+    bin->kind = ExKind::kBinary;
+    bin->line = line;
+    bin->op2 = op;
+    bin->lhs = std::move(lhs);
+    bin->rhs = std::move(rhs);
+    return bin;
+  }
+
+  /// A "simple" statement: declaration, assignment (plain or compound),
+  /// increment/decrement, or an expression statement. Used both as a
+  /// normal statement and inside for(...) headers.
+  StmtP parse_simple(bool require_semi) {
+    const auto finish = [&](StmtP s) {
+      if (require_semi) eat(Tok::kSemi);
+      return s;
+    };
+    if (at_type()) {
+      auto s = make_stmt(StKind::kDecl);
+      s->ty = parse_type();
+      if (s->ty == MojTy::kVoid) fail("cannot declare a void variable");
+      s->name = eat(Tok::kIdent).text;
+      if (accept(Tok::kAssign)) s->expr = parse_expr();
+      return finish(std::move(s));
+    }
+    if (at(Tok::kIdent)) {
+      const Token ident = cur();
+      const Tok after = toks_[pos_ + 1].kind;
+      if (after == Tok::kAssign) {
+        pos_ += 2;
+        auto s = make_stmt(StKind::kAssign);
+        s->line = ident.line;
+        s->name = ident.text;
+        s->expr = parse_expr();
+        return finish(std::move(s));
+      }
+      if (const char* op = compound_op(after)) {
+        pos_ += 2;
+        auto s = make_stmt(StKind::kAssign);
+        s->line = ident.line;
+        s->name = ident.text;
+        s->expr =
+            desugar_compound(make_var(ident), op, parse_expr(), ident.line);
+        return finish(std::move(s));
+      }
+      if (after == Tok::kPlusPlus || after == Tok::kMinusMinus) {
+        pos_ += 2;
+        auto s = make_stmt(StKind::kAssign);
+        s->line = ident.line;
+        s->name = ident.text;
+        auto one = std::make_unique<Expr>();
+        one->kind = ExKind::kIntLit;
+        one->line = ident.line;
+        one->ival = 1;
+        s->expr = desugar_compound(make_var(ident),
+                                   after == Tok::kPlusPlus ? "+" : "-",
+                                   std::move(one), ident.line);
+        return finish(std::move(s));
+      }
+      if (after == Tok::kLBracket) {
+        // `a[i] = e;`, `a[i] op= e;`, or an indexed expression statement.
+        ++pos_;
+        eat(Tok::kLBracket);
+        ExprP index = parse_expr();
+        eat(Tok::kRBracket);
+        const char* op = compound_op(cur().kind);
+        if (at(Tok::kAssign) || op != nullptr) {
+          ++pos_;
+          auto s = make_stmt(StKind::kIndexAssign);
+          s->line = ident.line;
+          s->index_base = make_var(ident);
+          s->index = std::move(index);
+          ExprP rhs = parse_expr();
+          if (op != nullptr) {
+            // `a[i] op= e` reads a[i] with a cloned index expression.
+            auto read = std::make_unique<Expr>();
+            read->kind = ExKind::kIndex;
+            read->line = ident.line;
+            read->lhs = make_var(ident);
+            read->rhs = clone_expr(*s->index);
+            s->expr = desugar_compound(std::move(read), op, std::move(rhs),
+                                       ident.line);
+          } else {
+            s->expr = std::move(rhs);
+          }
+          return finish(std::move(s));
+        }
+        fail("indexed expression cannot stand alone as a statement");
+      }
+    }
+    auto s = make_stmt(StKind::kExprStmt);
+    s->expr = parse_expr();
+    return finish(std::move(s));
+  }
+
+  /// Deep copy of an expression (for compound-assignment desugaring).
+  ExprP clone_expr(const Expr& e) {
+    auto out = std::make_unique<Expr>();
+    out->kind = e.kind;
+    out->line = e.line;
+    out->ival = e.ival;
+    out->fval = e.fval;
+    out->text = e.text;
+    out->op = e.op;
+    out->op2 = e.op2;
+    if (e.lhs) out->lhs = clone_expr(*e.lhs);
+    if (e.rhs) out->rhs = clone_expr(*e.rhs);
+    for (const ExprP& a : e.args) out->args.push_back(clone_expr(*a));
+    return out;
+  }
+
+  StmtP parse_stmt() {
+    if (at(Tok::kKwFor)) {
+      ++pos_;
+      auto s = make_stmt(StKind::kFor);
+      eat(Tok::kLParen);
+      if (!at(Tok::kSemi)) {
+        s->for_init = parse_simple(false);
+      }
+      eat(Tok::kSemi);
+      if (!at(Tok::kSemi)) s->expr = parse_expr();
+      eat(Tok::kSemi);
+      if (!at(Tok::kRParen)) s->for_step = parse_simple(false);
+      eat(Tok::kRParen);
+      s->body = parse_block();
+      return s;
+    }
+    if (at(Tok::kKwDo)) {
+      ++pos_;
+      auto s = make_stmt(StKind::kDoWhile);
+      s->body = parse_block();
+      eat(Tok::kKwWhile);
+      eat(Tok::kLParen);
+      s->expr = parse_expr();
+      eat(Tok::kRParen);
+      eat(Tok::kSemi);
+      return s;
+    }
+    if (at(Tok::kKwIf)) {
+      ++pos_;
+      auto s = make_stmt(StKind::kIf);
+      eat(Tok::kLParen);
+      s->expr = parse_expr();
+      eat(Tok::kRParen);
+      s->body = parse_block();
+      if (accept(Tok::kKwElse)) {
+        if (at(Tok::kKwIf)) {
+          // else-if chains: wrap the nested if as a one-statement block
+          s->else_body.push_back(parse_stmt());
+        } else {
+          s->else_body = parse_block();
+        }
+      }
+      return s;
+    }
+    if (at(Tok::kKwWhile)) {
+      ++pos_;
+      auto s = make_stmt(StKind::kWhile);
+      eat(Tok::kLParen);
+      s->expr = parse_expr();
+      eat(Tok::kRParen);
+      s->body = parse_block();
+      return s;
+    }
+    if (at(Tok::kKwReturn)) {
+      ++pos_;
+      auto s = make_stmt(StKind::kReturn);
+      if (!at(Tok::kSemi)) s->expr = parse_expr();
+      eat(Tok::kSemi);
+      return s;
+    }
+    if (at(Tok::kKwBreak)) {
+      ++pos_;
+      auto s = make_stmt(StKind::kBreak);
+      eat(Tok::kSemi);
+      return s;
+    }
+    if (at(Tok::kKwContinue)) {
+      ++pos_;
+      auto s = make_stmt(StKind::kContinue);
+      eat(Tok::kSemi);
+      return s;
+    }
+    if (at(Tok::kLBrace)) {
+      auto s = make_stmt(StKind::kBlock);
+      s->body = parse_block();
+      return s;
+    }
+
+    return parse_simple(/*require_semi=*/true);
+  }
+
+  // --- Expressions (precedence climbing) -------------------------------
+
+  ExprP make_expr(ExKind kind) {
+    auto e = std::make_unique<Expr>();
+    e->kind = kind;
+    e->line = cur().line;
+    return e;
+  }
+
+  ExprP parse_expr() { return parse_or(); }
+
+  ExprP parse_or() {
+    ExprP lhs = parse_and();
+    while (at(Tok::kOrOr)) {
+      ++pos_;
+      auto e = make_expr(ExKind::kBinary);
+      e->op2 = "||";
+      e->lhs = std::move(lhs);
+      e->rhs = parse_and();
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  ExprP parse_and() {
+    ExprP lhs = parse_cmp();
+    while (at(Tok::kAndAnd)) {
+      ++pos_;
+      auto e = make_expr(ExKind::kBinary);
+      e->op2 = "&&";
+      e->lhs = std::move(lhs);
+      e->rhs = parse_cmp();
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  ExprP parse_cmp() {
+    ExprP lhs = parse_bitor();
+    while (at(Tok::kEq) || at(Tok::kNe) || at(Tok::kLt) || at(Tok::kLe) ||
+           at(Tok::kGt) || at(Tok::kGe)) {
+      const Tok op = cur().kind;
+      ++pos_;
+      auto e = make_expr(ExKind::kBinary);
+      switch (op) {
+        case Tok::kEq: e->op2 = "=="; break;
+        case Tok::kNe: e->op2 = "!="; break;
+        case Tok::kLt: e->op2 = "<"; break;
+        case Tok::kLe: e->op2 = "<="; break;
+        case Tok::kGt: e->op2 = ">"; break;
+        default: e->op2 = ">="; break;
+      }
+      e->lhs = std::move(lhs);
+      e->rhs = parse_bitor();
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  ExprP parse_bitor() {
+    ExprP lhs = parse_bitxor();
+    while (at(Tok::kPipe)) {
+      ++pos_;
+      auto e = make_expr(ExKind::kBinary);
+      e->op2 = "|";
+      e->lhs = std::move(lhs);
+      e->rhs = parse_bitxor();
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  ExprP parse_bitxor() {
+    ExprP lhs = parse_bitand();
+    while (at(Tok::kCaret)) {
+      ++pos_;
+      auto e = make_expr(ExKind::kBinary);
+      e->op2 = "^";
+      e->lhs = std::move(lhs);
+      e->rhs = parse_bitand();
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  ExprP parse_bitand() {
+    ExprP lhs = parse_shift();
+    while (at(Tok::kAmp)) {
+      ++pos_;
+      auto e = make_expr(ExKind::kBinary);
+      e->op2 = "&";
+      e->lhs = std::move(lhs);
+      e->rhs = parse_shift();
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  ExprP parse_shift() {
+    ExprP lhs = parse_add();
+    while (at(Tok::kShl) || at(Tok::kShr)) {
+      const bool shl = at(Tok::kShl);
+      ++pos_;
+      auto e = make_expr(ExKind::kBinary);
+      e->op2 = shl ? "<<" : ">>";
+      e->lhs = std::move(lhs);
+      e->rhs = parse_add();
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  ExprP parse_add() {
+    ExprP lhs = parse_mul();
+    while (at(Tok::kPlus) || at(Tok::kMinus)) {
+      const bool plus = at(Tok::kPlus);
+      ++pos_;
+      auto e = make_expr(ExKind::kBinary);
+      e->op2 = plus ? "+" : "-";
+      e->lhs = std::move(lhs);
+      e->rhs = parse_mul();
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  ExprP parse_mul() {
+    ExprP lhs = parse_unary();
+    while (at(Tok::kStar) || at(Tok::kSlash) || at(Tok::kPercent)) {
+      const Tok op = cur().kind;
+      ++pos_;
+      auto e = make_expr(ExKind::kBinary);
+      e->op2 = op == Tok::kStar ? "*" : op == Tok::kSlash ? "/" : "%";
+      e->lhs = std::move(lhs);
+      e->rhs = parse_unary();
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  ExprP parse_unary() {
+    if (at(Tok::kMinus)) {
+      ++pos_;
+      auto e = make_expr(ExKind::kUnary);
+      e->op = '-';
+      e->lhs = parse_unary();
+      return e;
+    }
+    if (at(Tok::kBang)) {
+      ++pos_;
+      auto e = make_expr(ExKind::kUnary);
+      e->op = '!';
+      e->lhs = parse_unary();
+      return e;
+    }
+    return parse_primary();
+  }
+
+  ExprP parse_primary() {
+    if (at(Tok::kInt)) {
+      auto e = make_expr(ExKind::kIntLit);
+      e->ival = eat(Tok::kInt).ival;
+      return e;
+    }
+    if (at(Tok::kFloat)) {
+      auto e = make_expr(ExKind::kFloatLit);
+      e->fval = eat(Tok::kFloat).fval;
+      return e;
+    }
+    if (at(Tok::kString)) {
+      auto e = make_expr(ExKind::kStringLit);
+      e->text = eat(Tok::kString).text;
+      return e;
+    }
+    if (at(Tok::kLParen)) {
+      ++pos_;
+      ExprP e = parse_expr();
+      eat(Tok::kRParen);
+      return e;
+    }
+    if (at(Tok::kIdent)) {
+      const Token ident = eat(Tok::kIdent);
+      if (at(Tok::kLParen)) {
+        ++pos_;
+        auto e = make_expr(ExKind::kCall);
+        e->line = ident.line;
+        e->text = ident.text;
+        if (!at(Tok::kRParen)) {
+          do {
+            e->args.push_back(parse_expr());
+          } while (accept(Tok::kComma));
+        }
+        eat(Tok::kRParen);
+        return e;
+      }
+      if (at(Tok::kLBracket)) {
+        ++pos_;
+        auto e = make_expr(ExKind::kIndex);
+        e->line = ident.line;
+        auto base = std::make_unique<Expr>();
+        base->kind = ExKind::kVar;
+        base->line = ident.line;
+        base->text = ident.text;
+        e->lhs = std::move(base);
+        e->rhs = parse_expr();
+        eat(Tok::kRBracket);
+        return e;
+      }
+      auto e = make_expr(ExKind::kVar);
+      e->line = ident.line;
+      e->text = ident.text;
+      return e;
+    }
+    fail("expected an expression");
+  }
+
+  std::string name_;
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Unit parse(const std::string& unit_name, const std::string& source) {
+  return Parser(unit_name, source).run();
+}
+
+}  // namespace mojave::frontend

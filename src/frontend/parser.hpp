@@ -1,0 +1,14 @@
+// MojC recursive-descent parser.
+#pragma once
+
+#include <string>
+
+#include "frontend/ast.hpp"
+
+namespace mojave::frontend {
+
+/// Parse a translation unit; throws ParseError with location info.
+[[nodiscard]] Unit parse(const std::string& unit_name,
+                         const std::string& source);
+
+}  // namespace mojave::frontend

@@ -1,0 +1,111 @@
+#include "migrate/migrator.hpp"
+
+#include <fstream>
+
+#include "net/tcp.hpp"
+#include "support/log.hpp"
+#include "support/stopwatch.hpp"
+
+namespace mojave::migrate {
+
+vm::MigrationHook::Action Migrator::on_migrate(
+    vm::Interpreter& vm, MigrateLabel label, const std::string& target_str,
+    FunIndex resume_fun, std::span<const runtime::Value> resume_args) {
+  if (&vm != &process_.vm()) {
+    throw MigrateError("migrator attached to a different process");
+  }
+  Event event;
+  event.label = label;
+  event.target = target_str;
+
+  const MigrateTarget target = MigrateTarget::parse(target_str);
+
+  Stopwatch pack_sw;
+  PackResult packed =
+      pack_process(process_, label, resume_fun, resume_args, target.kind);
+  event.pack_seconds = pack_sw.seconds();
+  event.image_bytes = packed.bytes.size();
+
+  Action action = Action::kContinue;
+  Stopwatch transfer_sw;
+  try {
+    switch (target.protocol) {
+      case Protocol::kCheckpoint:
+        write_image_file(target.path, packed.bytes);
+        event.success = true;
+        action = Action::kContinue;  // keep running after a checkpoint
+        break;
+      case Protocol::kSuspend:
+        write_image_file(target.path, packed.bytes);
+        event.success = true;
+        action = Action::kExit;  // terminate once the state is on disk
+        break;
+      case Protocol::kMigrate: {
+        net::TcpStream stream = net::TcpStream::connect(target.host,
+                                                        target.port);
+        stream.send_frame(packed.bytes);
+        const auto ack = stream.recv_frame();
+        const bool ok = ack.has_value() && ack->size() == 2 &&
+                        static_cast<char>((*ack)[0]) == 'O' &&
+                        static_cast<char>((*ack)[1]) == 'K';
+        if (!ok) throw MigrateError("migration server rejected the image");
+        event.success = true;
+        action = Action::kExit;  // the process now runs at the destination
+        break;
+      }
+    }
+  } catch (const Error& e) {
+    // "If migration fails for any reason, the process will continue to
+    // execute on the original machine."
+    MOJAVE_LOG(kWarn, "migrate") << "migration to " << target_str
+                                 << " failed: " << e.what();
+    event.success = false;
+    action = Action::kContinue;
+  }
+  event.transfer_seconds = transfer_sw.seconds();
+  events_.push_back(std::move(event));
+  return action;
+}
+
+void Migrator::write_image_file(const std::filesystem::path& path,
+                                std::span<const std::byte> bytes) {
+  namespace fs = std::filesystem;
+  if (path.has_parent_path()) fs::create_directories(path.parent_path());
+  const fs::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw MigrateError("cannot open " + tmp.string());
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out) throw MigrateError("short write to " + tmp.string());
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) throw MigrateError("rename failed: " + ec.message());
+}
+
+std::vector<std::byte> Migrator::read_image_file(
+    const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw MigrateError("cannot open " + path.string());
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::byte> bytes(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!in) throw MigrateError("short read from " + path.string());
+  return bytes;
+}
+
+ResurrectResult resurrect_from_file(const std::filesystem::path& path,
+                                    const ResurrectOptions& options) {
+  const auto bytes = Migrator::read_image_file(path);
+  UnpackResult unpacked = unpack_process(bytes, options.cfg);
+  ResurrectResult result;
+  result.breakdown = unpacked.breakdown;
+  if (options.prepare) options.prepare(*unpacked.process);
+  result.run = unpacked.process->resume(unpacked.resume_fun,
+                                        std::move(unpacked.resume_args));
+  return result;
+}
+
+}  // namespace mojave::migrate

@@ -1,0 +1,86 @@
+// The per-process migration driver: implements the VM's MigrationHook and
+// executes the three protocols when managed code reaches a `migrate`
+// pseudo-instruction.
+//
+// Semantics follow Section 4.2.1 of the paper exactly:
+//  * migrate    — pack, ship to the migration server, and on success
+//                 terminate locally; "if migration fails for any reason,
+//                 the process will continue to execute on the original
+//                 machine", and the process itself cannot observe which
+//                 happened except through external functions.
+//  * suspend    — pack to a file; terminate only if the write succeeded.
+//  * checkpoint — pack to a file; always continue running.
+//
+// Checkpoint files are written atomically (temp file + rename) so a
+// resurrection daemon never sees a torn image — the role NFS played for
+// the paper's cluster.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "migrate/image.hpp"
+#include "migrate/protocols.hpp"
+#include "vm/interpreter.hpp"
+#include "vm/process.hpp"
+
+namespace mojave::migrate {
+
+class Migrator final : public vm::MigrationHook {
+ public:
+  /// One record per executed migrate instruction, for tests and benches.
+  struct Event {
+    MigrateLabel label = 0;
+    std::string target;
+    bool success = false;
+    std::size_t image_bytes = 0;
+    double pack_seconds = 0;
+    double transfer_seconds = 0;
+  };
+
+  explicit Migrator(vm::Process& process) : process_(process) {
+    process_.vm().set_migration_hook(this);
+  }
+  ~Migrator() override { process_.vm().set_migration_hook(nullptr); }
+
+  Migrator(const Migrator&) = delete;
+  Migrator& operator=(const Migrator&) = delete;
+
+  Action on_migrate(vm::Interpreter& vm, MigrateLabel label,
+                    const std::string& target, FunIndex resume_fun,
+                    std::span<const runtime::Value> resume_args) override;
+
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+
+  // --- Checkpoint-file helpers (shared with daemons and benches) ---------
+
+  /// Atomic write: temp file in the same directory, then rename.
+  static void write_image_file(const std::filesystem::path& path,
+                               std::span<const std::byte> bytes);
+  [[nodiscard]] static std::vector<std::byte> read_image_file(
+      const std::filesystem::path& path);
+
+ private:
+  vm::Process& process_;
+  std::vector<Event> events_;
+};
+
+/// Convenience for hosts: reconstruct and resume a process from a
+/// checkpoint/suspend file, returning its final result.
+struct ResurrectOptions {
+  vm::ProcessConfig cfg;
+  /// Called after unpack, before resume — the place to register host
+  /// externals and (re)attach a Migrator.
+  std::function<void(vm::Process&)> prepare;
+};
+
+struct ResurrectResult {
+  vm::RunResult run;
+  UnpackBreakdown breakdown;
+};
+
+ResurrectResult resurrect_from_file(const std::filesystem::path& path,
+                                    const ResurrectOptions& options = {});
+
+}  // namespace mojave::migrate

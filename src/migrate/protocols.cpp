@@ -1,0 +1,78 @@
+#include "migrate/protocols.hpp"
+
+#include "support/error.hpp"
+
+namespace mojave::migrate {
+
+const char* protocol_name(Protocol p) {
+  switch (p) {
+    case Protocol::kMigrate:
+      return "migrate";
+    case Protocol::kSuspend:
+      return "suspend";
+    case Protocol::kCheckpoint:
+      return "checkpoint";
+  }
+  return "?";
+}
+
+MigrateTarget MigrateTarget::parse(const std::string& target) {
+  MigrateTarget t;
+  std::string rest;
+  const auto scheme_end = target.find("://");
+  if (scheme_end == std::string::npos) {
+    throw MigrateError("malformed migration target (no scheme): " + target);
+  }
+  const std::string scheme = target.substr(0, scheme_end);
+  rest = target.substr(scheme_end + 3);
+
+  if (const auto semi = rest.rfind(";binary"); semi != std::string::npos &&
+                                               semi == rest.size() - 7) {
+    t.kind = ImageKind::kBinary;
+    rest = rest.substr(0, semi);
+  }
+
+  if (scheme == "migrate") {
+    t.protocol = Protocol::kMigrate;
+    const auto colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon == rest.size() - 1) {
+      throw MigrateError("migrate target needs host:port: " + target);
+    }
+    t.host = rest.substr(0, colon);
+    const std::string port_str = rest.substr(colon + 1);
+    int port = 0;
+    for (char c : port_str) {
+      if (c < '0' || c > '9') {
+        throw MigrateError("bad port in migration target: " + target);
+      }
+      port = port * 10 + (c - '0');
+      if (port > 65535) {
+        throw MigrateError("port out of range in migration target: " + target);
+      }
+    }
+    t.port = static_cast<std::uint16_t>(port);
+  } else if (scheme == "suspend" || scheme == "checkpoint") {
+    t.protocol =
+        scheme == "suspend" ? Protocol::kSuspend : Protocol::kCheckpoint;
+    if (rest.empty()) {
+      throw MigrateError("file migration target needs a path: " + target);
+    }
+    t.path = rest;
+  } else {
+    throw MigrateError("unknown migration protocol: " + scheme);
+  }
+  return t;
+}
+
+std::string MigrateTarget::to_string() const {
+  std::string s = std::string(protocol_name(protocol)) + "://";
+  if (protocol == Protocol::kMigrate) {
+    s += host + ":" + std::to_string(port);
+  } else {
+    s += path;
+  }
+  if (kind == ImageKind::kBinary) s += ";binary";
+  return s;
+}
+
+}  // namespace mojave::migrate

@@ -1,0 +1,43 @@
+// Migration target strings (paper, Section 4.2.1).
+//
+// "(aptr, aoff) is a pointer ... that refers to a string describing the
+// migration target. The string includes information on what protocol to
+// use to transfer state to the target." Three protocols exist:
+//
+//   migrate://host:port[;binary]   — ship the process to a migration
+//                                    server; terminate the origin copy on
+//                                    success, keep running on failure.
+//   suspend://path[;binary]        — write the state to a file and
+//                                    terminate if the write succeeded.
+//   checkpoint://path[;binary]     — write the state to a file and keep
+//                                    running regardless.
+//
+// The ";binary" suffix selects the trusted image kind (bytecode, no
+// destination-side verification); the default is the untrusted FIR image.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "migrate/image.hpp"
+
+namespace mojave::migrate {
+
+enum class Protocol : std::uint8_t { kMigrate = 0, kSuspend = 1, kCheckpoint = 2 };
+
+[[nodiscard]] const char* protocol_name(Protocol p);
+
+struct MigrateTarget {
+  Protocol protocol = Protocol::kCheckpoint;
+  std::string host;         ///< kMigrate
+  std::uint16_t port = 0;   ///< kMigrate
+  std::string path;         ///< kSuspend / kCheckpoint
+  ImageKind kind = ImageKind::kFir;
+
+  /// Parse a target string; throws MigrateError on malformed input.
+  [[nodiscard]] static MigrateTarget parse(const std::string& target);
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace mojave::migrate

@@ -1,0 +1,87 @@
+#include "migrate/server.hpp"
+
+#include "support/log.hpp"
+
+namespace mojave::migrate {
+
+namespace {
+const std::byte kAck[2] = {std::byte{'O'}, std::byte{'K'}};
+const std::byte kNak[2] = {std::byte{'N'}, std::byte{'O'}};
+}  // namespace
+
+MigrationServer::MigrationServer(Options options)
+    : options_(std::move(options)), listener_(options_.port) {
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+MigrationServer::~MigrationServer() { stop(); }
+
+void MigrationServer::stop() {
+  if (stopping_.exchange(true)) return;
+  listener_.shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void MigrationServer::accept_loop() {
+  while (!stopping_.load()) {
+    auto stream = listener_.accept();
+    if (!stream.has_value()) break;
+    std::lock_guard<std::mutex> lock(mu_);
+    workers_.emplace_back(
+        [this, s = std::make_shared<net::TcpStream>(std::move(*stream))]() mutable {
+          handle(std::move(*s));
+        });
+  }
+}
+
+void MigrationServer::handle(net::TcpStream stream) {
+  Completed record;
+  try {
+    const auto frame = stream.recv_frame();
+    if (!frame.has_value()) return;  // client went away
+    ++received_;
+
+    const ImageInfo info = inspect_image(*frame);
+    record.program_name = info.program_name;
+    if ((info.kind == ImageKind::kFir && !options_.accept_fir) ||
+        (info.kind == ImageKind::kBinary && !options_.accept_binary)) {
+      throw MigrateError("image kind refused by server policy");
+    }
+
+    // Unpack — for FIR images this re-verifies and recompiles the program
+    // before the sender is allowed to terminate its copy.
+    UnpackResult unpacked = unpack_process(*frame, options_.cfg);
+    record.breakdown = unpacked.breakdown;
+    stream.send_frame(kAck);
+    stream.close();
+
+    if (options_.prepare) options_.prepare(*unpacked.process);
+    record.result = unpacked.process->resume(unpacked.resume_fun,
+                                             std::move(unpacked.resume_args));
+  } catch (const std::exception& e) {
+    record.error = e.what();
+    MOJAVE_LOG(kWarn, "server") << "inbound migration failed: " << e.what();
+    try {
+      stream.send_frame(kNak);
+    } catch (...) {
+      // The sender has already gone; it will keep running locally.
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    completed_.push_back(std::move(record));
+  }
+  cv_.notify_all();
+}
+
+std::vector<MigrationServer::Completed> MigrationServer::wait_for(
+    std::size_t n) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return completed_.size() >= n; });
+  return completed_;
+}
+
+}  // namespace mojave::migrate

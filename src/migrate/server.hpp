@@ -1,0 +1,82 @@
+// The migration server (paper, Section 4.2.1).
+//
+// "In order to migrate to another machine, the remote machine must run a
+// migration server. This is a version of the compiler that will listen for
+// incoming migration requests, recompile any inbound processes on the new
+// machine, and reconstruct their state before executing them."
+//
+// The server accepts framed state images over TCP, unpacks them (which
+// type-checks and recompiles untrusted FIR images), acknowledges the
+// sender — only after which the sender terminates its copy — and runs the
+// reconstructed process on its own thread.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "migrate/image.hpp"
+#include "net/tcp.hpp"
+
+namespace mojave::migrate {
+
+class MigrationServer {
+ public:
+  struct Options {
+    std::uint16_t port = 0;  ///< 0 = pick a free port
+    vm::ProcessConfig cfg;
+    /// Reject untrusted-kind images (a server for trusted clusters only).
+    bool accept_fir = true;
+    /// Reject binary images (a server that insists on verification).
+    bool accept_binary = true;
+    /// Called after unpack, before resume: register host externals,
+    /// attach a Migrator for onward migration, etc.
+    std::function<void(vm::Process&)> prepare;
+  };
+
+  struct Completed {
+    std::string program_name;
+    vm::RunResult result;
+    UnpackBreakdown breakdown;
+    std::string error;  ///< non-empty if unpack or execution failed
+  };
+
+  explicit MigrationServer(Options options);
+  ~MigrationServer();
+
+  MigrationServer(const MigrationServer&) = delete;
+  MigrationServer& operator=(const MigrationServer&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
+  [[nodiscard]] std::string address() const {
+    return "migrate://127.0.0.1:" + std::to_string(port());
+  }
+
+  /// Block until `n` processes have finished (or failed) since startup.
+  [[nodiscard]] std::vector<Completed> wait_for(std::size_t n);
+
+  [[nodiscard]] std::size_t received() const { return received_.load(); }
+
+  void stop();
+
+ private:
+  void accept_loop();
+  void handle(net::TcpStream stream);
+
+  Options options_;
+  net::TcpListener listener_;
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Completed> completed_;
+  std::atomic<std::size_t> received_{0};
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace mojave::migrate

@@ -1,0 +1,114 @@
+#include "net/sim.hpp"
+
+#include <chrono>
+
+namespace mojave::net {
+
+const char* recv_status_name(RecvStatus s) {
+  switch (s) {
+    case RecvStatus::kOk:
+      return "ok";
+    case RecvStatus::kPeerFailed:
+      return "peer-failed";
+    case RecvStatus::kSelfFailed:
+      return "self-failed";
+    case RecvStatus::kTimeout:
+      return "timeout";
+    case RecvStatus::kShutdown:
+      return "shutdown";
+  }
+  return "?";
+}
+
+SimNetwork::SimNetwork(std::uint32_t num_nodes, SimConfig cfg)
+    : cfg_(cfg), boxes_(num_nodes), alive_(num_nodes, true) {}
+
+bool SimNetwork::send(NodeId src, NodeId dst, std::int32_t tag,
+                      std::vector<std::byte> payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (src >= boxes_.size() || dst >= boxes_.size() || !alive_[src] ||
+      !alive_[dst] || shutdown_) {
+    ++stats_.messages_dropped;
+    return false;
+  }
+  ++stats_.messages_sent;
+  stats_.bytes_sent += payload.size();
+  stats_.virtual_transfer_seconds += transfer_seconds(payload.size());
+  boxes_[dst].queues[Key{src, tag}].push_back(std::move(payload));
+  cv_.notify_all();
+  return true;
+}
+
+RecvStatus SimNetwork::recv(NodeId self, NodeId from, std::int32_t tag,
+                            std::vector<std::byte>& out,
+                            double timeout_seconds) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (self >= boxes_.size() || from >= boxes_.size()) {
+    return RecvStatus::kShutdown;
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_seconds < 0 ? 0
+                                                            : timeout_seconds));
+  while (true) {
+    if (shutdown_) return RecvStatus::kShutdown;
+    if (!alive_[self]) return RecvStatus::kSelfFailed;
+    const Key key{from, tag};
+    auto& q = boxes_[self].queues[key];
+    if (!q.empty()) {
+      out = std::move(q.front());
+      q.pop_front();
+      if (cfg_.replay_logging) boxes_[self].delivered[key] = out;
+      return RecvStatus::kOk;
+    }
+    if (cfg_.replay_logging) {
+      const auto d = boxes_[self].delivered.find(key);
+      if (d != boxes_[self].delivered.end()) {
+        out = d->second;  // replay for a rolled-back receiver
+        return RecvStatus::kOk;
+      }
+    }
+    if (!alive_[from]) return RecvStatus::kPeerFailed;
+    if (timeout_seconds < 0) {
+      cv_.wait(lock);
+    } else if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      return RecvStatus::kTimeout;
+    }
+  }
+}
+
+void SimNetwork::kill(NodeId node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (node < alive_.size()) alive_[node] = false;
+  cv_.notify_all();
+}
+
+void SimNetwork::revive(NodeId node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (node < alive_.size()) {
+    alive_[node] = true;
+    // A revived node starts from a clean mailbox: messages addressed to
+    // the dead incarnation are stale state.
+    boxes_[node].queues.clear();
+  }
+  cv_.notify_all();
+}
+
+bool SimNetwork::alive(NodeId node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return node < alive_.size() && alive_[node];
+}
+
+void SimNetwork::shutdown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  shutdown_ = true;
+  cv_.notify_all();
+}
+
+SimStats SimNetwork::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace mojave::net

@@ -1,0 +1,156 @@
+#include "net/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/error.hpp"
+
+namespace mojave::net {
+
+namespace {
+[[noreturn]] void fail(const std::string& what) {
+  throw NetError(what + ": " + std::strerror(errno));
+}
+}  // namespace
+
+TcpStream::~TcpStream() { close(); }
+
+TcpStream& TcpStream::operator=(TcpStream&& o) noexcept {
+  if (this != &o) {
+    close();
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+void TcpStream::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpStream TcpStream::connect(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw NetError("bad address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    fail("connect to " + host + ":" + std::to_string(port));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpStream(fd);
+}
+
+void TcpStream::send_all(const std::byte* data, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t k = ::send(fd_, data + sent, n - sent, MSG_NOSIGNAL);
+    if (k <= 0) fail("send");
+    sent += static_cast<std::size_t>(k);
+  }
+}
+
+bool TcpStream::recv_all(std::byte* data, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t k = ::recv(fd_, data + got, n - got, 0);
+    if (k == 0) return false;  // orderly close
+    if (k < 0) fail("recv");
+    got += static_cast<std::size_t>(k);
+  }
+  return true;
+}
+
+void TcpStream::send_frame(std::span<const std::byte> payload) {
+  if (!valid()) throw NetError("send on closed stream");
+  if (payload.size() > kMaxFrameBytes) throw NetError("frame too large");
+  std::byte header[4];
+  const auto n = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    header[i] = std::byte{static_cast<std::uint8_t>(n >> (8 * i))};
+  }
+  send_all(header, 4);
+  if (!payload.empty()) send_all(payload.data(), payload.size());
+}
+
+std::optional<std::vector<std::byte>> TcpStream::recv_frame() {
+  if (!valid()) throw NetError("recv on closed stream");
+  std::byte header[4];
+  if (!recv_all(header, 4)) return std::nullopt;
+  std::uint32_t n = 0;
+  for (int i = 0; i < 4; ++i) {
+    n |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(header[i]))
+         << (8 * i);
+  }
+  if (n > kMaxFrameBytes) throw NetError("incoming frame too large");
+  std::vector<std::byte> payload(n);
+  if (n > 0 && !recv_all(payload.data(), n)) {
+    throw NetError("peer closed mid-frame");
+  }
+  return payload;
+}
+
+TcpListener::TcpListener(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) fail("socket");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    fail("bind");
+  }
+  if (::listen(fd_, 16) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    fail("listen");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    fail("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+}
+
+TcpListener::~TcpListener() { shutdown(); }
+
+std::optional<TcpStream> TcpListener::accept() {
+  if (fd_ < 0) return std::nullopt;
+  const int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) {
+    if (errno == EBADF || errno == EINVAL) return std::nullopt;  // shut down
+    fail("accept");
+  }
+  return TcpStream(client);
+}
+
+void TcpListener::shutdown() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace mojave::net

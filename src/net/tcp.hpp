@@ -1,0 +1,70 @@
+// Minimal RAII TCP wrapper (POSIX sockets), used by the migration server
+// and client. Messages are framed as a u32 little-endian length prefix
+// followed by the payload, with a hard cap so a hostile peer cannot make
+// the server allocate unbounded memory.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mojave::net {
+
+inline constexpr std::size_t kMaxFrameBytes = 256u << 20;  // 256 MiB
+
+class TcpStream {
+ public:
+  TcpStream() = default;
+  explicit TcpStream(int fd) : fd_(fd) {}
+  ~TcpStream();
+
+  TcpStream(TcpStream&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  TcpStream& operator=(TcpStream&& o) noexcept;
+  TcpStream(const TcpStream&) = delete;
+  TcpStream& operator=(const TcpStream&) = delete;
+
+  /// Connect to host:port. Throws NetError on failure.
+  [[nodiscard]] static TcpStream connect(const std::string& host,
+                                         std::uint16_t port);
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+
+  /// Send one length-prefixed frame.
+  void send_frame(std::span<const std::byte> payload);
+  /// Receive one frame; empty optional on orderly peer close.
+  [[nodiscard]] std::optional<std::vector<std::byte>> recv_frame();
+
+  void close();
+
+ private:
+  void send_all(const std::byte* data, std::size_t n);
+  [[nodiscard]] bool recv_all(std::byte* data, std::size_t n);
+
+  int fd_ = -1;
+};
+
+class TcpListener {
+ public:
+  /// Bind and listen on 127.0.0.1:port; port 0 picks a free port.
+  explicit TcpListener(std::uint16_t port);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Accept one connection; empty optional if the listener was shut down.
+  [[nodiscard]] std::optional<TcpStream> accept();
+
+  /// Unblock any accept() and close the socket.
+  void shutdown();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace mojave::net

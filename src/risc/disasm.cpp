@@ -1,0 +1,167 @@
+#include "risc/disasm.hpp"
+
+#include <sstream>
+
+namespace mojave::vm {
+
+namespace {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kLoadUnit: return "ldu";
+    case Op::kLoadInt: return "ldi";
+    case Op::kLoadFloat: return "ldf";
+    case Op::kLoadString: return "lds";
+    case Op::kLoadFun: return "ldfn";
+    case Op::kLoadNull: return "ldnull";
+    case Op::kMove: return "mov";
+    case Op::kUnop: return "unop";
+    case Op::kBinop: return "binop";
+    case Op::kAllocTagged: return "alloc";
+    case Op::kAllocRaw: return "allocraw";
+    case Op::kRead: return "read";
+    case Op::kWrite: return "write";
+    case Op::kRawLoad: return "rawld";
+    case Op::kRawStore: return "rawst";
+    case Op::kRawLoadF: return "rawldf";
+    case Op::kRawStoreF: return "rawstf";
+    case Op::kLen: return "len";
+    case Op::kPtrAdd: return "padd";
+    case Op::kJump: return "jmp";
+    case Op::kJumpIfZero: return "jz";
+    case Op::kTailCall: return "call";
+    case Op::kSpeculate: return "spec";
+    case Op::kCommit: return "commit";
+    case Op::kRollback: return "rollback";
+    case Op::kAbort: return "abort";
+    case Op::kMigrate: return "migrate";
+    case Op::kExternal: return "ext";
+    case Op::kHalt: return "halt";
+  }
+  return "?";
+}
+
+void print_insn(std::ostringstream& out, std::size_t pc, const Insn& insn) {
+  out << "    " << pc << ":\t" << op_name(insn.op) << "\td=" << insn.dst
+      << " r1=" << insn.r1 << " r2=" << insn.r2 << " r3=" << insn.r3;
+  if (insn.sub != 0) out << " sub=" << static_cast<int>(insn.sub);
+  if (insn.aux != 0) out << " aux=" << insn.aux;
+  if (insn.imm != 0) out << " imm=" << insn.imm;
+  if (insn.fimm != 0.0) out << " fimm=" << insn.fimm;
+  if (!insn.args.empty()) {
+    out << " args=[";
+    for (std::size_t i = 0; i < insn.args.size(); ++i) {
+      if (i) out << ",";
+      out << insn.args[i];
+    }
+    out << "]";
+  }
+  out << "\n";
+}
+
+}  // namespace
+
+std::string disassemble(const CompiledFunction& fn) {
+  std::ostringstream out;
+  out << "  fun @" << fn.fir_id << " " << fn.name << " (arity " << fn.arity
+      << ", regs " << fn.num_regs << ")\n";
+  for (std::size_t pc = 0; pc < fn.code.size(); ++pc) {
+    print_insn(out, pc, fn.code[pc]);
+  }
+  return out.str();
+}
+
+std::string disassemble(const CompiledProgram& program) {
+  std::ostringstream out;
+  out << "bytecode program " << program.name << " (entry @" << program.entry
+      << ", " << program.functions.size() << " functions)\n";
+  for (const CompiledFunction& fn : program.functions) {
+    out << disassemble(fn);
+  }
+  return out.str();
+}
+
+}  // namespace mojave::vm
+
+namespace mojave::risc {
+
+namespace {
+
+const char* rop_name(ROp op) {
+  switch (op) {
+    case ROp::kNop: return "nop";
+    case ROp::kLi: return "li";
+    case ROp::kLif: return "lif";
+    case ROp::kLus: return "lus";
+    case ROp::kLstr: return "lstr";
+    case ROp::kLfun: return "lfun";
+    case ROp::kLnull: return "lnull";
+    case ROp::kMove: return "mov";
+    case ROp::kLoadS: return "lw";
+    case ROp::kStoreS: return "sw";
+    case ROp::kUnop: return "unop";
+    case ROp::kBinop: return "binop";
+    case ROp::kAlloc: return "alloc";
+    case ROp::kAllocRaw: return "allocraw";
+    case ROp::kHeapRead: return "hread";
+    case ROp::kHeapWrite: return "hwrite";
+    case ROp::kRawLoad: return "rawld";
+    case ROp::kRawStore: return "rawst";
+    case ROp::kRawLoadF: return "rawldf";
+    case ROp::kRawStoreF: return "rawstf";
+    case ROp::kLen: return "len";
+    case ROp::kPtrAdd: return "padd";
+    case ROp::kBeqz: return "beqz";
+    case ROp::kJump: return "j";
+    case ROp::kCall: return "call";
+    case ROp::kSpeculate: return "spec";
+    case ROp::kCommit: return "commit";
+    case ROp::kRollback: return "rollback";
+    case ROp::kAbort: return "abort";
+    case ROp::kMigrate: return "migrate";
+    case ROp::kExt: return "ext";
+    case ROp::kHalt: return "halt";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string disassemble(const RFunction& fn) {
+  std::ostringstream out;
+  out << "  fun @" << fn.id << " " << fn.name << " (arity " << fn.arity
+      << ", spill " << fn.spill_slots << ")\n";
+  for (std::size_t pc = 0; pc < fn.code.size(); ++pc) {
+    const RInsn& insn = fn.code[pc];
+    out << "    " << pc << ":\t" << rop_name(insn.op) << "\tr"
+        << static_cast<int>(insn.d) << ", r" << static_cast<int>(insn.s1)
+        << ", r" << static_cast<int>(insn.s2) << ", r"
+        << static_cast<int>(insn.s3);
+    if (insn.sub != 0) out << " sub=" << static_cast<int>(insn.sub);
+    if (insn.aux != 0) out << " aux=" << insn.aux;
+    if (insn.imm != 0) out << " imm=" << insn.imm;
+    if (insn.fimm != 0.0) out << " fimm=" << insn.fimm;
+    if (!insn.arg_slots.empty()) {
+      out << " slots=[";
+      for (std::size_t i = 0; i < insn.arg_slots.size(); ++i) {
+        if (i) out << ",";
+        out << insn.arg_slots[i];
+      }
+      out << "]";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string disassemble(const RProgram& program) {
+  std::ostringstream out;
+  out << "risc program " << program.name << " (entry @" << program.entry
+      << ", " << program.functions.size() << " functions)\n";
+  for (const RFunction& fn : program.functions) {
+    out << disassemble(fn);
+  }
+  return out.str();
+}
+
+}  // namespace mojave::risc

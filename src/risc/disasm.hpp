@@ -1,0 +1,25 @@
+// Disassemblers for both object-code formats.
+//
+// `mojc dump` and failing tests use these to show what the code
+// generators actually emitted; the output is stable enough for golden
+// assertions.
+#pragma once
+
+#include <string>
+
+#include "risc/isa.hpp"
+#include "vm/bytecode.hpp"
+
+namespace mojave::vm {
+
+[[nodiscard]] std::string disassemble(const CompiledProgram& program);
+[[nodiscard]] std::string disassemble(const CompiledFunction& fn);
+
+}  // namespace mojave::vm
+
+namespace mojave::risc {
+
+[[nodiscard]] std::string disassemble(const RProgram& program);
+[[nodiscard]] std::string disassemble(const RFunction& fn);
+
+}  // namespace mojave::risc

@@ -1,0 +1,97 @@
+// The RISC backend's instruction set.
+//
+// The paper's Mojave architecture "is designed to support multiple
+// back-ends ... An additional runtime environment is available that
+// simulates RISC architectures" (Section 3). This backend targets a
+// load/store register machine: a fixed file of 32 general registers,
+// three-address ALU operations that work only on registers, and explicit
+// spill loads/stores against a per-activation spill area where every FIR
+// variable lives. Heap accesses are runtime-service instructions (the
+// pointer-table indirection is a runtime service on every Mojave backend,
+// "compatible with a hardware implementation").
+//
+// Because process state is architecture-independent (heap + FIR), an image
+// packed by the bytecode backend resumes on this one and vice versa — the
+// heterogeneous-cluster property migration was designed for.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runtime/value.hpp"
+#include "support/common.hpp"
+
+namespace mojave::risc {
+
+/// Number of general-purpose registers in the simulated machine.
+inline constexpr std::uint8_t kNumRegs = 32;
+
+enum class ROp : std::uint8_t {
+  kNop = 0,
+  kLi,        // r[d] = int imm
+  kLif,       // r[d] = float fimm
+  kLus,       // r[d] = unit
+  kLstr,      // r[d] = ptr to interned string #aux
+  kLfun,      // r[d] = fun #aux
+  kLnull,     // r[d] = null pointer
+  kMove,      // r[d] = r[s1]
+  kLoadS,     // r[d] = spill[aux]
+  kStoreS,    // spill[aux] = r[s1]
+  kUnop,      // r[d] = sub(r[s1])
+  kBinop,     // r[d] = r[s1] sub r[s2]
+  kAlloc,     // r[d] = alloc(r[s1] slots, init r[s2])
+  kAllocRaw,  // r[d] = alloc_raw(r[s1] bytes)
+  kHeapRead,  // r[d] = read(r[s1], r[s2]); tag check vs sub
+  kHeapWrite, // write(r[s1], r[s2]) := r[s3]
+  kRawLoad,   // r[d] = raw_load{sub}(r[s1], r[s2])
+  kRawStore,  // raw_store{sub}(r[s1], r[s2]) := r[s3]
+  kRawLoadF,
+  kRawStoreF,
+  kLen,       // r[d] = block size of r[s1]
+  kPtrAdd,    // r[d] = (r[s1].base, r[s1].off + r[s2])
+  kBeqz,      // if r[s1] == 0: pc = aux
+  kJump,      // pc = aux
+  kCall,      // tail-transfer to function r[s1]; args = arg-spill list
+  kSpeculate, // enter level; call r[s1](c, args)
+  kCommit,    // commit level r[s1]; call r[s2](args)
+  kRollback,  // rollback [r[s1], r[s2]] (retry)
+  kAbort,     // rollback without re-entry
+  kMigrate,   // migrate [label=aux, target r[s1]] r[s2](args)
+  kExt,       // r[d] = external #aux(args); tag check vs sub
+  kHalt,      // halt r[s1]
+};
+
+struct RInsn {
+  ROp op = ROp::kNop;
+  std::uint8_t sub = 0;  ///< unop/binop/width/tag
+  std::uint8_t d = 0;
+  std::uint8_t s1 = 0;
+  std::uint8_t s2 = 0;
+  std::uint8_t s3 = 0;
+  std::uint32_t aux = 0;  ///< spill slot / jump target / id / label
+  std::int64_t imm = 0;
+  double fimm = 0.0;
+  std::vector<std::uint32_t> arg_slots;  ///< spill slots holding call args
+};
+
+struct RFunction {
+  std::string name;
+  std::uint32_t id = 0;
+  std::uint32_t arity = 0;
+  std::uint32_t spill_slots = 0;  ///< one per FIR variable
+  std::vector<runtime::Tag> param_tags;
+  std::vector<RInsn> code;
+};
+
+struct RProgram {
+  std::string name;
+  std::uint32_t entry = 0;
+  std::vector<RFunction> functions;
+  std::vector<std::string> strings;
+  std::vector<std::string> ext_names;
+  std::map<MigrateLabel, std::uint32_t> migrate_labels;
+};
+
+}  // namespace mojave::risc

@@ -1,0 +1,338 @@
+#include "risc/lower.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "vm/lowering.hpp"  // tag_of
+
+namespace mojave::risc {
+
+namespace {
+
+// Scratch register conventions.
+constexpr std::uint8_t kRa = 1;  // first operand
+constexpr std::uint8_t kRb = 2;  // second operand
+constexpr std::uint8_t kRc = 3;  // third operand
+constexpr std::uint8_t kRd = 4;  // result
+
+class FnLowering {
+ public:
+  FnLowering(const fir::Function& fn, RProgram& out) : fn_(fn), out_(out) {}
+
+  RFunction run() {
+    RFunction rf;
+    rf.id = fn_.id;
+    rf.name = fn_.name;
+    rf.arity = fn_.arity();
+    for (const fir::Type& ty : fn_.param_tys) {
+      rf.param_tags.push_back(vm::tag_of(ty));
+    }
+    code_ = &rf.code;
+    lower_expr(fn_.body.get());
+    rf.spill_slots = fn_.num_vars + scratch_peak_;
+    return rf;
+  }
+
+ private:
+  RInsn& emit(ROp op) {
+    code_->emplace_back();
+    code_->back().op = op;
+    return code_->back();
+  }
+
+  std::uint32_t scratch_slot() {
+    const std::uint32_t slot = fn_.num_vars + scratch_cursor_++;
+    scratch_peak_ = std::max(scratch_peak_, scratch_cursor_);
+    return slot;
+  }
+
+  /// Load an atom into register `r`.
+  void load_atom(std::uint8_t r, const fir::Atom& a) {
+    using K = fir::Atom::Kind;
+    switch (a.kind) {
+      case K::kVar: {
+        RInsn& i = emit(ROp::kLoadS);
+        i.d = r;
+        i.aux = a.var;
+        return;
+      }
+      case K::kInt: {
+        RInsn& i = emit(ROp::kLi);
+        i.d = r;
+        i.imm = a.i;
+        return;
+      }
+      case K::kFloat: {
+        RInsn& i = emit(ROp::kLif);
+        i.d = r;
+        i.fimm = a.f;
+        return;
+      }
+      case K::kUnit:
+        emit(ROp::kLus).d = r;
+        return;
+      case K::kFunRef: {
+        RInsn& i = emit(ROp::kLfun);
+        i.d = r;
+        i.aux = a.fun;
+        return;
+      }
+      case K::kString: {
+        RInsn& i = emit(ROp::kLstr);
+        i.d = r;
+        i.aux = a.string_id;
+        return;
+      }
+      case K::kNull:
+        emit(ROp::kLnull).d = r;
+        return;
+    }
+    throw TypeError("malformed atom in RISC lowering");
+  }
+
+  /// Store register `r` into the spill slot of variable `v`.
+  void store_var(fir::VarId v, std::uint8_t r) {
+    RInsn& i = emit(ROp::kStoreS);
+    i.s1 = r;
+    i.aux = v;
+  }
+
+  /// The argument-passing convention: every argument must be in a spill
+  /// slot. Variables already are; constants get a fresh slot.
+  std::vector<std::uint32_t> arg_slots(const std::vector<fir::Atom>& args) {
+    std::vector<std::uint32_t> slots;
+    slots.reserve(args.size());
+    for (const fir::Atom& a : args) {
+      if (a.kind == fir::Atom::Kind::kVar) {
+        slots.push_back(a.var);
+      } else {
+        const std::uint32_t slot = scratch_slot();
+        load_atom(kRa, a);
+        RInsn& st = emit(ROp::kStoreS);
+        st.s1 = kRa;
+        st.aux = slot;
+        slots.push_back(slot);
+      }
+    }
+    return slots;
+  }
+
+  void lower_expr(const fir::Expr* e) {
+    using EK = fir::ExprKind;
+    for (; e != nullptr; e = e->next.get()) {
+      scratch_cursor_ = 0;
+      switch (e->kind) {
+        case EK::kLetAtom:
+          load_atom(kRd, e->a);
+          store_var(e->bind, kRd);
+          break;
+        case EK::kLetUnop: {
+          load_atom(kRa, e->a);
+          RInsn& i = emit(ROp::kUnop);
+          i.sub = static_cast<std::uint8_t>(e->unop);
+          i.d = kRd;
+          i.s1 = kRa;
+          store_var(e->bind, kRd);
+          break;
+        }
+        case EK::kLetBinop: {
+          load_atom(kRa, e->a);
+          load_atom(kRb, e->b);
+          RInsn& i = emit(ROp::kBinop);
+          i.sub = static_cast<std::uint8_t>(e->binop);
+          i.d = kRd;
+          i.s1 = kRa;
+          i.s2 = kRb;
+          store_var(e->bind, kRd);
+          break;
+        }
+        case EK::kLetAllocTagged: {
+          load_atom(kRa, e->a);
+          load_atom(kRb, e->b);
+          RInsn& i = emit(ROp::kAlloc);
+          i.d = kRd;
+          i.s1 = kRa;
+          i.s2 = kRb;
+          store_var(e->bind, kRd);
+          break;
+        }
+        case EK::kLetAllocRaw: {
+          load_atom(kRa, e->a);
+          RInsn& i = emit(ROp::kAllocRaw);
+          i.d = kRd;
+          i.s1 = kRa;
+          store_var(e->bind, kRd);
+          break;
+        }
+        case EK::kLetRead: {
+          load_atom(kRa, e->a);
+          load_atom(kRb, e->b);
+          RInsn& i = emit(ROp::kHeapRead);
+          i.sub = static_cast<std::uint8_t>(vm::tag_of(e->bind_ty));
+          i.d = kRd;
+          i.s1 = kRa;
+          i.s2 = kRb;
+          store_var(e->bind, kRd);
+          break;
+        }
+        case EK::kWrite: {
+          load_atom(kRa, e->a);
+          load_atom(kRb, e->b);
+          load_atom(kRc, e->c_atom);
+          RInsn& i = emit(ROp::kHeapWrite);
+          i.s1 = kRa;
+          i.s2 = kRb;
+          i.s3 = kRc;
+          break;
+        }
+        case EK::kLetRawLoad:
+        case EK::kLetRawLoadF: {
+          load_atom(kRa, e->a);
+          load_atom(kRb, e->b);
+          RInsn& i = emit(e->kind == EK::kLetRawLoad ? ROp::kRawLoad
+                                                     : ROp::kRawLoadF);
+          i.sub = static_cast<std::uint8_t>(e->width);
+          i.d = kRd;
+          i.s1 = kRa;
+          i.s2 = kRb;
+          store_var(e->bind, kRd);
+          break;
+        }
+        case EK::kRawStore:
+        case EK::kRawStoreF: {
+          load_atom(kRa, e->a);
+          load_atom(kRb, e->b);
+          load_atom(kRc, e->c_atom);
+          RInsn& i = emit(e->kind == EK::kRawStore ? ROp::kRawStore
+                                                   : ROp::kRawStoreF);
+          i.sub = static_cast<std::uint8_t>(e->width);
+          i.s1 = kRa;
+          i.s2 = kRb;
+          i.s3 = kRc;
+          break;
+        }
+        case EK::kLetLen: {
+          load_atom(kRa, e->a);
+          RInsn& i = emit(ROp::kLen);
+          i.d = kRd;
+          i.s1 = kRa;
+          store_var(e->bind, kRd);
+          break;
+        }
+        case EK::kLetPtrAdd: {
+          load_atom(kRa, e->a);
+          load_atom(kRb, e->b);
+          RInsn& i = emit(ROp::kPtrAdd);
+          i.d = kRd;
+          i.s1 = kRa;
+          i.s2 = kRb;
+          store_var(e->bind, kRd);
+          break;
+        }
+        case EK::kIf: {
+          load_atom(kRa, e->a);
+          const std::size_t beqz_at = code_->size();
+          emit(ROp::kBeqz).s1 = kRa;
+          lower_expr(e->next.get());
+          (*code_)[beqz_at].aux = static_cast<std::uint32_t>(code_->size());
+          lower_expr(e->els.get());
+          return;
+        }
+        case EK::kTailCall: {
+          auto slots = arg_slots(e->args);
+          load_atom(kRa, e->fun);
+          RInsn& i = emit(ROp::kCall);
+          i.s1 = kRa;
+          i.arg_slots = std::move(slots);
+          return;
+        }
+        case EK::kSpeculate: {
+          auto slots = arg_slots(e->args);
+          load_atom(kRa, e->fun);
+          RInsn& i = emit(ROp::kSpeculate);
+          i.s1 = kRa;
+          i.arg_slots = std::move(slots);
+          return;
+        }
+        case EK::kCommit: {
+          auto slots = arg_slots(e->args);
+          load_atom(kRa, e->a);
+          load_atom(kRb, e->fun);
+          RInsn& i = emit(ROp::kCommit);
+          i.s1 = kRa;
+          i.s2 = kRb;
+          i.arg_slots = std::move(slots);
+          return;
+        }
+        case EK::kRollback:
+        case EK::kAbort: {
+          load_atom(kRa, e->a);
+          load_atom(kRb, e->b);
+          RInsn& i = emit(e->kind == EK::kRollback ? ROp::kRollback
+                                                   : ROp::kAbort);
+          i.s1 = kRa;
+          i.s2 = kRb;
+          return;
+        }
+        case EK::kMigrate: {
+          auto slots = arg_slots(e->args);
+          load_atom(kRa, e->a);
+          load_atom(kRb, e->fun);
+          RInsn& i = emit(ROp::kMigrate);
+          i.aux = e->label;
+          i.s1 = kRa;
+          i.s2 = kRb;
+          i.arg_slots = std::move(slots);
+          out_.migrate_labels[e->label] =
+              e->fun.kind == fir::Atom::Kind::kFunRef ? e->fun.fun
+                                                      : UINT32_MAX;
+          return;
+        }
+        case EK::kLetExternal: {
+          auto slots = arg_slots(e->args);
+          RInsn& i = emit(ROp::kExt);
+          i.d = kRd;
+          i.sub = static_cast<std::uint8_t>(vm::tag_of(e->bind_ty));
+          i.aux = ext_id(e->ext_name);
+          i.arg_slots = std::move(slots);
+          store_var(e->bind, kRd);
+          break;
+        }
+        case EK::kHalt:
+          load_atom(kRa, e->a);
+          emit(ROp::kHalt).s1 = kRa;
+          return;
+      }
+    }
+  }
+
+  std::uint32_t ext_id(const std::string& name) {
+    for (std::uint32_t i = 0; i < out_.ext_names.size(); ++i) {
+      if (out_.ext_names[i] == name) return i;
+    }
+    out_.ext_names.push_back(name);
+    return static_cast<std::uint32_t>(out_.ext_names.size() - 1);
+  }
+
+  const fir::Function& fn_;
+  RProgram& out_;
+  std::vector<RInsn>* code_ = nullptr;
+  std::uint32_t scratch_cursor_ = 0;
+  std::uint32_t scratch_peak_ = 0;
+};
+
+}  // namespace
+
+RProgram lower(const fir::Program& program) {
+  RProgram out;
+  out.name = program.name;
+  out.entry = program.entry;
+  out.strings = program.strings;
+  out.functions.reserve(program.functions.size());
+  for (const fir::Function& fn : program.functions) {
+    out.functions.push_back(FnLowering(fn, out).run());
+  }
+  return out;
+}
+
+}  // namespace mojave::risc

@@ -1,0 +1,17 @@
+// FIR → RISC lowering: the second code generator.
+//
+// Every FIR variable is assigned a spill slot; ALU work happens in scratch
+// registers r1..r4 with explicit load/store traffic, the way a RISC code
+// generator without a register allocator would emit it. Constants that
+// appear as call arguments are materialized into fresh spill slots because
+// the call convention passes arguments through the spill area.
+#pragma once
+
+#include "fir/ir.hpp"
+#include "risc/isa.hpp"
+
+namespace mojave::risc {
+
+[[nodiscard]] RProgram lower(const fir::Program& program);
+
+}  // namespace mojave::risc

@@ -1,0 +1,370 @@
+#include "risc/machine.hpp"
+
+#include <chrono>
+#include <iostream>
+
+#include "vm/eval.hpp"
+
+namespace mojave::risc {
+
+using runtime::PtrValue;
+using runtime::Tag;
+using runtime::Value;
+
+Machine::Machine(runtime::Heap& heap, spec::SpeculationManager& spec,
+                 RProgram program, bool intern_strings)
+    : heap_(heap), spec_(spec), program_(std::move(program)), out_(&std::cout) {
+  heap_.add_root_provider(this);
+  // Populate the function table in program order (heterogeneous migration
+  // relies on the orders matching across backends).
+  heap_.funs().clear();
+  for (const RFunction& f : program_.functions) {
+    heap_.funs().insert(runtime::FunctionEntry{f.name, f.arity, f.id});
+  }
+  if (intern_strings) {
+    for (const std::string& s : program_.strings) {
+      string_blocks_.push_back(heap_.alloc_string(s));
+    }
+  }
+  install_default_externals(*this);
+}
+
+Machine::~Machine() { heap_.remove_root_provider(this); }
+
+void Machine::register_external(const std::string& name, RExternalFn fn) {
+  externals_[name] = std::move(fn);
+}
+
+void Machine::enumerate_roots(runtime::RootVisitor& visitor) {
+  for (const Value& v : regs_) visitor.value_root(v);
+  for (const Value& v : spill_) visitor.value_root(v);
+  for (const Value& v : pending_args_) visitor.value_root(v);
+  for (BlockIndex idx : string_blocks_) visitor.index_root(idx);
+}
+
+FunIndex Machine::resolve_callee(const Value& v) const {
+  const FunIndex idx = v.as_fun();
+  (void)heap_.funs().get(idx);
+  if (idx >= program_.functions.size()) {
+    throw SafetyError("call to unknown function " + std::to_string(idx));
+  }
+  return idx;
+}
+
+void Machine::validate_call(const RFunction& fn,
+                            std::span<const Value> args) const {
+  if (args.size() != fn.arity) {
+    throw SafetyError("call of " + fn.name + " with " +
+                      std::to_string(args.size()) + " args, expected " +
+                      std::to_string(fn.arity));
+  }
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i].tag() != fn.param_tags[i]) {
+      throw SafetyError("argument " + std::to_string(i) + " of " + fn.name +
+                        " has tag " + runtime::tag_name(args[i].tag()));
+    }
+  }
+}
+
+void Machine::collect_args(const RInsn& insn) {
+  pending_args_.clear();
+  for (std::uint32_t slot : insn.arg_slots) {
+    if (slot >= spill_.size()) throw SafetyError("argument spill slot oob");
+    pending_args_.push_back(spill_[slot]);
+  }
+}
+
+RRunResult Machine::run() { return run_from(program_.entry, {}); }
+
+RRunResult Machine::run_from(FunIndex fun, std::vector<Value> args) {
+  pending_fun_ = fun;
+  pending_args_ = std::move(args);
+
+  while (true) {
+    if (pending_fun_ >= program_.functions.size()) {
+      throw SafetyError("transfer to unknown function");
+    }
+    const RFunction& f = program_.functions[pending_fun_];
+    validate_call(f, pending_args_);
+    ++stats_.calls;
+
+    spill_.assign(f.spill_slots, Value::unit());
+    for (std::size_t i = 0; i < pending_args_.size(); ++i) {
+      spill_[i] = pending_args_[i];
+    }
+    pending_args_.clear();
+
+    std::size_t pc = 0;
+    bool transfer = false;
+    while (!transfer) {
+      if (pc >= f.code.size()) {
+        throw SafetyError("pc fell off the end of " + f.name);
+      }
+      const RInsn& I = f.code[pc];
+      ++stats_.instructions;
+      if (max_instructions_ != 0 && stats_.instructions > max_instructions_) {
+        throw Error("instruction budget exhausted");
+      }
+      switch (I.op) {
+        case ROp::kNop:
+          break;
+        case ROp::kLi:
+          regs_[I.d] = Value::from_int(I.imm);
+          break;
+        case ROp::kLif:
+          regs_[I.d] = Value::from_float(I.fimm);
+          break;
+        case ROp::kLus:
+          regs_[I.d] = Value::unit();
+          break;
+        case ROp::kLstr:
+          if (I.aux >= string_blocks_.size()) {
+            throw SafetyError("string id out of range");
+          }
+          regs_[I.d] = Value::from_ptr(string_blocks_[I.aux], 0);
+          break;
+        case ROp::kLfun:
+          (void)heap_.funs().get(I.aux);
+          regs_[I.d] = Value::from_fun(I.aux);
+          break;
+        case ROp::kLnull:
+          regs_[I.d] = Value::from_ptr(kNullIndex, 0);
+          break;
+        case ROp::kMove:
+          regs_[I.d] = regs_[I.s1];
+          break;
+        case ROp::kLoadS:
+          if (I.aux >= spill_.size()) throw SafetyError("spill load oob");
+          regs_[I.d] = spill_[I.aux];
+          ++stats_.spill_loads;
+          break;
+        case ROp::kStoreS:
+          if (I.aux >= spill_.size()) throw SafetyError("spill store oob");
+          spill_[I.aux] = regs_[I.s1];
+          ++stats_.spill_stores;
+          break;
+        case ROp::kUnop:
+          regs_[I.d] =
+              vm::eval_unop(static_cast<fir::Unop>(I.sub), regs_[I.s1]);
+          break;
+        case ROp::kBinop:
+          regs_[I.d] = vm::eval_binop(static_cast<fir::Binop>(I.sub),
+                                      regs_[I.s1], regs_[I.s2]);
+          break;
+        case ROp::kAlloc: {
+          const std::int64_t n = regs_[I.s1].as_int();
+          if (n < 0 || n > static_cast<std::int64_t>(UINT32_MAX)) {
+            throw SafetyError("alloc size out of range");
+          }
+          regs_[I.d] = Value::from_ptr(
+              heap_.alloc_tagged(static_cast<std::uint32_t>(n), regs_[I.s2]),
+              0);
+          break;
+        }
+        case ROp::kAllocRaw: {
+          const std::int64_t n = regs_[I.s1].as_int();
+          if (n < 0 || n > static_cast<std::int64_t>(UINT32_MAX)) {
+            throw SafetyError("alloc_raw size out of range");
+          }
+          regs_[I.d] = Value::from_ptr(
+              heap_.alloc_raw(static_cast<std::uint32_t>(n)), 0);
+          break;
+        }
+        case ROp::kHeapRead: {
+          const PtrValue p = regs_[I.s1].as_ptr();
+          const std::uint32_t off =
+              vm::effective_offset(p, regs_[I.s2].as_int());
+          const Value v = heap_.read_slot(p.index, off);
+          if (v.tag() != static_cast<Tag>(I.sub)) {
+            throw SafetyError("read produced unexpected tag");
+          }
+          regs_[I.d] = v;
+          break;
+        }
+        case ROp::kHeapWrite: {
+          const PtrValue p = regs_[I.s1].as_ptr();
+          heap_.write_slot(p.index,
+                           vm::effective_offset(p, regs_[I.s2].as_int()),
+                           regs_[I.s3]);
+          break;
+        }
+        case ROp::kRawLoad: {
+          const PtrValue p = regs_[I.s1].as_ptr();
+          regs_[I.d] = Value::from_int(heap_.raw_load(
+              p.index, vm::effective_offset(p, regs_[I.s2].as_int()), I.sub));
+          break;
+        }
+        case ROp::kRawStore: {
+          const PtrValue p = regs_[I.s1].as_ptr();
+          heap_.raw_store(p.index,
+                          vm::effective_offset(p, regs_[I.s2].as_int()),
+                          I.sub, regs_[I.s3].as_int());
+          break;
+        }
+        case ROp::kRawLoadF: {
+          const PtrValue p = regs_[I.s1].as_ptr();
+          regs_[I.d] = Value::from_float(heap_.raw_load_f64(
+              p.index, vm::effective_offset(p, regs_[I.s2].as_int())));
+          break;
+        }
+        case ROp::kRawStoreF: {
+          const PtrValue p = regs_[I.s1].as_ptr();
+          heap_.raw_store_f64(p.index,
+                              vm::effective_offset(p, regs_[I.s2].as_int()),
+                              regs_[I.s3].as_float());
+          break;
+        }
+        case ROp::kLen:
+          regs_[I.d] = Value::from_int(static_cast<std::int64_t>(
+              heap_.deref(regs_[I.s1].as_ptr().index)->h.count));
+          break;
+        case ROp::kPtrAdd: {
+          const PtrValue p = regs_[I.s1].as_ptr();
+          regs_[I.d] = Value::from_ptr(
+              p.index, vm::effective_offset(p, regs_[I.s2].as_int()));
+          break;
+        }
+        case ROp::kBeqz:
+          if (regs_[I.s1].as_int() == 0) {
+            pc = I.aux;
+            continue;
+          }
+          break;
+        case ROp::kJump:
+          pc = I.aux;
+          continue;
+        case ROp::kCall:
+          collect_args(I);
+          pending_fun_ = resolve_callee(regs_[I.s1]);
+          transfer = true;
+          break;
+        case ROp::kSpeculate: {
+          const FunIndex callee = resolve_callee(regs_[I.s1]);
+          collect_args(I);
+          spec::SavedContinuation cont;
+          cont.fun = callee;
+          cont.args = pending_args_;
+          const SpecLevel level = spec_.speculate(cont);
+          pending_args_.insert(
+              pending_args_.begin(),
+              Value::from_int(static_cast<std::int64_t>(level)));
+          pending_fun_ = callee;
+          transfer = true;
+          break;
+        }
+        case ROp::kCommit: {
+          const std::int64_t level = regs_[I.s1].as_int();
+          if (level <= 0) throw SpecError("commit of non-positive level");
+          spec_.commit(static_cast<SpecLevel>(level));
+          collect_args(I);
+          pending_fun_ = resolve_callee(regs_[I.s2]);
+          transfer = true;
+          break;
+        }
+        case ROp::kRollback:
+        case ROp::kAbort: {
+          const std::int64_t level = regs_[I.s1].as_int();
+          if (level <= 0) throw SpecError("rollback of non-positive level");
+          const auto outcome =
+              spec_.rollback(static_cast<SpecLevel>(level),
+                             regs_[I.s2].as_int(), I.op == ROp::kRollback);
+          pending_fun_ = outcome.continuation.fun;
+          pending_args_.clear();
+          pending_args_.push_back(Value::from_int(outcome.continuation.c));
+          for (const Value& v : outcome.continuation.args) {
+            pending_args_.push_back(v);
+          }
+          transfer = true;
+          break;
+        }
+        case ROp::kMigrate: {
+          const std::string target = heap_.read_string(regs_[I.s1].as_ptr());
+          const FunIndex callee = resolve_callee(regs_[I.s2]);
+          collect_args(I);
+          if (!migrate_fn_) {
+            throw MigrateError("migrate instruction with no handler (RISC)");
+          }
+          if (migrate_fn_(*this, I.aux, target, callee, pending_args_)) {
+            return RRunResult{RRunResult::Kind::kMigratedAway, 0};
+          }
+          pending_fun_ = callee;
+          transfer = true;
+          break;
+        }
+        case ROp::kExt: {
+          if (I.aux >= program_.ext_names.size()) {
+            throw SafetyError("external id out of range");
+          }
+          const std::string& name = program_.ext_names[I.aux];
+          const auto it = externals_.find(name);
+          if (it == externals_.end()) {
+            throw SafetyError("call of unregistered external: " + name);
+          }
+          std::vector<Value> ext_args;
+          for (std::uint32_t slot : I.arg_slots) {
+            if (slot >= spill_.size()) throw SafetyError("ext arg slot oob");
+            ext_args.push_back(spill_[slot]);
+          }
+          const Value result = it->second(*this, ext_args);
+          if (result.tag() != static_cast<Tag>(I.sub)) {
+            throw SafetyError("external " + name + " returned wrong tag");
+          }
+          regs_[I.d] = result;
+          break;
+        }
+        case ROp::kHalt:
+          return RRunResult{RRunResult::Kind::kHalted, regs_[I.s1].as_int()};
+      }
+      ++pc;
+    }
+  }
+}
+
+void install_default_externals(Machine& m) {
+  m.register_external("print_string",
+                      [](Machine& mm, std::span<const Value> args) -> Value {
+                        if (args.size() != 1) {
+                          throw SafetyError("print_string arity");
+                        }
+                        mm.out() << mm.heap().read_string(args[0].as_ptr());
+                        return Value::unit();
+                      });
+  m.register_external("print_int",
+                      [](Machine& mm, std::span<const Value> args) -> Value {
+                        if (args.size() != 1) {
+                          throw SafetyError("print_int arity");
+                        }
+                        mm.out() << args[0].as_int();
+                        return Value::unit();
+                      });
+  m.register_external("print_float",
+                      [](Machine& mm, std::span<const Value> args) -> Value {
+                        if (args.size() != 1) {
+                          throw SafetyError("print_float arity");
+                        }
+                        mm.out() << args[0].as_float();
+                        return Value::unit();
+                      });
+  m.register_external("clock_us",
+                      [](Machine&, std::span<const Value>) -> Value {
+                        const auto now =
+                            std::chrono::duration_cast<std::chrono::microseconds>(
+                                std::chrono::steady_clock::now()
+                                    .time_since_epoch())
+                                .count();
+                        return Value::from_int(
+                            static_cast<std::int64_t>(now));
+                      });
+  m.register_external("spec_level",
+                      [](Machine& mm, std::span<const Value>) -> Value {
+                        return Value::from_int(static_cast<std::int64_t>(
+                            mm.spec().current_level()));
+                      });
+  m.register_external("heap_live_bytes",
+                      [](Machine& mm, std::span<const Value>) -> Value {
+                        return Value::from_int(static_cast<std::int64_t>(
+                            mm.heap().live_bytes()));
+                      });
+}
+
+}  // namespace mojave::risc

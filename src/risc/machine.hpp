@@ -1,0 +1,105 @@
+// The RISC machine simulator: Mojave's second execution engine.
+//
+// Simulates a 32-register load/store machine executing risc::RProgram
+// code against the same managed runtime (heap, pointer table, speculation
+// manager) as the bytecode interpreter. Because process state lives
+// entirely in the heap plus the (fun, args) continuation, a process can be
+// packed by one backend and resumed by the other — heterogeneous
+// migration, the reason the paper ships FIR instead of native code.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "risc/isa.hpp"
+#include "runtime/heap.hpp"
+#include "spec/speculation.hpp"
+
+namespace mojave::risc {
+
+class Machine;
+
+using RExternalFn =
+    std::function<runtime::Value(Machine&, std::span<const runtime::Value>)>;
+
+/// Migration callback; mirrors vm::MigrationHook for this backend.
+/// Return true to stop executing locally (the process moved), false to
+/// continue at the resume continuation.
+using RMigrateFn = std::function<bool(
+    Machine&, MigrateLabel, const std::string& target, FunIndex resume_fun,
+    std::span<const runtime::Value> resume_args)>;
+
+struct RRunResult {
+  enum class Kind { kHalted, kMigratedAway } kind = Kind::kHalted;
+  std::int64_t exit_code = 0;
+};
+
+struct RStats {
+  std::uint64_t instructions = 0;
+  std::uint64_t calls = 0;
+  std::uint64_t spill_loads = 0;
+  std::uint64_t spill_stores = 0;
+};
+
+class Machine final : public runtime::RootProvider {
+ public:
+  Machine(runtime::Heap& heap, spec::SpeculationManager& spec,
+          RProgram program, bool intern_strings = true);
+  ~Machine() override;
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  void register_external(const std::string& name, RExternalFn fn);
+  void set_migrate_handler(RMigrateFn fn) { migrate_fn_ = std::move(fn); }
+  void set_output(std::ostream* out) { out_ = out; }
+  [[nodiscard]] std::ostream& out() const { return *out_; }
+  void set_max_instructions(std::uint64_t n) { max_instructions_ = n; }
+
+  RRunResult run();
+  RRunResult run_from(FunIndex fun, std::vector<runtime::Value> args);
+
+  [[nodiscard]] runtime::Heap& heap() { return heap_; }
+  [[nodiscard]] spec::SpeculationManager& spec() { return spec_; }
+  [[nodiscard]] const RProgram& program() const { return program_; }
+  [[nodiscard]] const RStats& stats() const { return stats_; }
+
+  [[nodiscard]] const std::vector<BlockIndex>& string_blocks() const {
+    return string_blocks_;
+  }
+  void set_string_blocks(std::vector<BlockIndex> blocks) {
+    string_blocks_ = std::move(blocks);
+  }
+
+  void enumerate_roots(runtime::RootVisitor& visitor) override;
+
+ private:
+  void validate_call(const RFunction& fn,
+                     std::span<const runtime::Value> args) const;
+  [[nodiscard]] FunIndex resolve_callee(const runtime::Value& v) const;
+  void collect_args(const RInsn& insn);
+
+  runtime::Heap& heap_;
+  spec::SpeculationManager& spec_;
+  RProgram program_;
+  std::map<std::string, RExternalFn> externals_;
+  RMigrateFn migrate_fn_;
+  std::ostream* out_;
+
+  runtime::Value regs_[kNumRegs];
+  std::vector<runtime::Value> spill_;
+  FunIndex pending_fun_ = 0;
+  std::vector<runtime::Value> pending_args_;
+  std::vector<BlockIndex> string_blocks_;
+  RStats stats_;
+  std::uint64_t max_instructions_ = 0;
+};
+
+/// Standard host externals for this backend (print, clocks, spec_level).
+void install_default_externals(Machine& m);
+
+}  // namespace mojave::risc

@@ -1,0 +1,134 @@
+// Heap blocks.
+//
+// "Each memory structure, or block, is stored in a heap. Each block has a
+// header, and stores its data in an architecture-independent format"
+// (paper, Section 4.1). Two kinds exist:
+//
+//   * kTagged — an array of self-describing Values (ML-style data,
+//     closures, migrate_env, message payloads);
+//   * kRaw    — an array of bytes with canonical little-endian meaning
+//     assigned by the program (C-style buffers and strings). Raw data is
+//     what forces the canonical byte-order rule: "an array of characters is
+//     indistinguishable from an array of 32-bit integers" (Section 4.2.2).
+//
+// The header carries the block's own pointer-table index (the paper notes
+// this back-index as part of the per-block overhead), its generation and
+// mark state for the collector, the speculation epoch stamp used by the
+// copy-on-write machinery, and a forwarding pointer used only while the
+// compacting collector is moving blocks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+#include "runtime/value.hpp"
+#include "support/common.hpp"
+#include "support/error.hpp"
+
+namespace mojave::runtime {
+
+enum class BlockKind : std::uint8_t { kTagged = 0, kRaw = 1 };
+
+enum class Generation : std::uint8_t { kYoung = 0, kOld = 1 };
+
+struct Block;
+
+struct BlockHeader {
+  /// Epoch of the speculation level under which this block version was
+  /// allocated or cloned. Compared against the newest active level's entry
+  /// epoch to decide whether a write needs a copy-on-write clone.
+  std::uint64_t spec_epoch = 0;
+  /// Forwarding pointer, valid only during a collection cycle.
+  Block* forward = nullptr;
+  /// Back-index: the pointer-table entry that owns (or owned) this block.
+  BlockIndex index = kNullIndex;
+  /// Number of slots (kTagged) or bytes (kRaw).
+  std::uint32_t count = 0;
+  BlockKind kind = BlockKind::kTagged;
+  Generation generation = Generation::kYoung;
+  std::uint8_t mark = 0;
+  std::uint8_t in_remembered_set = 0;
+};
+
+/// A block is a header immediately followed in arena memory by its payload.
+/// Blocks are trivially relocatable: moving one is a memcpy of footprint()
+/// bytes plus a pointer-table (or external registry) patch.
+struct Block {
+  BlockHeader h;
+
+  [[nodiscard]] Value* slots() {
+    return reinterpret_cast<Value*>(reinterpret_cast<std::byte*>(this) +
+                                    sizeof(Block));
+  }
+  [[nodiscard]] const Value* slots() const {
+    return reinterpret_cast<const Value*>(
+        reinterpret_cast<const std::byte*>(this) + sizeof(Block));
+  }
+  [[nodiscard]] std::byte* bytes() {
+    return reinterpret_cast<std::byte*>(this) + sizeof(Block);
+  }
+  [[nodiscard]] const std::byte* bytes() const {
+    return reinterpret_cast<const std::byte*>(this) + sizeof(Block);
+  }
+
+  /// Bounds- and kind-checked slot access (a runtime safety check).
+  [[nodiscard]] Value& slot(std::uint32_t off) {
+    check_tagged(off);
+    return slots()[off];
+  }
+  [[nodiscard]] const Value& slot(std::uint32_t off) const {
+    check_tagged(off);
+    return slots()[off];
+  }
+
+  [[nodiscard]] std::span<std::byte> raw_span() {
+    if (h.kind != BlockKind::kRaw) throw SafetyError("raw access to tagged block");
+    return {bytes(), h.count};
+  }
+  [[nodiscard]] std::span<const std::byte> raw_span() const {
+    if (h.kind != BlockKind::kRaw) throw SafetyError("raw access to tagged block");
+    return {bytes(), h.count};
+  }
+
+  /// Payload size in bytes (unpadded).
+  [[nodiscard]] std::size_t payload_bytes() const {
+    return h.kind == BlockKind::kTagged
+               ? static_cast<std::size_t>(h.count) * sizeof(Value)
+               : static_cast<std::size_t>(h.count);
+  }
+
+  /// Total arena footprint: header + payload, rounded up to 16 bytes so
+  /// every block (and its Value payload) stays suitably aligned.
+  [[nodiscard]] std::size_t footprint() const {
+    return footprint_for(h.kind, h.count);
+  }
+
+  [[nodiscard]] static std::size_t footprint_for(BlockKind kind,
+                                                 std::uint32_t count) {
+    const std::size_t payload =
+        kind == BlockKind::kTagged
+            ? static_cast<std::size_t>(count) * sizeof(Value)
+            : static_cast<std::size_t>(count);
+    return (sizeof(Block) + payload + 15) & ~std::size_t{15};
+  }
+
+ private:
+  void check_tagged(std::uint32_t off) const {
+    if (h.kind != BlockKind::kTagged) {
+      throw SafetyError("tagged access to raw block");
+    }
+    if (off >= h.count) {
+      throw SafetyError("slot offset " + std::to_string(off) +
+                        " out of bounds for block of " +
+                        std::to_string(h.count) + " slots");
+    }
+  }
+};
+
+static_assert(sizeof(Block) % alignof(Value) == 0,
+              "Value payload must start aligned after the header");
+static_assert(std::is_trivially_copyable_v<BlockHeader>);
+
+}  // namespace mojave::runtime

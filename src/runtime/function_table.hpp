@@ -1,0 +1,50 @@
+// The function table (paper, Section 4.1): "a function table contains
+// pointers to all valid higher-order functions". Fun-tagged values store an
+// index into this table; calls through a value validate the index before
+// transferring control, so a forged function pointer cannot escape the
+// managed code area.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/common.hpp"
+#include "support/error.hpp"
+
+namespace mojave::runtime {
+
+struct FunctionEntry {
+  std::string name;
+  std::uint32_t arity = 0;
+  /// Identifier of the FIR function this entry denotes (index into the
+  /// program's function list). Stable across migration, which is why
+  /// "migration must be careful to preserve order in the pointer and
+  /// function tables".
+  std::uint32_t fir_id = 0;
+};
+
+class FunctionTable {
+ public:
+  FunIndex insert(FunctionEntry entry) {
+    entries_.push_back(std::move(entry));
+    return static_cast<FunIndex>(entries_.size() - 1);
+  }
+
+  [[nodiscard]] const FunctionEntry& get(FunIndex idx) const {
+    if (idx >= entries_.size()) {
+      throw SafetyError("function index " + std::to_string(idx) +
+                        " out of table bounds");
+    }
+    return entries_[idx];
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  void clear() { entries_.clear(); }
+
+ private:
+  std::vector<FunctionEntry> entries_;
+};
+
+}  // namespace mojave::runtime

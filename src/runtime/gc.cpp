@@ -1,0 +1,288 @@
+#include "runtime/gc.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <functional>
+#include <memory>
+
+#include "runtime/heap.hpp"
+#include "support/stopwatch.hpp"
+
+namespace mojave::runtime {
+
+namespace {
+
+/// Adapter translating RootProvider callbacks into Gc marking actions.
+class MarkingVisitor : public RootVisitor {
+ public:
+  MarkingVisitor(std::vector<Block**>& patch_slots,
+                 const std::function<void(BlockIndex)>& index_fn,
+                 const std::function<void(Block*)>& block_fn)
+      : patch_slots_(patch_slots), index_fn_(index_fn), block_fn_(block_fn) {}
+
+  void value_root(const Value& v) override {
+    if (v.is(Tag::kPtr)) index_fn_(v.as_ptr().index);
+  }
+  void index_root(BlockIndex idx) override { index_fn_(idx); }
+  void block_root(Block** slot) override {
+    patch_slots_.push_back(slot);
+    block_fn_(*slot);
+  }
+
+ private:
+  std::vector<Block**>& patch_slots_;
+  const std::function<void(BlockIndex)>& index_fn_;
+  const std::function<void(Block*)>& block_fn_;
+};
+
+}  // namespace
+
+Gc::Gc(Heap& heap, bool major, std::size_t extra_need)
+    : heap_(heap),
+      major_(major || !heap.cfg_.generational),
+      extra_need_(extra_need) {}
+
+bool Gc::is_young(const Block* b) const { return heap_.young_->contains(b); }
+
+void Gc::run() {
+  Stopwatch sw;
+  if (major_) {
+    major_cycle();
+    ++heap_.stats_.gc.major_collections;
+  } else {
+    minor_cycle();
+  }
+  heap_.stats_.gc.pause_seconds_total += sw.seconds();
+}
+
+void Gc::clear_marks() {
+  const auto clear = [](Block* b) {
+    b->h.mark = 0;
+    b->h.forward = nullptr;
+  };
+  heap_.young_->for_each_block(clear);
+  if (major_) heap_.old_->for_each_block(clear);
+}
+
+// --- Minor collection -------------------------------------------------------
+//
+// Marks reachable *young* blocks only. Old blocks are presumed live; their
+// edges into the nursery are covered by (a) the remembered set for barrier-
+// observed writes and (b) direct block roots (speculation checkpoint
+// records), whose slots are traced regardless of the root's generation.
+
+void Gc::minor_cycle() {
+  clear_marks();
+  patch_slots_.clear();
+  worklist_.clear();
+
+  const auto mark_young = [&](Block* b) {
+    if (b == nullptr || !is_young(b) || b->h.mark) return;
+    b->h.mark = 1;
+    worklist_.push_back(b);
+  };
+  const std::function<void(BlockIndex)> index_fn = [&](BlockIndex idx) {
+    if (heap_.table_.is_free(idx)) return;
+    mark_young(heap_.table_.raw(idx));
+  };
+  // A direct block root that is old-generation is not moved, but its slots
+  // can reference nursery blocks no barrier ever saw (it may be a preserved
+  // pre-write version that is no longer in the table), so trace it.
+  const std::function<void(Block*)> block_fn = [&](Block* b) {
+    if (b == nullptr) return;
+    if (is_young(b)) {
+      mark_young(b);
+    } else if (b->h.kind == BlockKind::kTagged) {
+      const Value* s = b->slots();
+      for (std::uint32_t i = 0; i < b->h.count; ++i) {
+        if (s[i].is(Tag::kPtr)) index_fn(s[i].as_ptr().index);
+      }
+    }
+  };
+
+  MarkingVisitor visitor(patch_slots_, index_fn, block_fn);
+  for (RootProvider* p : heap_.root_providers_) p->enumerate_roots(visitor);
+  for (Block*& b : heap_.protected_blocks_) visitor.block_root(&b);
+  for (BlockIndex idx : heap_.remembered_) {
+    if (heap_.table_.is_free(idx)) continue;
+    block_fn(heap_.table_.raw(idx));  // old block: trace, do not move
+  }
+
+  // Transitive closure over nursery blocks (edges into the old generation
+  // terminate: old blocks are live by assumption in a minor cycle).
+  for (std::size_t head = 0; head < worklist_.size(); ++head) {
+    Block* b = worklist_[head];
+    if (b->h.kind != BlockKind::kTagged) continue;
+    const Value* s = b->slots();
+    for (std::uint32_t i = 0; i < b->h.count; ++i) {
+      if (s[i].is(Tag::kPtr)) index_fn(s[i].as_ptr().index);
+    }
+  }
+
+  // Promotion would overflow the old space: escalate to a major cycle,
+  // which re-marks from scratch.
+  std::size_t promote_bytes = 0;
+  heap_.young_->for_each_block([&](Block* b) {
+    if (b->h.mark) promote_bytes += b->footprint();
+  });
+  if (heap_.old_->capacity() - heap_.old_->used() < promote_bytes) {
+    major_ = true;
+    extra_need_ += promote_bytes;
+    major_cycle();
+    ++heap_.stats_.gc.major_collections;
+    return;
+  }
+
+  // Evacuate survivors to the old space in allocation (address) order.
+  heap_.young_->for_each_block([&](Block* b) {
+    if (!b->h.mark) return;
+    Block* dst = heap_.old_->allocate(b->footprint());
+    assert(dst != nullptr);
+    std::memcpy(dst, b, b->footprint());
+    dst->h.generation = Generation::kOld;
+    dst->h.mark = 0;
+    dst->h.in_remembered_set = 0;
+    dst->h.forward = nullptr;
+    b->h.forward = dst;
+    ++heap_.stats_.gc.blocks_promoted;
+    heap_.stats_.gc.bytes_evacuated += b->footprint();
+  });
+
+  // Sweep & patch the pointer table: nursery entries either follow their
+  // forwarding pointer or are freed.
+  auto& entries = heap_.table_.entries_;
+  for (BlockIndex i = 1; i < entries.size(); ++i) {
+    Block* b = entries[i];
+    if (b == nullptr || !is_young(b)) continue;
+    if (b->h.mark) {
+      entries[i] = b->h.forward;
+    } else {
+      entries[i] = nullptr;
+      heap_.table_.free_list_.push_back(i);
+      ++heap_.stats_.gc.entries_freed;
+    }
+  }
+
+  // Patch direct block references into the nursery.
+  for (Block** slot : patch_slots_) {
+    if (*slot != nullptr && is_young(*slot)) *slot = (*slot)->h.forward;
+  }
+
+  // Every survivor was promoted, so no old→young edges remain.
+  for (BlockIndex idx : heap_.remembered_) {
+    if (!heap_.table_.is_free(idx)) {
+      heap_.table_.raw(idx)->h.in_remembered_set = 0;
+    }
+  }
+  heap_.remembered_.clear();
+  heap_.young_->reset();
+  ++heap_.stats_.gc.minor_collections;
+}
+
+// --- Major collection --------------------------------------------------------
+
+void Gc::mark_from(Block* block) {
+  if (block == nullptr || block->h.mark) return;
+  block->h.mark = 1;
+  live_bytes_ += block->footprint();
+  worklist_.push_back(block);
+  bfs_order_.push_back(block);
+}
+
+void Gc::trace_slots(Block* block) {
+  if (block->h.kind != BlockKind::kTagged) return;
+  const Value* s = block->slots();
+  for (std::uint32_t i = 0; i < block->h.count; ++i) {
+    if (!s[i].is(Tag::kPtr)) continue;
+    const BlockIndex idx = s[i].as_ptr().index;
+    if (!heap_.table_.is_free(idx)) mark_from(heap_.table_.raw(idx));
+  }
+}
+
+void Gc::major_cycle() {
+  clear_marks();
+  patch_slots_.clear();
+  worklist_.clear();
+  bfs_order_.clear();
+  live_bytes_ = 0;
+
+  const std::function<void(BlockIndex)> index_fn = [&](BlockIndex idx) {
+    if (!heap_.table_.is_free(idx)) mark_from(heap_.table_.raw(idx));
+  };
+  const std::function<void(Block*)> block_fn = [&](Block* b) { mark_from(b); };
+
+  MarkingVisitor visitor(patch_slots_, index_fn, block_fn);
+  for (RootProvider* p : heap_.root_providers_) p->enumerate_roots(visitor);
+  for (Block*& b : heap_.protected_blocks_) visitor.block_root(&b);
+
+  for (std::size_t head = 0; head < worklist_.size(); ++head) {
+    trace_slots(worklist_[head]);
+  }
+
+  // Size the new old space for the survivors plus the allocation that
+  // triggered us, with headroom.
+  const std::size_t need = live_bytes_ + extra_need_;
+  std::size_t new_cap = heap_.old_->capacity();
+  while (new_cap < 2 * need) new_cap *= 2;
+  auto new_old = std::make_unique<Arena>(new_cap);
+
+  // Choose the evacuation order: sliding (address) order preserves temporal
+  // allocation locality; breadth-first emulates a copying collector.
+  std::vector<Block*> order;
+  if (heap_.cfg_.evacuation_order == EvacuationOrder::kBreadthFirst) {
+    order = bfs_order_;
+  } else {
+    order.reserve(bfs_order_.size());
+    heap_.old_->for_each_block([&](Block* b) {
+      if (b->h.mark) order.push_back(b);
+    });
+    heap_.young_->for_each_block([&](Block* b) {
+      if (b->h.mark) order.push_back(b);
+    });
+  }
+
+  for (Block* b : order) {
+    Block* dst = new_old->allocate(b->footprint());
+    assert(dst != nullptr);
+    std::memcpy(dst, b, b->footprint());
+    dst->h.generation = Generation::kOld;
+    dst->h.mark = 0;
+    dst->h.in_remembered_set = 0;
+    dst->h.forward = nullptr;
+    b->h.forward = dst;
+    heap_.stats_.gc.bytes_evacuated += b->footprint();
+  }
+
+  // Sweep & patch the table.
+  auto& entries = heap_.table_.entries_;
+  for (BlockIndex i = 1; i < entries.size(); ++i) {
+    Block* b = entries[i];
+    if (b == nullptr) continue;
+    if (b->h.mark) {
+      entries[i] = b->h.forward;
+    } else {
+      entries[i] = nullptr;
+      heap_.table_.free_list_.push_back(i);
+      ++heap_.stats_.gc.entries_freed;
+    }
+  }
+
+  // Patch direct block references (before the arenas are discarded).
+  for (Block** slot : patch_slots_) {
+    Block* b = *slot;
+    if (b != nullptr && (heap_.old_->contains(b) || heap_.young_->contains(b))) {
+      *slot = b->h.forward;
+    }
+  }
+
+  for (BlockIndex idx : heap_.remembered_) {
+    if (!heap_.table_.is_free(idx)) {
+      heap_.table_.raw(idx)->h.in_remembered_set = 0;
+    }
+  }
+  heap_.remembered_.clear();
+  heap_.old_ = std::move(new_old);
+  heap_.young_->reset();
+}
+
+}  // namespace mojave::runtime

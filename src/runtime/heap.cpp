@@ -1,0 +1,271 @@
+#include "runtime/heap.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/error.hpp"
+
+namespace mojave::runtime {
+
+Heap::Heap(HeapConfig cfg)
+    : cfg_(cfg),
+      young_(std::make_unique<Arena>(cfg.young_capacity)),
+      old_(std::make_unique<Arena>(cfg.old_capacity)) {}
+
+// --- Allocation -----------------------------------------------------------
+
+Block* Heap::allocate_block(BlockKind kind, std::uint32_t count,
+                            bool prefer_old) {
+  const std::size_t fp = Block::footprint_for(kind, count);
+  const auto init = [&](Block* b, Generation gen) {
+    b->h = BlockHeader{};
+    b->h.spec_epoch = spec_epoch_;
+    b->h.count = count;
+    b->h.kind = kind;
+    b->h.generation = gen;
+    ++stats_.blocks_allocated;
+    stats_.bytes_allocated += fp;
+    return b;
+  };
+
+  // Small allocations go to the nursery; oversized ones and old-generation
+  // COW clones go straight to the old space.
+  if (!prefer_old && cfg_.generational && fp <= young_->capacity() / 2) {
+    if (Block* b = young_->allocate(fp)) return init(b, Generation::kYoung);
+    collect(false);
+    if (Block* b = young_->allocate(fp)) return init(b, Generation::kYoung);
+  }
+  if (Block* b = old_->allocate(fp)) return init(b, Generation::kOld);
+  Gc(*this, /*major=*/true, fp).run();
+  if (Block* b = old_->allocate(fp)) return init(b, Generation::kOld);
+  throw Error("heap exhausted: cannot allocate " + std::to_string(fp) +
+              " bytes");
+}
+
+BlockIndex Heap::alloc_tagged(std::uint32_t nslots, Value init) {
+  Block* b = allocate_block(BlockKind::kTagged, nslots, /*prefer_old=*/false);
+  Value* s = b->slots();
+  for (std::uint32_t i = 0; i < nslots; ++i) s[i] = init;
+  const BlockIndex idx = table_.insert(b);
+  // An oversized block lands in the old generation at birth; if its fill
+  // value references a young block the barrier must see it.
+  if (nslots > 0) barrier(b, init);
+  if (write_hook_ != nullptr) write_hook_->after_alloc(idx);
+  return idx;
+}
+
+BlockIndex Heap::alloc_raw(std::uint32_t nbytes) {
+  Block* b = allocate_block(BlockKind::kRaw, nbytes, /*prefer_old=*/false);
+  std::memset(b->bytes(), 0, nbytes);
+  const BlockIndex idx = table_.insert(b);
+  if (write_hook_ != nullptr) write_hook_->after_alloc(idx);
+  return idx;
+}
+
+BlockIndex Heap::alloc_raw_copy(std::span<const std::byte> data) {
+  Block* b = allocate_block(BlockKind::kRaw,
+                            static_cast<std::uint32_t>(data.size()),
+                            /*prefer_old=*/false);
+  std::memcpy(b->bytes(), data.data(), data.size());
+  const BlockIndex idx = table_.insert(b);
+  if (write_hook_ != nullptr) write_hook_->after_alloc(idx);
+  return idx;
+}
+
+BlockIndex Heap::alloc_string(std::string_view s) {
+  Block* b = allocate_block(BlockKind::kRaw,
+                            static_cast<std::uint32_t>(s.size() + 1),
+                            /*prefer_old=*/false);
+  std::memcpy(b->bytes(), s.data(), s.size());
+  b->bytes()[s.size()] = std::byte{0};
+  const BlockIndex idx = table_.insert(b);
+  if (write_hook_ != nullptr) write_hook_->after_alloc(idx);
+  return idx;
+}
+
+// --- Validated access -------------------------------------------------------
+
+Value Heap::read_slot(BlockIndex idx, std::uint32_t off) const {
+  return deref(idx)->slot(off);
+}
+
+void Heap::write_slot(BlockIndex idx, std::uint32_t off, Value v) {
+  if (write_hook_ != nullptr) write_hook_->before_write(idx);
+  Block* b = deref(idx);  // re-deref: the hook may have redirected idx
+  b->slot(off) = v;
+  barrier(b, v);
+}
+
+Block* Heap::checked_raw_block(BlockIndex idx, std::uint32_t off,
+                               std::uint32_t width) const {
+  if (width != 1 && width != 2 && width != 4 && width != 8) {
+    throw SafetyError("raw access width must be 1, 2, 4 or 8");
+  }
+  Block* b = deref(idx);
+  if (b->h.kind != BlockKind::kRaw) {
+    throw SafetyError("raw access to tagged block");
+  }
+  if (off > b->h.count || b->h.count - off < width) {
+    throw SafetyError("raw access at offset " + std::to_string(off) +
+                      " width " + std::to_string(width) +
+                      " overruns block of " + std::to_string(b->h.count) +
+                      " bytes");
+  }
+  return b;
+}
+
+std::int64_t Heap::raw_load(BlockIndex idx, std::uint32_t off,
+                            std::uint32_t width) const {
+  const Block* b = checked_raw_block(idx, off, width);
+  const std::byte* p = b->bytes() + off;
+  std::uint64_t v = 0;
+  for (std::uint32_t i = 0; i < width; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(p[i]))
+         << (8 * i);
+  }
+  // Sign-extend from the loaded width.
+  if (width < 8) {
+    const std::uint64_t sign_bit = std::uint64_t{1} << (8 * width - 1);
+    if (v & sign_bit) v |= ~((sign_bit << 1) - 1);
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+void Heap::raw_store(BlockIndex idx, std::uint32_t off, std::uint32_t width,
+                     std::int64_t v) {
+  if (write_hook_ != nullptr) write_hook_->before_write(idx);
+  Block* b = checked_raw_block(idx, off, width);
+  std::byte* p = b->bytes() + off;
+  const auto u = static_cast<std::uint64_t>(v);
+  for (std::uint32_t i = 0; i < width; ++i) {
+    p[i] = std::byte{static_cast<std::uint8_t>(u >> (8 * i))};
+  }
+}
+
+double Heap::raw_load_f64(BlockIndex idx, std::uint32_t off) const {
+  const std::int64_t bits = raw_load(idx, off, 8);
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+void Heap::raw_store_f64(BlockIndex idx, std::uint32_t off, double v) {
+  std::int64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  raw_store(idx, off, 8, bits);
+}
+
+std::string Heap::read_string(PtrValue p) const {
+  const Block* b = deref(p.index);
+  if (b->h.kind != BlockKind::kRaw) {
+    throw SafetyError("string read from tagged block");
+  }
+  if (p.offset > b->h.count) throw SafetyError("string read out of bounds");
+  std::string out;
+  for (std::uint32_t i = p.offset; i < b->h.count; ++i) {
+    const char c = static_cast<char>(b->bytes()[i]);
+    if (c == '\0') break;
+    out.push_back(c);
+  }
+  return out;
+}
+
+// --- Speculation support -----------------------------------------------------
+
+Heap::ClonePair Heap::cow_clone(BlockIndex idx) {
+  Block* cur = table_.get(idx);
+  const BlockKind kind = cur->h.kind;
+  const std::uint32_t count = cur->h.count;
+  const bool prefer_old = cur->h.generation == Generation::kOld;
+  const bool was_remembered = cur->h.in_remembered_set != 0;
+
+  ScopedBlockProtect protect(*this, cur);
+  Block* clone = allocate_block(kind, count, prefer_old);
+  cur = protect.get();
+
+  std::memcpy(reinterpret_cast<std::byte*>(clone) + sizeof(Block),
+              reinterpret_cast<const std::byte*>(cur) + sizeof(Block),
+              cur->payload_bytes());
+  clone->h.spec_epoch = spec_epoch_;
+  table_.redirect(idx, clone);
+  // The clone inherits the original's remembered-set membership: it holds
+  // the same slots, so it may hold the same old→young edges. The set
+  // itself tracks indices, which now resolve to the clone.
+  if (was_remembered) clone->h.in_remembered_set = 1;
+  ++stats_.cow_clones;
+  return ClonePair{cur, clone};
+}
+
+// --- Write barrier -----------------------------------------------------------
+
+void Heap::barrier(Block* dst, Value v) {
+  if (dst->h.generation != Generation::kOld || !v.is(Tag::kPtr)) return;
+  if (dst->h.in_remembered_set) return;
+  const BlockIndex tgt = v.as_ptr().index;
+  if (table_.is_free(tgt)) return;
+  if (table_.raw(tgt)->h.generation == Generation::kYoung) {
+    dst->h.in_remembered_set = 1;
+    remembered_.push_back(dst->h.index);
+  }
+}
+
+// --- Roots & collection ------------------------------------------------------
+
+void Heap::add_root_provider(RootProvider* p) { root_providers_.push_back(p); }
+
+void Heap::remove_root_provider(RootProvider* p) {
+  root_providers_.erase(
+      std::remove(root_providers_.begin(), root_providers_.end(), p),
+      root_providers_.end());
+}
+
+void Heap::collect(bool major) { Gc(*this, major, 0).run(); }
+
+std::size_t Heap::live_bytes() const {
+  std::size_t total = 0;
+  const_cast<PointerTable&>(table_).for_each_entry(
+      [&](BlockIndex, Block*& b) { total += b->footprint(); });
+  return total;
+}
+
+Block* Heap::restore_block(BlockIndex idx, BlockKind kind,
+                           std::uint32_t count) {
+  const std::size_t fp = Block::footprint_for(kind, count);
+  Block* b = old_->allocate(fp);
+  if (b == nullptr) {
+    throw ImageError("heap image larger than configured old-space capacity");
+  }
+  b->h = BlockHeader{};
+  b->h.count = count;
+  b->h.kind = kind;
+  b->h.generation = Generation::kOld;
+  ++stats_.blocks_allocated;
+  stats_.bytes_allocated += fp;
+  table_.restore_at(idx, b);
+  return b;
+}
+
+void Heap::reset() {
+  table_.clear();
+  funs_.clear();
+  young_->reset();
+  old_->reset();
+  remembered_.clear();
+  spec_epoch_ = 0;
+}
+
+// --- ScopedBlockProtect ------------------------------------------------------
+
+ScopedBlockProtect::ScopedBlockProtect(Heap& heap, Block* block)
+    : heap_(heap), slot_(heap.protected_blocks_.size()) {
+  heap_.protected_blocks_.push_back(block);
+}
+
+ScopedBlockProtect::~ScopedBlockProtect() {
+  // Stack discipline: protections nest.
+  heap_.protected_blocks_.pop_back();
+}
+
+Block* ScopedBlockProtect::get() const { return heap_.protected_blocks_[slot_]; }
+
+}  // namespace mojave::runtime

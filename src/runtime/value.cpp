@@ -1,0 +1,45 @@
+#include "runtime/value.hpp"
+
+#include <sstream>
+
+namespace mojave::runtime {
+
+const char* tag_name(Tag tag) {
+  switch (tag) {
+    case Tag::kUnit:
+      return "unit";
+    case Tag::kInt:
+      return "int";
+    case Tag::kFloat:
+      return "float";
+    case Tag::kPtr:
+      return "ptr";
+    case Tag::kFun:
+      return "fun";
+  }
+  return "?";
+}
+
+std::string Value::to_string() const {
+  std::ostringstream out;
+  switch (tag_) {
+    case Tag::kUnit:
+      out << "()";
+      break;
+    case Tag::kInt:
+      out << i_;
+      break;
+    case Tag::kFloat:
+      out << f_;
+      break;
+    case Tag::kPtr:
+      out << "<" << p_.index << "+" << p_.offset << ">";
+      break;
+    case Tag::kFun:
+      out << "fun#" << fun_;
+      break;
+  }
+  return out.str();
+}
+
+}  // namespace mojave::runtime

@@ -1,0 +1,142 @@
+// Tagged runtime values.
+//
+// FIR variables are immutable and carry one of five runtime shapes: unit,
+// integer, float, pointer, or function reference. Source-level C pointers
+// are represented as (base, offset) pairs where the base is an *index* into
+// the pointer table, never a machine address (paper, Section 4.1.1). This
+// is what makes relocation — and therefore migration, speculation, and
+// compaction — possible.
+//
+// Every accessor performs the runtime type check the paper's backend emits:
+// using a value at the wrong tag raises SafetyError instead of reading a
+// bit pattern at the wrong type.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/common.hpp"
+#include "support/error.hpp"
+
+namespace mojave::runtime {
+
+enum class Tag : std::uint8_t {
+  kUnit = 0,
+  kInt = 1,
+  kFloat = 2,
+  kPtr = 3,
+  kFun = 4,
+};
+
+[[nodiscard]] const char* tag_name(Tag tag);
+
+/// A (pointer-table index, byte-or-slot offset) pair: the runtime image of
+/// a source-level pointer.
+struct PtrValue {
+  BlockIndex index = kNullIndex;
+  std::uint32_t offset = 0;
+
+  [[nodiscard]] bool operator==(const PtrValue&) const = default;
+};
+
+/// Trivially copyable 16-byte tagged value. Values live in virtual
+/// registers and in tagged heap blocks; because they are self-describing
+/// they serialize architecture-independently.
+class Value {
+ public:
+  constexpr Value() : tag_(Tag::kUnit), i_(0) {}
+
+  [[nodiscard]] static Value unit() { return Value(); }
+  [[nodiscard]] static Value from_int(std::int64_t v) {
+    Value x;
+    x.tag_ = Tag::kInt;
+    x.i_ = v;
+    return x;
+  }
+  [[nodiscard]] static Value from_float(double v) {
+    Value x;
+    x.tag_ = Tag::kFloat;
+    x.f_ = v;
+    return x;
+  }
+  [[nodiscard]] static Value from_ptr(BlockIndex index,
+                                      std::uint32_t offset = 0) {
+    Value x;
+    x.tag_ = Tag::kPtr;
+    x.p_ = PtrValue{index, offset};
+    return x;
+  }
+  [[nodiscard]] static Value from_ptr(PtrValue p) {
+    Value x;
+    x.tag_ = Tag::kPtr;
+    x.p_ = p;
+    return x;
+  }
+  [[nodiscard]] static Value from_fun(FunIndex f) {
+    Value x;
+    x.tag_ = Tag::kFun;
+    x.fun_ = f;
+    return x;
+  }
+
+  [[nodiscard]] Tag tag() const { return tag_; }
+  [[nodiscard]] bool is(Tag t) const { return tag_ == t; }
+
+  [[nodiscard]] std::int64_t as_int() const {
+    check(Tag::kInt);
+    return i_;
+  }
+  [[nodiscard]] double as_float() const {
+    check(Tag::kFloat);
+    return f_;
+  }
+  [[nodiscard]] PtrValue as_ptr() const {
+    check(Tag::kPtr);
+    return p_;
+  }
+  [[nodiscard]] FunIndex as_fun() const {
+    check(Tag::kFun);
+    return fun_;
+  }
+
+  /// Human-readable rendering for diagnostics and the FIR printer.
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] bool operator==(const Value& o) const {
+    if (tag_ != o.tag_) return false;
+    switch (tag_) {
+      case Tag::kUnit:
+        return true;
+      case Tag::kInt:
+        return i_ == o.i_;
+      case Tag::kFloat:
+        return f_ == o.f_;
+      case Tag::kPtr:
+        return p_ == o.p_;
+      case Tag::kFun:
+        return fun_ == o.fun_;
+    }
+    return false;
+  }
+
+ private:
+  void check(Tag expected) const {
+    if (tag_ != expected) {
+      throw SafetyError(std::string("value of type ") + tag_name(tag_) +
+                        " used as " + tag_name(expected));
+    }
+  }
+
+  Tag tag_;
+  union {
+    std::int64_t i_;
+    double f_;
+    PtrValue p_;
+    FunIndex fun_;
+  };
+};
+
+static_assert(sizeof(Value) == 16);
+static_assert(std::is_trivially_copyable_v<Value>);
+
+}  // namespace mojave::runtime

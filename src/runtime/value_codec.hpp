@@ -1,0 +1,54 @@
+// Canonical encoding of tagged Values, shared by the migration image
+// format and the cluster message-passing layer. A value is a tag byte
+// followed by its payload in canonical little-endian form; pointers encode
+// as (table index, offset) — indices, never addresses, which is what makes
+// the encoding position- and architecture-independent.
+#pragma once
+
+#include "runtime/value.hpp"
+#include "support/serialize.hpp"
+
+namespace mojave::runtime {
+
+inline void write_value(Writer& w, const Value& v) {
+  w.u8(static_cast<std::uint8_t>(v.tag()));
+  switch (v.tag()) {
+    case Tag::kUnit:
+      break;
+    case Tag::kInt:
+      w.i64(v.as_int());
+      break;
+    case Tag::kFloat:
+      w.f64(v.as_float());
+      break;
+    case Tag::kPtr:
+      w.u32(v.as_ptr().index);
+      w.u32(v.as_ptr().offset);
+      break;
+    case Tag::kFun:
+      w.u32(v.as_fun());
+      break;
+  }
+}
+
+[[nodiscard]] inline Value read_value(Reader& r) {
+  const std::uint8_t tag = r.u8();
+  switch (static_cast<Tag>(tag)) {
+    case Tag::kUnit:
+      return Value::unit();
+    case Tag::kInt:
+      return Value::from_int(r.i64());
+    case Tag::kFloat:
+      return Value::from_float(r.f64());
+    case Tag::kPtr: {
+      const BlockIndex idx = r.u32();
+      const std::uint32_t off = r.u32();
+      return Value::from_ptr(idx, off);
+    }
+    case Tag::kFun:
+      return Value::from_fun(r.u32());
+  }
+  throw ImageError("bad value tag in stream");
+}
+
+}  // namespace mojave::runtime

@@ -1,0 +1,62 @@
+// Error taxonomy for the Mojave runtime and compiler.
+//
+// The compiler "is in an ideal position to enforce safety in a program, by
+// introducing runtime safety checks" (paper, Section 3). Violations of those
+// checks surface as SafetyError; static violations surface as TypeError.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mojave {
+
+/// Base class for all errors raised by Mojave components.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A runtime safety-check failure: invalid pointer-table index, free entry,
+/// out-of-bounds offset, or a heap value used at the wrong type.
+class SafetyError : public Error {
+ public:
+  explicit SafetyError(const std::string& what) : Error("safety: " + what) {}
+};
+
+/// A static type error detected by the FIR typechecker or MojC frontend.
+class TypeError : public Error {
+ public:
+  explicit TypeError(const std::string& what) : Error("type: " + what) {}
+};
+
+/// Malformed source program (lexing / parsing).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("parse: " + what) {}
+};
+
+/// Corrupt or incompatible serialized state image.
+class ImageError : public Error {
+ public:
+  explicit ImageError(const std::string& what) : Error("image: " + what) {}
+};
+
+/// Failure in the migration machinery (transport, server, protocol).
+class MigrateError : public Error {
+ public:
+  explicit MigrateError(const std::string& what) : Error("migrate: " + what) {}
+};
+
+/// Misuse of the speculation primitives (bad level, commit at level 0, ...).
+class SpecError : public Error {
+ public:
+  explicit SpecError(const std::string& what) : Error("spec: " + what) {}
+};
+
+/// Network-substrate failure (node down, partition, connection refused).
+class NetError : public Error {
+ public:
+  explicit NetError(const std::string& what) : Error("net: " + what) {}
+};
+
+}  // namespace mojave

@@ -1,0 +1,31 @@
+// FNV-1a hashing, used to checksum serialized process images so transport
+// corruption is detected before unpack attempts to rebuild a heap from a
+// damaged stream.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace mojave {
+
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+[[nodiscard]] inline std::uint64_t fnv1a(std::span<const std::byte> data,
+                                         std::uint64_t seed = kFnvOffset) {
+  std::uint64_t h = seed;
+  for (std::byte b : data) {
+    h ^= static_cast<std::uint8_t>(b);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+[[nodiscard]] inline std::uint64_t fnv1a(std::string_view s,
+                                         std::uint64_t seed = kFnvOffset) {
+  return fnv1a(std::as_bytes(std::span(s.data(), s.size())), seed);
+}
+
+}  // namespace mojave

@@ -1,0 +1,43 @@
+#include "support/log.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+namespace mojave {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+namespace {
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void Logger::write(LogLevel level, const std::string& component,
+                   const std::string& message) {
+  const auto now = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now().time_since_epoch())
+                       .count();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fprintf(stderr, "[%8lld.%03lld] %-5s %-10s %s\n",
+               static_cast<long long>(now / 1000),
+               static_cast<long long>(now % 1000), level_name(level),
+               component.c_str(), message.c_str());
+}
+
+}  // namespace mojave

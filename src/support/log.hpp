@@ -1,0 +1,58 @@
+// Minimal leveled logger. Cluster daemons and the migration server log
+// through this; tests silence it by default.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace mojave {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+
+  void write(LogLevel level, const std::string& component,
+             const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mu_;
+};
+
+/// Streams a single log record on destruction, e.g.
+///   MOJAVE_LOG(kInfo, "migrate") << "packed " << n << " blocks";
+class LogRecord {
+ public:
+  LogRecord(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogRecord() {
+    if (level_ >= Logger::instance().level()) {
+      Logger::instance().write(level_, component_, out_.str());
+    }
+  }
+  LogRecord(const LogRecord&) = delete;
+  LogRecord& operator=(const LogRecord&) = delete;
+
+  template <typename T>
+  LogRecord& operator<<(const T& v) {
+    if (level_ >= Logger::instance().level()) out_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream out_;
+};
+
+}  // namespace mojave
+
+#define MOJAVE_LOG(level, component) \
+  ::mojave::LogRecord(::mojave::LogLevel::level, (component))

@@ -1,0 +1,39 @@
+// Deterministic random-number generation for workloads and fault injection.
+//
+// Benchmarks and failure-injection tests must be reproducible run-to-run,
+// so all stochastic behaviour in the repository goes through this
+// SplitMix64-based generator with an explicit seed.
+#pragma once
+
+#include <cstdint>
+
+namespace mojave {
+
+/// SplitMix64: tiny, fast, and statistically adequate for workload shaping.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). bound must be nonzero.
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace mojave

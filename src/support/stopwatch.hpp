@@ -1,0 +1,28 @@
+// Wall-clock stopwatch used by the benchmark harness to break a migration
+// into its pack / transfer / recompile / unpack phases, mirroring the
+// phase breakdown reported in Section 5 of the paper.
+#pragma once
+
+#include <chrono>
+
+namespace mojave {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double micros() const { return seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mojave

@@ -1,0 +1,122 @@
+#include "vm/bytecode.hpp"
+
+#include "support/error.hpp"
+
+namespace mojave::vm {
+
+const CompiledFunction& CompiledProgram::function(std::uint32_t id) const {
+  if (id >= functions.size()) {
+    throw SafetyError("compiled function id " + std::to_string(id) +
+                      " out of range");
+  }
+  return functions[id];
+}
+
+namespace {
+
+void write_insn(Writer& w, const Insn& insn) {
+  w.u8(static_cast<std::uint8_t>(insn.op));
+  w.u8(insn.sub);
+  w.u16(insn.dst);
+  w.u16(insn.r1);
+  w.u16(insn.r2);
+  w.u16(insn.r3);
+  w.u32(insn.aux);
+  w.i64(insn.imm);
+  w.f64(insn.fimm);
+  w.u32(static_cast<std::uint32_t>(insn.args.size()));
+  for (std::uint16_t a : insn.args) w.u16(a);
+}
+
+Insn read_insn(Reader& r) {
+  Insn insn;
+  const std::uint8_t op = r.u8();
+  if (op > static_cast<std::uint8_t>(Op::kHalt)) {
+    throw ImageError("unknown opcode " + std::to_string(op));
+  }
+  insn.op = static_cast<Op>(op);
+  insn.sub = r.u8();
+  insn.dst = r.u16();
+  insn.r1 = r.u16();
+  insn.r2 = r.u16();
+  insn.r3 = r.u16();
+  insn.aux = r.u32();
+  insn.imm = r.i64();
+  insn.fimm = r.f64();
+  const std::uint32_t nargs = r.u32();
+  if (nargs > 65536) throw ImageError("instruction argument list too long");
+  insn.args.reserve(nargs);
+  for (std::uint32_t i = 0; i < nargs; ++i) insn.args.push_back(r.u16());
+  return insn;
+}
+
+}  // namespace
+
+void serialize_compiled(Writer& w, const CompiledProgram& p) {
+  w.str(p.name);
+  w.u32(p.entry);
+  w.u32(static_cast<std::uint32_t>(p.strings.size()));
+  for (const auto& s : p.strings) w.str(s);
+  w.u32(static_cast<std::uint32_t>(p.ext_names.size()));
+  for (const auto& s : p.ext_names) w.str(s);
+  w.u32(static_cast<std::uint32_t>(p.migrate_labels.size()));
+  for (const auto& [label, fun] : p.migrate_labels) {
+    w.u32(label);
+    w.u32(fun);
+  }
+  w.u32(static_cast<std::uint32_t>(p.functions.size()));
+  for (const CompiledFunction& f : p.functions) {
+    w.str(f.name);
+    w.u32(f.fir_id);
+    w.u32(f.arity);
+    w.u16(f.num_regs);
+    w.u32(static_cast<std::uint32_t>(f.param_tags.size()));
+    for (runtime::Tag t : f.param_tags) w.u8(static_cast<std::uint8_t>(t));
+    w.u32(static_cast<std::uint32_t>(f.code.size()));
+    for (const Insn& insn : f.code) write_insn(w, insn);
+  }
+}
+
+CompiledProgram deserialize_compiled(Reader& r) {
+  CompiledProgram p;
+  p.name = r.str();
+  p.entry = r.u32();
+  const std::uint32_t nstr = r.u32();
+  if (nstr > (1u << 24)) throw ImageError("string table too large");
+  for (std::uint32_t i = 0; i < nstr; ++i) p.strings.push_back(r.str());
+  const std::uint32_t next = r.u32();
+  if (next > (1u << 20)) throw ImageError("external table too large");
+  for (std::uint32_t i = 0; i < next; ++i) p.ext_names.push_back(r.str());
+  const std::uint32_t nlabels = r.u32();
+  if (nlabels > (1u << 20)) throw ImageError("label table too large");
+  for (std::uint32_t i = 0; i < nlabels; ++i) {
+    const MigrateLabel label = r.u32();
+    p.migrate_labels[label] = r.u32();
+  }
+  const std::uint32_t nfuns = r.u32();
+  if (nfuns > (1u << 20)) throw ImageError("too many compiled functions");
+  for (std::uint32_t i = 0; i < nfuns; ++i) {
+    CompiledFunction f;
+    f.name = r.str();
+    f.fir_id = r.u32();
+    f.arity = r.u32();
+    f.num_regs = r.u16();
+    const std::uint32_t ntags = r.u32();
+    if (ntags != f.arity) throw ImageError("param tag table size mismatch");
+    for (std::uint32_t t = 0; t < ntags; ++t) {
+      const std::uint8_t tag = r.u8();
+      if (tag > static_cast<std::uint8_t>(runtime::Tag::kFun)) {
+        throw ImageError("bad parameter tag");
+      }
+      f.param_tags.push_back(static_cast<runtime::Tag>(tag));
+    }
+    const std::uint32_t ninsns = r.u32();
+    if (ninsns > (1u << 24)) throw ImageError("function too long");
+    f.code.reserve(ninsns);
+    for (std::uint32_t k = 0; k < ninsns; ++k) f.code.push_back(read_insn(r));
+    p.functions.push_back(std::move(f));
+  }
+  return p;
+}
+
+}  // namespace mojave::vm

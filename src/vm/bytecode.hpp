@@ -1,0 +1,99 @@
+// Register bytecode: the Mojave "object code".
+//
+// The paper's backends elaborate FIR into machine-specific assembly
+// (IA32 or a simulated RISC). This repository's portable equivalent is a
+// virtual register machine: lowering (vm/lowering.hpp) plays the role of
+// the code generator, and re-running it on unpack plays the role of the
+// destination-side recompilation that dominates untrusted-migration cost.
+//
+// Trusted ("binary") migration ships this bytecode directly — see
+// serialize_compiled/deserialize_compiled — skipping typecheck and
+// lowering, exactly as MCC's binary migration ships native code between
+// identical trusted hosts.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runtime/value.hpp"
+#include "support/common.hpp"
+#include "support/serialize.hpp"
+
+namespace mojave::vm {
+
+enum class Op : std::uint8_t {
+  kLoadUnit = 0,   // dst = ()
+  kLoadInt,        // dst = imm
+  kLoadFloat,      // dst = fimm
+  kLoadString,     // dst = ptr to interned string block #aux
+  kLoadFun,        // dst = fun #aux
+  kLoadNull,       // dst = null pointer (table index 0)
+  kMove,           // dst = r1
+  kUnop,           // dst = sub(r1)
+  kBinop,          // dst = r1 sub r2
+  kAllocTagged,    // dst = alloc(r1 slots, init r2)
+  kAllocRaw,       // dst = alloc_raw(r1 bytes)
+  kRead,           // dst = read(r1 ptr, r2 off); runtime tag check vs sub
+  kWrite,          // write(r1 ptr, r2 off) := r3
+  kRawLoad,        // dst = raw_load{sub bytes}(r1, r2)
+  kRawStore,       // raw_store{sub bytes}(r1, r2) := r3
+  kRawLoadF,       // dst = raw_loadf(r1, r2)
+  kRawStoreF,      // raw_storef(r1, r2) := r3
+  kLen,            // dst = block size of r1 (slots or bytes)
+  kPtrAdd,         // dst = (r1.base, r1.off + r2)
+  kJump,           // pc = aux
+  kJumpIfZero,     // if r1 == 0 then pc = aux
+  kTailCall,       // transfer to function in r1 with args
+  kSpeculate,      // enter level; call r1(c=level, args)
+  kCommit,         // commit level r1; call r2(args)
+  kRollback,       // rollback [r1, r2] — retry
+  kAbort,          // rollback [r1, r2] — no re-entry
+  kMigrate,        // migrate [label=aux, target r1] r2(args)
+  kExternal,       // dst = external #aux (args); tag check vs sub
+  kHalt,           // halt r1
+};
+
+/// One instruction. A fat fixed struct plus an argument list keeps decode
+/// trivial and the encoding obvious.
+struct Insn {
+  Op op = Op::kHalt;
+  std::uint8_t sub = 0;  ///< unop/binop code, width, or expected Tag
+  std::uint16_t dst = 0;
+  std::uint16_t r1 = 0;
+  std::uint16_t r2 = 0;
+  std::uint16_t r3 = 0;
+  std::uint32_t aux = 0;  ///< jump target / fun id / string id / label / ext id
+  std::int64_t imm = 0;
+  double fimm = 0.0;
+  std::vector<std::uint16_t> args;  ///< argument registers for calls
+};
+
+struct CompiledFunction {
+  std::uint32_t fir_id = 0;
+  std::string name;
+  std::uint32_t arity = 0;
+  std::uint16_t num_regs = 0;
+  std::vector<runtime::Tag> param_tags;  ///< runtime check on entry
+  std::vector<Insn> code;
+};
+
+struct CompiledProgram {
+  std::string name;
+  std::uint32_t entry = 0;
+  std::vector<CompiledFunction> functions;
+  std::vector<std::string> strings;
+  std::vector<std::string> ext_names;  ///< external symbol table
+  /// migrate label → continuation function id; lets unpack verify that a
+  /// claimed resume point really is a migration point of this program.
+  std::map<MigrateLabel, std::uint32_t> migrate_labels;
+
+  [[nodiscard]] const CompiledFunction& function(std::uint32_t id) const;
+};
+
+/// Trusted-image encoding of lowered code (binary migration path).
+void serialize_compiled(Writer& w, const CompiledProgram& p);
+[[nodiscard]] CompiledProgram deserialize_compiled(Reader& r);
+
+}  // namespace mojave::vm

@@ -1,0 +1,138 @@
+// The bytecode interpreter: Mojave's execution engine.
+//
+// Executes one process image: a compiled program, a heap, and a current
+// continuation (function + argument registers). Because the FIR is in
+// continuation-passing style there is no call stack — control transfer is
+// a trampoline, and the complete execution state at any suspension point
+// is (function id, argument values), which is what makes whole-process
+// migration and speculation rollback tractable (paper, Section 4.2.2:
+// "the set of live variables across migration corresponds exactly to the
+// arguments passed to function f").
+//
+// Every heap access performs the runtime safety checks the paper's
+// backend emits: pointer-table validation, bounds checks, and tag checks.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "runtime/heap.hpp"
+#include "spec/speculation.hpp"
+#include "vm/bytecode.hpp"
+
+namespace mojave::vm {
+
+class Interpreter;
+
+/// Host function callable from managed code. Receives the interpreter (for
+/// heap access) and the evaluated arguments; returns the result value,
+/// whose tag is checked against the call site's declared type.
+using ExternalFn =
+    std::function<runtime::Value(Interpreter&, std::span<const runtime::Value>)>;
+
+/// Installed by the migration machinery; receives control at a `migrate`
+/// instruction with the full resume continuation.
+class MigrationHook {
+ public:
+  enum class Action {
+    kContinue,  ///< resume locally (checkpoint protocol, or migration failed)
+    kExit,      ///< the process has moved / suspended: stop running here
+  };
+
+  virtual ~MigrationHook() = default;
+  virtual Action on_migrate(Interpreter& vm, MigrateLabel label,
+                            const std::string& target, FunIndex resume_fun,
+                            std::span<const runtime::Value> resume_args) = 0;
+};
+
+struct RunResult {
+  enum class Kind { kHalted, kMigratedAway } kind = Kind::kHalted;
+  std::int64_t exit_code = 0;
+};
+
+struct VmStats {
+  std::uint64_t instructions = 0;
+  std::uint64_t calls = 0;
+};
+
+class Interpreter final : public runtime::RootProvider {
+ public:
+  /// `intern_strings` is false when an unpack operation will restore the
+  /// string blocks from a migrated image instead.
+  Interpreter(runtime::Heap& heap, spec::SpeculationManager& spec,
+              CompiledProgram compiled, bool intern_strings = true);
+  ~Interpreter() override;
+
+  Interpreter(const Interpreter&) = delete;
+  Interpreter& operator=(const Interpreter&) = delete;
+
+  void register_external(const std::string& name, ExternalFn fn);
+  void set_migration_hook(MigrationHook* hook) { hook_ = hook; }
+  void set_output(std::ostream* out) { out_ = out; }
+  [[nodiscard]] std::ostream& out() const { return *out_; }
+  /// 0 = unlimited. A fuse for tests and property sweeps.
+  void set_max_instructions(std::uint64_t n) { max_instructions_ = n; }
+
+  /// When enabled, a runtime safety trap (out-of-bounds access, bad tag,
+  /// null pointer) raised inside an active speculation rolls the newest
+  /// level back with c = kTrapC instead of terminating the process — the
+  /// paper's Rx-style recovery: "if a buffer overflow occurs the program
+  /// is rolled back ... and a different path of execution (potentially
+  /// allocating more memory and retrying) could be taken" (Section 2).
+  void set_trap_to_speculation(bool enable) { trap_to_speculation_ = enable; }
+
+  /// The c value delivered to a continuation re-entered by a safety trap.
+  static constexpr std::int64_t kTrapC = -2;
+
+  /// Run from the program entry point.
+  RunResult run();
+  /// Resume at an arbitrary continuation (unpack, speculation re-entry).
+  /// The function index and argument tags are validated first.
+  RunResult run_from(FunIndex fun, std::vector<runtime::Value> args);
+
+  [[nodiscard]] runtime::Heap& heap() { return heap_; }
+  [[nodiscard]] spec::SpeculationManager& spec() { return spec_; }
+  [[nodiscard]] const CompiledProgram& compiled() const { return compiled_; }
+  [[nodiscard]] const VmStats& stats() const { return stats_; }
+
+  /// Interned string blocks: process state, preserved across migration.
+  [[nodiscard]] const std::vector<BlockIndex>& string_blocks() const {
+    return string_blocks_;
+  }
+  void set_string_blocks(std::vector<BlockIndex> blocks) {
+    string_blocks_ = std::move(blocks);
+  }
+
+  void enumerate_roots(runtime::RootVisitor& visitor) override;
+
+ private:
+  void setup_function_table();
+  void intern_strings();
+  void validate_call(const CompiledFunction& fn,
+                     std::span<const runtime::Value> args) const;
+  [[nodiscard]] FunIndex resolve_callee(const runtime::Value& v) const;
+
+  runtime::Heap& heap_;
+  spec::SpeculationManager& spec_;
+  CompiledProgram compiled_;
+  std::map<std::string, ExternalFn> externals_;
+  MigrationHook* hook_ = nullptr;
+  std::ostream* out_;
+
+  std::vector<runtime::Value> regs_;
+  FunIndex pending_fun_ = 0;
+  std::vector<runtime::Value> pending_args_;
+  std::vector<BlockIndex> string_blocks_;
+  VmStats stats_;
+  std::uint64_t max_instructions_ = 0;
+  bool trap_to_speculation_ = false;
+};
+
+/// Installs the standard host externals (I/O, clocks, introspection).
+void install_default_externals(Interpreter& vm);
+
+}  // namespace mojave::vm

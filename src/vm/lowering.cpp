@@ -1,0 +1,348 @@
+#include "vm/lowering.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "support/error.hpp"
+
+namespace mojave::vm {
+
+runtime::Tag tag_of(const fir::Type& ty) {
+  switch (ty.kind) {
+    case fir::TyKind::kUnit:
+      return runtime::Tag::kUnit;
+    case fir::TyKind::kInt:
+      return runtime::Tag::kInt;
+    case fir::TyKind::kFloat:
+      return runtime::Tag::kFloat;
+    case fir::TyKind::kPtr:
+      return runtime::Tag::kPtr;
+    case fir::TyKind::kFun:
+      return runtime::Tag::kFun;
+  }
+  throw TypeError("unmappable type");
+}
+
+namespace {
+
+class FunctionLowering {
+ public:
+  FunctionLowering(const fir::Program& prog, const fir::Function& fn,
+                   CompiledProgram& out)
+      : prog_(prog), fn_(fn), out_(out) {}
+
+  CompiledFunction run() {
+    CompiledFunction cf;
+    cf.fir_id = fn_.id;
+    cf.name = fn_.name;
+    cf.arity = fn_.arity();
+    for (const fir::Type& ty : fn_.param_tys) {
+      cf.param_tags.push_back(tag_of(ty));
+    }
+    code_ = &cf.code;
+    lower_expr(fn_.body.get());
+    const std::uint32_t regs = fn_.num_vars + scratch_peak_;
+    if (regs > 65535) throw TypeError("too many registers in " + fn_.name);
+    cf.num_regs = static_cast<std::uint16_t>(regs);
+    return cf;
+  }
+
+ private:
+  Insn& emit(Op op) {
+    code_->emplace_back();
+    code_->back().op = op;
+    return code_->back();
+  }
+
+  std::uint16_t scratch() {
+    const std::uint32_t reg = fn_.num_vars + scratch_cursor_++;
+    scratch_peak_ = std::max(scratch_peak_, scratch_cursor_);
+    return static_cast<std::uint16_t>(reg);
+  }
+
+  /// Materialize an atom into a register.
+  std::uint16_t areg(const fir::Atom& a) {
+    using K = fir::Atom::Kind;
+    switch (a.kind) {
+      case K::kVar:
+        return static_cast<std::uint16_t>(a.var);
+      case K::kUnit: {
+        const std::uint16_t r = scratch();
+        emit(Op::kLoadUnit).dst = r;
+        return r;
+      }
+      case K::kInt: {
+        const std::uint16_t r = scratch();
+        Insn& i = emit(Op::kLoadInt);
+        i.dst = r;
+        i.imm = a.i;
+        return r;
+      }
+      case K::kFloat: {
+        const std::uint16_t r = scratch();
+        Insn& i = emit(Op::kLoadFloat);
+        i.dst = r;
+        i.fimm = a.f;
+        return r;
+      }
+      case K::kFunRef: {
+        const std::uint16_t r = scratch();
+        Insn& i = emit(Op::kLoadFun);
+        i.dst = r;
+        i.aux = a.fun;
+        return r;
+      }
+      case K::kString: {
+        const std::uint16_t r = scratch();
+        Insn& i = emit(Op::kLoadString);
+        i.dst = r;
+        i.aux = a.string_id;
+        return r;
+      }
+      case K::kNull: {
+        const std::uint16_t r = scratch();
+        emit(Op::kLoadNull).dst = r;
+        return r;
+      }
+    }
+    throw TypeError("malformed atom in lowering");
+  }
+
+  std::vector<std::uint16_t> aregs(const std::vector<fir::Atom>& atoms) {
+    std::vector<std::uint16_t> regs;
+    regs.reserve(atoms.size());
+    for (const fir::Atom& a : atoms) regs.push_back(areg(a));
+    return regs;
+  }
+
+  std::uint32_t ext_id(const std::string& name) {
+    for (std::uint32_t i = 0; i < out_.ext_names.size(); ++i) {
+      if (out_.ext_names[i] == name) return i;
+    }
+    out_.ext_names.push_back(name);
+    return static_cast<std::uint32_t>(out_.ext_names.size() - 1);
+  }
+
+  void lower_expr(const fir::Expr* e) {
+    using EK = fir::ExprKind;
+    for (; e != nullptr; e = e->next.get()) {
+      scratch_cursor_ = 0;  // scratches live only within one FIR node
+      switch (e->kind) {
+        case EK::kLetAtom: {
+          const std::uint16_t src = areg(e->a);
+          Insn& i = emit(Op::kMove);
+          i.dst = static_cast<std::uint16_t>(e->bind);
+          i.r1 = src;
+          break;
+        }
+        case EK::kLetUnop: {
+          const std::uint16_t src = areg(e->a);
+          Insn& i = emit(Op::kUnop);
+          i.dst = static_cast<std::uint16_t>(e->bind);
+          i.sub = static_cast<std::uint8_t>(e->unop);
+          i.r1 = src;
+          break;
+        }
+        case EK::kLetBinop: {
+          const std::uint16_t a = areg(e->a);
+          const std::uint16_t b = areg(e->b);
+          Insn& i = emit(Op::kBinop);
+          i.dst = static_cast<std::uint16_t>(e->bind);
+          i.sub = static_cast<std::uint8_t>(e->binop);
+          i.r1 = a;
+          i.r2 = b;
+          break;
+        }
+        case EK::kLetAllocTagged: {
+          const std::uint16_t n = areg(e->a);
+          const std::uint16_t init = areg(e->b);
+          Insn& i = emit(Op::kAllocTagged);
+          i.dst = static_cast<std::uint16_t>(e->bind);
+          i.r1 = n;
+          i.r2 = init;
+          break;
+        }
+        case EK::kLetAllocRaw: {
+          const std::uint16_t n = areg(e->a);
+          Insn& i = emit(Op::kAllocRaw);
+          i.dst = static_cast<std::uint16_t>(e->bind);
+          i.r1 = n;
+          break;
+        }
+        case EK::kLetRead: {
+          const std::uint16_t p = areg(e->a);
+          const std::uint16_t off = areg(e->b);
+          Insn& i = emit(Op::kRead);
+          i.dst = static_cast<std::uint16_t>(e->bind);
+          i.sub = static_cast<std::uint8_t>(tag_of(e->bind_ty));
+          i.r1 = p;
+          i.r2 = off;
+          break;
+        }
+        case EK::kWrite: {
+          const std::uint16_t p = areg(e->a);
+          const std::uint16_t off = areg(e->b);
+          const std::uint16_t v = areg(e->c_atom);
+          Insn& i = emit(Op::kWrite);
+          i.r1 = p;
+          i.r2 = off;
+          i.r3 = v;
+          break;
+        }
+        case EK::kLetRawLoad: {
+          const std::uint16_t p = areg(e->a);
+          const std::uint16_t off = areg(e->b);
+          Insn& i = emit(Op::kRawLoad);
+          i.dst = static_cast<std::uint16_t>(e->bind);
+          i.sub = static_cast<std::uint8_t>(e->width);
+          i.r1 = p;
+          i.r2 = off;
+          break;
+        }
+        case EK::kRawStore: {
+          const std::uint16_t p = areg(e->a);
+          const std::uint16_t off = areg(e->b);
+          const std::uint16_t v = areg(e->c_atom);
+          Insn& i = emit(Op::kRawStore);
+          i.sub = static_cast<std::uint8_t>(e->width);
+          i.r1 = p;
+          i.r2 = off;
+          i.r3 = v;
+          break;
+        }
+        case EK::kLetRawLoadF: {
+          const std::uint16_t p = areg(e->a);
+          const std::uint16_t off = areg(e->b);
+          Insn& i = emit(Op::kRawLoadF);
+          i.dst = static_cast<std::uint16_t>(e->bind);
+          i.r1 = p;
+          i.r2 = off;
+          break;
+        }
+        case EK::kRawStoreF: {
+          const std::uint16_t p = areg(e->a);
+          const std::uint16_t off = areg(e->b);
+          const std::uint16_t v = areg(e->c_atom);
+          Insn& i = emit(Op::kRawStoreF);
+          i.r1 = p;
+          i.r2 = off;
+          i.r3 = v;
+          break;
+        }
+        case EK::kLetLen: {
+          const std::uint16_t p = areg(e->a);
+          Insn& i = emit(Op::kLen);
+          i.dst = static_cast<std::uint16_t>(e->bind);
+          i.r1 = p;
+          break;
+        }
+        case EK::kLetPtrAdd: {
+          const std::uint16_t p = areg(e->a);
+          const std::uint16_t d = areg(e->b);
+          Insn& i = emit(Op::kPtrAdd);
+          i.dst = static_cast<std::uint16_t>(e->bind);
+          i.r1 = p;
+          i.r2 = d;
+          break;
+        }
+        case EK::kIf: {
+          const std::uint16_t cond = areg(e->a);
+          const std::size_t jz_at = code_->size();
+          Insn& jz = emit(Op::kJumpIfZero);
+          jz.r1 = cond;
+          lower_expr(e->next.get());
+          (*code_)[jz_at].aux = static_cast<std::uint32_t>(code_->size());
+          lower_expr(e->els.get());
+          return;
+        }
+        case EK::kTailCall: {
+          const std::uint16_t f = areg(e->fun);
+          auto args = aregs(e->args);
+          Insn& i = emit(Op::kTailCall);
+          i.r1 = f;
+          i.args = std::move(args);
+          return;
+        }
+        case EK::kSpeculate: {
+          const std::uint16_t f = areg(e->fun);
+          auto args = aregs(e->args);
+          Insn& i = emit(Op::kSpeculate);
+          i.r1 = f;
+          i.args = std::move(args);
+          return;
+        }
+        case EK::kCommit: {
+          const std::uint16_t level = areg(e->a);
+          const std::uint16_t f = areg(e->fun);
+          auto args = aregs(e->args);
+          Insn& i = emit(Op::kCommit);
+          i.r1 = level;
+          i.r2 = f;
+          i.args = std::move(args);
+          return;
+        }
+        case EK::kRollback:
+        case EK::kAbort: {
+          const std::uint16_t level = areg(e->a);
+          const std::uint16_t c = areg(e->b);
+          Insn& i =
+              emit(e->kind == EK::kRollback ? Op::kRollback : Op::kAbort);
+          i.r1 = level;
+          i.r2 = c;
+          return;
+        }
+        case EK::kMigrate: {
+          const std::uint16_t target = areg(e->a);
+          const std::uint16_t f = areg(e->fun);
+          auto args = aregs(e->args);
+          Insn& i = emit(Op::kMigrate);
+          i.aux = e->label;
+          i.r1 = target;
+          i.r2 = f;
+          i.args = std::move(args);
+          out_.migrate_labels[e->label] =
+              e->fun.kind == fir::Atom::Kind::kFunRef ? e->fun.fun
+                                                      : UINT32_MAX;
+          return;
+        }
+        case EK::kLetExternal: {
+          auto args = aregs(e->args);
+          Insn& i = emit(Op::kExternal);
+          i.dst = static_cast<std::uint16_t>(e->bind);
+          i.sub = static_cast<std::uint8_t>(tag_of(e->bind_ty));
+          i.aux = ext_id(e->ext_name);
+          i.args = std::move(args);
+          break;
+        }
+        case EK::kHalt: {
+          const std::uint16_t code = areg(e->a);
+          emit(Op::kHalt).r1 = code;
+          return;
+        }
+      }
+    }
+  }
+
+  const fir::Program& prog_;
+  const fir::Function& fn_;
+  CompiledProgram& out_;
+  std::vector<Insn>* code_ = nullptr;
+  std::uint32_t scratch_cursor_ = 0;
+  std::uint32_t scratch_peak_ = 0;
+};
+
+}  // namespace
+
+CompiledProgram lower(const fir::Program& program) {
+  CompiledProgram out;
+  out.name = program.name;
+  out.entry = program.entry;
+  out.strings = program.strings;
+  out.functions.reserve(program.functions.size());
+  for (const fir::Function& fn : program.functions) {
+    out.functions.push_back(FunctionLowering(program, fn, out).run());
+  }
+  return out;
+}
+
+}  // namespace mojave::vm

@@ -1,0 +1,25 @@
+// FIR → bytecode lowering: the backend of the compiler.
+//
+// "Object code generation is performed by elaborating the FIR code to
+// machine-specific assembly code, introducing runtime safety checks as
+// necessary" (paper, Section 3). Here the target is the portable register
+// machine in vm/bytecode.hpp; the runtime safety checks (pointer-table
+// validation, bounds, tags) are carried as instruction operands (`sub`)
+// and enforced by the interpreter on every access.
+//
+// Lowering is deliberately re-run on every unpack of an untrusted image:
+// together with typechecking it is the destination-side "recompilation"
+// whose cost the migration benchmarks measure.
+#pragma once
+
+#include "fir/ir.hpp"
+#include "vm/bytecode.hpp"
+
+namespace mojave::vm {
+
+[[nodiscard]] CompiledProgram lower(const fir::Program& program);
+
+/// Map a FIR type to the runtime tag its values carry.
+[[nodiscard]] runtime::Tag tag_of(const fir::Type& ty);
+
+}  // namespace mojave::vm

@@ -1,0 +1,40 @@
+#include "vm/process.hpp"
+
+#include "fir/typecheck.hpp"
+#include "support/error.hpp"
+#include "vm/lowering.hpp"
+
+namespace mojave::vm {
+
+Process::Process(fir::Program program, ProcessConfig cfg)
+    : heap_(cfg.heap), spec_(heap_) {
+  fir::typecheck(program);
+  CompiledProgram compiled = lower(program);
+  program_ = std::move(program);
+  vm_ = std::make_unique<Interpreter>(heap_, spec_, std::move(compiled),
+                                      /*intern_strings=*/true);
+  if (cfg.output != nullptr) vm_->set_output(cfg.output);
+  vm_->set_max_instructions(cfg.max_instructions);
+  vm_->set_trap_to_speculation(cfg.trap_to_speculation);
+}
+
+Process::Process(CompiledProgram compiled, ProcessConfig cfg,
+                 bool intern_strings)
+    : heap_(cfg.heap), spec_(heap_) {
+  vm_ = std::make_unique<Interpreter>(heap_, spec_, std::move(compiled),
+                                      intern_strings);
+  if (cfg.output != nullptr) vm_->set_output(cfg.output);
+  vm_->set_max_instructions(cfg.max_instructions);
+  vm_->set_trap_to_speculation(cfg.trap_to_speculation);
+}
+
+const fir::Program& Process::program() const {
+  if (!program_.has_value()) {
+    throw MigrateError(
+        "process has no FIR (it was reconstructed from a binary image); "
+        "FIR migration is unavailable");
+  }
+  return *program_;
+}
+
+}  // namespace mojave::vm

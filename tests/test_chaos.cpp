@@ -1,0 +1,66 @@
+// Chaos test: repeated random node kills during a longer grid run, with
+// the auto-resurrection daemon active. Whatever the failure schedule, the
+// computation must converge to exactly the failure-free answer — the
+// strongest form of the paper's reliability claim.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "gridapp/heat.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace mojave;
+
+class GridChaos : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GridChaos, RepeatedKillsStillProduceTheReferenceAnswer) {
+  gridapp::HeatConfig cfg;
+  cfg.nodes = 3;
+  cfg.rows = 12;
+  cfg.cols = 8;
+  cfg.steps = 90;
+  cfg.checkpoint_interval = 9;
+
+  cluster::ClusterConfig ccfg;
+  ccfg.num_nodes = cfg.nodes;
+  ccfg.recv_timeout_seconds = 30.0;
+
+  Rng rng(GetParam());
+  const auto run = gridapp::run_heat(cfg, ccfg, [&](cluster::Cluster& cl) {
+    cl.enable_auto_resurrection(0.01);
+    // Two kill rounds against random victims, each after the victim has a
+    // checkpoint to come back from.
+    for (int round = 0; round < 2; ++round) {
+      const auto victim = static_cast<net::NodeId>(rng.below(cfg.nodes));
+      const std::string ckpt = cl.checkpoint_name(victim);
+      for (int i = 0; i < 3000 && !cl.storage().exists(ckpt); ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      if (!cl.storage().exists(ckpt)) continue;
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(rng.below(20)));
+      if (!cl.network().alive(victim)) continue;  // still recovering
+      cl.kill(victim);
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    }
+  });
+
+  ASSERT_TRUE(run.all_clean) << [&] {
+    std::string s;
+    for (const auto& n : run.nodes) {
+      s += "rank " + std::to_string(n.rank) + ": " + n.error + "; ";
+    }
+    return s;
+  }();
+  const auto ref = gridapp::heat_reference_sums(cfg);
+  for (std::uint32_t r = 0; r < cfg.nodes; ++r) {
+    EXPECT_NEAR(run.sums[r], ref[r], 1e-9) << "rank " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridChaos, ::testing::Values(31, 62, 93));
+
+}  // namespace

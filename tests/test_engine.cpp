@@ -1,0 +1,105 @@
+// Engine (umbrella API) tests: compile/run/resume/serve round trips, the
+// exact surface the mojc CLI and downstream embedders use.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/engine.hpp"
+
+namespace {
+
+using namespace mojave;
+namespace fs = std::filesystem;
+
+TEST(Engine, RunSource) {
+  Engine engine;
+  const auto result = engine.run_source("t", "int main() { return 6 * 7; }");
+  EXPECT_EQ(result.run.exit_code, 42);
+  EXPECT_GT(result.vm.instructions, 0u);
+}
+
+TEST(Engine, OptimizerIsOnByDefaultAndCanBeDisabled) {
+  const std::string src =
+      "int main() { int a = 2 + 3; int b = a * a; return b; }";
+  Engine on;
+  EngineOptions off_opts;
+  off_opts.optimize = false;
+  Engine off(off_opts);
+  const auto r_on = on.run_source("t", src);
+  const auto r_off = off.run_source("t", src);
+  EXPECT_EQ(r_on.run.exit_code, 25);
+  EXPECT_EQ(r_off.run.exit_code, 25);
+  // The optimized program executes strictly fewer instructions.
+  EXPECT_LT(r_on.vm.instructions, r_off.vm.instructions);
+}
+
+TEST(Engine, CompileFileAndRunFile) {
+  const fs::path dir = fs::temp_directory_path() / "mojave_engine_test";
+  fs::create_directories(dir);
+  const fs::path src = dir / "prog.mjc";
+  {
+    std::ofstream f(src);
+    f << "int main() { print_string(\"file!\"); return 3; }";
+  }
+  Engine engine;
+  const fir::Program program = engine.compile_file(src);
+  EXPECT_EQ(program.name, "prog");
+  EXPECT_EQ(engine.run_file(src).run.exit_code, 3);
+}
+
+TEST(Engine, CheckpointThenResumeFile) {
+  const fs::path dir = fs::temp_directory_path() / "mojave_engine_ckpt";
+  fs::create_directories(dir);
+  const fs::path img = dir / "state.img";
+  fs::remove(img);
+
+  Engine engine;
+  const std::string src = "int main() {"
+                          "  int x = 10;"
+                          "  migrate(\"suspend://" + img.string() + "\");"
+                          "  return x + 32;"
+                          "}";
+  const auto first = engine.run_source("ckpt", src);
+  EXPECT_EQ(first.run.kind, vm::RunResult::Kind::kMigratedAway);
+  ASSERT_TRUE(fs::exists(img));
+
+  const auto resumed = engine.resume_file(img);
+  EXPECT_EQ(resumed.run.kind, vm::RunResult::Kind::kHalted);
+  EXPECT_EQ(resumed.run.exit_code, 42);
+}
+
+TEST(Engine, ServeAcceptsMigrationsFromAnotherEngine) {
+  Engine server_engine;
+  const std::uint16_t port = server_engine.serve(0);
+  ASSERT_GT(port, 0);
+
+  Engine client;
+  const std::string src =
+      "int main() {"
+      "  int x = 41;"
+      "  migrate(\"migrate://127.0.0.1:" + std::to_string(port) + "\");"
+      "  return x + 1;"
+      "}";
+  const auto local = client.run_source("hop", src);
+  EXPECT_EQ(local.run.kind, vm::RunResult::Kind::kMigratedAway);
+  server_engine.stop_server();
+}
+
+TEST(Engine, MissingFileIsAnError) {
+  Engine engine;
+  EXPECT_THROW((void)engine.run_file("/no/such/file.mjc"), Error);
+  EXPECT_THROW((void)engine.resume_file("/no/such/image.img"), Error);
+}
+
+TEST(Engine, DumpFirGoesToTheConfiguredStream) {
+  std::ostringstream dump;
+  EngineOptions opts;
+  opts.dump_fir = &dump;
+  Engine engine(opts);
+  (void)engine.run_source("d", "int main() { return 1; }");
+  EXPECT_NE(dump.str().find("fun main"), std::string::npos);
+  EXPECT_NE(dump.str().find("halt"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,295 @@
+// FIR-level tests: the builder's structural guarantees, the typechecker's
+// rules (one negative case per rule), the printer, and program cloning.
+#include <gtest/gtest.h>
+
+#include "fir/builder.hpp"
+#include "fir/printer.hpp"
+#include "fir/typecheck.hpp"
+
+namespace {
+
+using namespace mojave;
+using fir::Atom;
+using fir::Binop;
+using fir::ExprKind;
+using fir::Program;
+using fir::ProgramBuilder;
+using fir::Type;
+using fir::Unop;
+
+Program minimal_program(const std::function<void(ProgramBuilder&)>& extra =
+                            nullptr) {
+  ProgramBuilder pb("t");
+  auto main_id = pb.declare("main", {});
+  if (extra) extra(pb);
+  auto fb = pb.define(main_id, {});
+  fb.halt(Atom::integer(0));
+  return pb.take("main");
+}
+
+TEST(FirBuilder, RejectsUnterminatedBodies) {
+  ProgramBuilder pb("t");
+  auto id = pb.declare("main", {});
+  {
+    auto fb = pb.define(id, {});
+    (void)fb.let_atom("x", Type::integer(), Atom::integer(1));
+    // no terminator
+  }
+  EXPECT_THROW((void)pb.take("main"), TypeError);
+}
+
+TEST(FirBuilder, RejectsDoubleDefinitionAndDuplicateNames) {
+  ProgramBuilder pb("t");
+  auto id = pb.declare("main", {});
+  {
+    auto fb = pb.define(id, {});
+    fb.halt(Atom::integer(0));
+  }
+  EXPECT_THROW((void)pb.define(id, {}), TypeError);
+  EXPECT_THROW((void)pb.declare("main", {}), TypeError);
+}
+
+TEST(FirBuilder, RejectsAppendAfterTerminator) {
+  ProgramBuilder pb("t");
+  auto id = pb.declare("main", {});
+  auto fb = pb.define(id, {});
+  fb.halt(Atom::integer(0));
+  EXPECT_THROW((void)fb.let_atom("x", Type::integer(), Atom::integer(1)),
+               TypeError);
+}
+
+TEST(FirBuilder, RejectsMissingEntryOrUndefinedFunction) {
+  {
+    ProgramBuilder pb("t");
+    (void)pb.declare("helper", {});
+    EXPECT_THROW((void)pb.take("main"), TypeError);
+  }
+  {
+    ProgramBuilder pb("t");
+    auto main_id = pb.declare("main", {});
+    (void)pb.declare("never_defined", {Type::integer()});
+    auto fb = pb.define(main_id, {});
+    fb.halt(Atom::integer(0));
+    EXPECT_THROW((void)pb.take("main"), TypeError);
+  }
+}
+
+// --- Typechecker rules, one negative each -----------------------------------
+
+template <typename BuildBody>
+void expect_ill_typed(BuildBody&& body) {
+  ProgramBuilder pb("neg");
+  auto main_id = pb.declare("main", {});
+  {
+    auto fb = pb.define(main_id, {});
+    body(pb, fb);
+  }
+  EXPECT_THROW(fir::typecheck(pb.take("main")), TypeError);
+}
+
+TEST(FirTypecheck, BinopOperandTypes) {
+  expect_ill_typed([](auto&, auto& fb) {
+    (void)fb.let_binop("x", Binop::kAdd, Atom::integer(1), Atom::real(1.0));
+    fb.halt(Atom::integer(0));
+  });
+  expect_ill_typed([](auto&, auto& fb) {
+    (void)fb.let_binop("x", Binop::kFAdd, Atom::integer(1), Atom::real(1.0));
+    fb.halt(Atom::integer(0));
+  });
+}
+
+TEST(FirTypecheck, UnopOperandTypes) {
+  expect_ill_typed([](auto&, auto& fb) {
+    (void)fb.let_unop("x", Unop::kNeg, Atom::real(1.0));
+    fb.halt(Atom::integer(0));
+  });
+  expect_ill_typed([](auto&, auto& fb) {
+    (void)fb.let_unop("x", Unop::kFNeg, Atom::integer(1));
+    fb.halt(Atom::integer(0));
+  });
+}
+
+TEST(FirTypecheck, LetAnnotationMustMatch) {
+  expect_ill_typed([](auto&, auto& fb) {
+    (void)fb.let_atom("x", Type::real(), Atom::integer(1));
+    fb.halt(Atom::integer(0));
+  });
+}
+
+TEST(FirTypecheck, HaltAndBranchRequireInt) {
+  expect_ill_typed([](auto&, auto& fb) { fb.halt(Atom::real(1.0)); });
+  expect_ill_typed([](auto&, auto& fb) {
+    fb.branch(Atom::real(1.0), [](auto& t) { t.halt(Atom::integer(0)); },
+              [](auto& e) { e.halt(Atom::integer(0)); });
+  });
+}
+
+TEST(FirTypecheck, ReadWritePointerAndOffsetTypes) {
+  expect_ill_typed([](auto&, auto& fb) {
+    (void)fb.let_read("x", Type::integer(), Atom::integer(1),
+                      Atom::integer(0));
+    fb.halt(Atom::integer(0));
+  });
+  expect_ill_typed([](auto&, auto& fb) {
+    auto b = fb.let_alloc("b", Atom::integer(1), Atom::integer(0));
+    fb.write(fb.v(b), Atom::real(0.0), Atom::integer(1));
+    fb.halt(Atom::integer(0));
+  });
+}
+
+TEST(FirTypecheck, CallArityAndArgumentTypes) {
+  // Arity mismatch.
+  {
+    ProgramBuilder pb("neg");
+    auto main_id = pb.declare("main", {});
+    auto f_id = pb.declare("f", {Type::integer()});
+    {
+      auto fb = pb.define(main_id, {});
+      fb.tail_call(Atom::fun_ref(f_id), {});
+    }
+    {
+      auto fb = pb.define(f_id, {"x"});
+      fb.halt(Atom::integer(0));
+    }
+    EXPECT_THROW(fir::typecheck(pb.take("main")), TypeError);
+  }
+  // Argument type mismatch.
+  {
+    ProgramBuilder pb("neg");
+    auto main_id = pb.declare("main", {});
+    auto f_id = pb.declare("f", {Type::integer()});
+    {
+      auto fb = pb.define(main_id, {});
+      fb.tail_call(Atom::fun_ref(f_id), {Atom::real(1.0)});
+    }
+    {
+      auto fb = pb.define(f_id, {"x"});
+      fb.halt(Atom::integer(0));
+    }
+    EXPECT_THROW(fir::typecheck(pb.take("main")), TypeError);
+  }
+}
+
+TEST(FirTypecheck, SpeculateContinuationNeedsLeadingInt) {
+  ProgramBuilder pb("neg");
+  auto main_id = pb.declare("main", {});
+  auto k_id = pb.declare("k", {Type::ptr()});  // first param not int
+  {
+    auto fb = pb.define(main_id, {});
+    auto b = fb.let_alloc("b", Atom::integer(1), Atom::integer(0));
+    (void)b;
+    fb.speculate(Atom::fun_ref(k_id), {});
+  }
+  {
+    auto fb = pb.define(k_id, {"p"});
+    fb.halt(Atom::integer(0));
+  }
+  EXPECT_THROW(fir::typecheck(pb.take("main")), TypeError);
+}
+
+TEST(FirTypecheck, DuplicateMigrateLabelsRejected) {
+  ProgramBuilder pb("neg");
+  auto main_id = pb.declare("main", {});
+  auto k_id = pb.declare("k", {});
+  {
+    auto fb = pb.define(main_id, {});
+    auto tgt = fb.let_atom("t", Type::ptr(), pb.str("checkpoint://x"));
+    fb.migrate(5, fb.v(tgt), Atom::fun_ref(k_id), {});
+  }
+  {
+    auto fb = pb.define(k_id, {});
+    auto tgt = fb.let_atom("t", Type::ptr(), pb.str("checkpoint://x"));
+    fb.migrate(5, fb.v(tgt), Atom::fun_ref(k_id), {});
+  }
+  EXPECT_THROW(fir::typecheck(pb.take("main")), TypeError);
+}
+
+TEST(FirTypecheck, EntryMustBeNullary) {
+  ProgramBuilder pb("neg");
+  auto main_id = pb.declare("main", {Type::integer()});
+  {
+    auto fb = pb.define(main_id, {"x"});
+    fb.halt(Atom::integer(0));
+  }
+  EXPECT_THROW(fir::typecheck(pb.take("main")), TypeError);
+}
+
+TEST(FirTypecheck, UseBeforeBindRejected) {
+  // A variable used in the then-branch but bound only in the else-branch.
+  ProgramBuilder pb("neg");
+  auto main_id = pb.declare("main", {});
+  {
+    auto fb = pb.define(main_id, {});
+    // Manually forge a body that uses an unbound variable id.
+    auto x = fb.let_atom("x", Type::integer(), Atom::integer(1));
+    fb.branch(
+        fb.v(x),
+        [&](auto& t) {
+          // variable id x+5 was never bound
+          t.halt(Atom::variable(x + 5));
+        },
+        [&](auto& e) { e.halt(Atom::integer(0)); });
+  }
+  EXPECT_THROW(fir::typecheck(pb.take("main")), TypeError);
+}
+
+TEST(FirTypecheck, AcceptsTheMinimalProgram) {
+  EXPECT_NO_THROW(fir::typecheck(minimal_program()));
+}
+
+TEST(FirPrinter, RendersAllConstructs) {
+  ProgramBuilder pb("demo");
+  auto main_id = pb.declare("main", {});
+  auto k_id = pb.declare("k", {Type::integer(), Type::ptr()});
+  {
+    auto fb = pb.define(main_id, {});
+    auto b = fb.let_alloc("buf", Atom::integer(4), Atom::integer(0));
+    auto r = fb.let_alloc_raw("raw", Atom::integer(32));
+    fb.raw_store(4, fb.v(r), Atom::integer(0), Atom::integer(7));
+    auto x = fb.let_raw_load("x", 4, fb.v(r), Atom::integer(0));
+    auto p = fb.let_ptr_add("p", fb.v(b), Atom::integer(1));
+    fb.write(fb.v(p), Atom::integer(0), fb.v(x));
+    auto n = fb.let_len("n", fb.v(b));
+    (void)n;
+    auto s = fb.let_atom("s", Type::ptr(), pb.str("hello"));
+    (void)s;
+    fb.speculate(Atom::fun_ref(k_id), {fb.v(b)});
+  }
+  {
+    auto fb = pb.define(k_id, {"c", "buf"});
+    auto done = fb.let_binop("done", Binop::kGt, fb.arg(0), Atom::integer(0));
+    fb.branch(
+        fb.v(done),
+        [&](auto& t) {
+          t.commit(t.arg(0), Atom::fun_ref(k_id),
+                   {Atom::integer(0), t.arg(1)});
+        },
+        [&](auto& e) { e.rollback(Atom::integer(1), Atom::integer(-1)); });
+  }
+  const Program prog = pb.take("main");
+  const std::string text = fir::to_string(prog);
+  for (const char* needle :
+       {"alloc(", "alloc_raw(", "raw_store32", "raw_load32", "ptr_add(",
+        "block_size(", "speculate", "commit [", "rollback [", "if ", "str#0",
+        "fun main", "fun k"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle << "\n" << text;
+  }
+}
+
+TEST(FirClone, CloneIsDeepAndEqualByPrinting) {
+  ProgramBuilder pb("c");
+  auto main_id = pb.declare("main", {});
+  {
+    auto fb = pb.define(main_id, {});
+    auto x = fb.let_binop("x", Binop::kMul, Atom::integer(6),
+                          Atom::integer(7));
+    fb.branch(fb.v(x), [](auto& t) { t.halt(Atom::integer(1)); },
+              [](auto& e) { e.halt(Atom::integer(0)); });
+  }
+  const Program a = pb.take("main");
+  const Program b = fir::clone_program(a);
+  EXPECT_EQ(fir::to_string(a), fir::to_string(b));
+  EXPECT_NE(a.functions[0].body.get(), b.functions[0].body.get());
+}
+
+}  // namespace

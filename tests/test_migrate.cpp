@@ -1,0 +1,300 @@
+// Migration tests: pack/unpack round trips, the three protocols, the
+// migration server, and safety rejection of corrupt/forged images.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "fir/builder.hpp"
+#include "migrate/image.hpp"
+#include "migrate/migrator.hpp"
+#include "migrate/protocols.hpp"
+#include "migrate/server.hpp"
+#include "vm/process.hpp"
+
+namespace {
+
+using namespace mojave;
+using fir::Atom;
+using fir::Binop;
+using fir::ProgramBuilder;
+using fir::Type;
+using runtime::Value;
+
+namespace fs = std::filesystem;
+
+/// A program that counts to `total`, checkpointing (or migrating) via the
+/// given target every `interval` steps:
+///   loop(i, total, buf):
+///     if i >= total: halt buf[0]
+///     buf[0] += i
+///     if i % interval == 0: migrate [7, target] loop(i+1, total, buf)
+///     else loop(i+1, total, buf)
+fir::Program make_counter_program(const std::string& target, int interval) {
+  ProgramBuilder pb("counter");
+  auto main_id = pb.declare("main", {});
+  auto loop_id = pb.declare(
+      "loop", {Type::integer(), Type::integer(), Type::ptr()});
+  {
+    auto fb = pb.define(main_id, {});
+    auto buf = fb.let_alloc("buf", Atom::integer(1), Atom::integer(0));
+    fb.tail_call(Atom::fun_ref(loop_id),
+                 {Atom::integer(1), Atom::integer(10), fb.v(buf)});
+  }
+  {
+    auto fb = pb.define(loop_id, {"i", "total", "buf"});
+    auto done = fb.let_binop("done", Binop::kGt, fb.arg(0), fb.arg(1));
+    fb.branch(
+        fb.v(done),
+        [&](auto& t) {
+          auto x =
+              t.let_read("x", Type::integer(), t.arg(2), Atom::integer(0));
+          t.halt(t.v(x));
+        },
+        [&](auto& e) {
+          auto old =
+              e.let_read("old", Type::integer(), e.arg(2), Atom::integer(0));
+          auto acc = e.let_binop("acc", Binop::kAdd, e.v(old), e.arg(0));
+          e.write(e.arg(2), Atom::integer(0), e.v(acc));
+          auto i1 = e.let_binop("i1", Binop::kAdd, e.arg(0), Atom::integer(1));
+          auto m = e.let_binop("m", Binop::kMod, e.arg(0),
+                               Atom::integer(interval));
+          auto hit = e.let_unop("hit", fir::Unop::kNot, e.v(m));
+          e.branch(
+              e.v(hit),
+              [&](auto& t2) {
+                auto tgt = t2.let_atom("tgt", Type::ptr(), pb.str(target));
+                t2.migrate(7, t2.v(tgt), Atom::fun_ref(loop_id),
+                           {t2.v(i1), t2.arg(1), t2.arg(2)});
+              },
+              [&](auto& e2) {
+                e2.tail_call(Atom::fun_ref(loop_id),
+                             {e2.v(i1), e2.arg(1), e2.arg(2)});
+              });
+        });
+  }
+  return pb.take("main");
+}
+
+constexpr std::int64_t kSum1To10 = 55;
+
+TEST(Migrate, TargetParsing) {
+  auto t = migrate::MigrateTarget::parse("migrate://127.0.0.1:9000");
+  EXPECT_EQ(t.protocol, migrate::Protocol::kMigrate);
+  EXPECT_EQ(t.host, "127.0.0.1");
+  EXPECT_EQ(t.port, 9000);
+  EXPECT_EQ(t.kind, migrate::ImageKind::kFir);
+
+  t = migrate::MigrateTarget::parse("checkpoint:///tmp/x.img;binary");
+  EXPECT_EQ(t.protocol, migrate::Protocol::kCheckpoint);
+  EXPECT_EQ(t.path, "/tmp/x.img");
+  EXPECT_EQ(t.kind, migrate::ImageKind::kBinary);
+
+  t = migrate::MigrateTarget::parse("suspend://ckpt/state.img");
+  EXPECT_EQ(t.protocol, migrate::Protocol::kSuspend);
+  EXPECT_EQ(t.to_string(), "suspend://ckpt/state.img");
+
+  EXPECT_THROW(migrate::MigrateTarget::parse("bogus://x"), MigrateError);
+  EXPECT_THROW(migrate::MigrateTarget::parse("migrate://hostonly"),
+               MigrateError);
+  EXPECT_THROW(migrate::MigrateTarget::parse("no-scheme"), MigrateError);
+}
+
+TEST(Migrate, CheckpointProtocolContinuesAndFileResumes) {
+  const fs::path dir = fs::temp_directory_path() / "mojave_test_ckpt";
+  fs::create_directories(dir);
+  const fs::path file = dir / "counter.img";
+  fs::remove(file);
+
+  vm::Process p(make_counter_program("checkpoint://" + file.string(), 4));
+  migrate::Migrator mig(p);
+  const auto result = p.run();
+  // Checkpoint protocol keeps running: the process finishes locally.
+  EXPECT_EQ(result.kind, vm::RunResult::Kind::kHalted);
+  EXPECT_EQ(result.exit_code, kSum1To10);
+  ASSERT_GE(mig.events().size(), 1u);
+  EXPECT_TRUE(mig.events()[0].success);
+  ASSERT_TRUE(fs::exists(file));
+
+  // Resurrect from the *last* checkpoint (i = 9 was the last multiple of
+  // 4 + ... the last checkpoint happened at i=8, resuming from i=9).
+  // The resumed process re-checkpoints and then finishes with the same sum.
+  auto res = migrate::resurrect_from_file(
+      file, {.cfg = {}, .prepare = [](vm::Process& proc) {
+               proc.adopt_hook(std::make_unique<migrate::Migrator>(proc));
+             }});
+  EXPECT_EQ(res.run.kind, vm::RunResult::Kind::kHalted);
+  EXPECT_EQ(res.run.exit_code, kSum1To10);
+  EXPECT_GT(res.breakdown.typecheck_seconds + res.breakdown.recompile_seconds,
+            0.0);
+}
+
+TEST(Migrate, SuspendProtocolTerminatesAndResumes) {
+  const fs::path dir = fs::temp_directory_path() / "mojave_test_susp";
+  fs::create_directories(dir);
+  const fs::path file = dir / "counter.img";
+  fs::remove(file);
+
+  vm::Process p(make_counter_program("suspend://" + file.string(), 100));
+  migrate::Migrator mig(p);
+  const auto result = p.run();
+  // interval 100 → single migrate at i=... i%100==0 first hits at i=100?
+  // No: i runs 1..10, i%100==0 never... use interval that triggers: see
+  // below — with interval 100, hit = (i % 100 == 0) only at i=100, so the
+  // program runs to completion without suspending.
+  EXPECT_EQ(result.kind, vm::RunResult::Kind::kHalted);
+  EXPECT_EQ(result.exit_code, kSum1To10);
+  EXPECT_TRUE(mig.events().empty());
+
+  // Now with a triggering interval: the process suspends at i=4 and exits.
+  fs::remove(file);
+  vm::Process p2(make_counter_program("suspend://" + file.string(), 4));
+  migrate::Migrator mig2(p2);
+  const auto r2 = p2.run();
+  EXPECT_EQ(r2.kind, vm::RunResult::Kind::kMigratedAway);
+  ASSERT_TRUE(fs::exists(file));
+
+  // The suspended image resumes and completes. It will suspend again at
+  // the next interval hit, so resume repeatedly until it halts.
+  std::vector<std::byte> img = migrate::Migrator::read_image_file(file);
+  std::int64_t final_code = -1;
+  for (int hop = 0; hop < 8; ++hop) {
+    auto unpacked = migrate::unpack_process(img);
+    migrate::Migrator m(*unpacked.process);
+    const auto r = unpacked.process->resume(unpacked.resume_fun,
+                                            std::move(unpacked.resume_args));
+    if (r.kind == vm::RunResult::Kind::kHalted) {
+      final_code = r.exit_code;
+      break;
+    }
+    img = migrate::Migrator::read_image_file(file);
+  }
+  EXPECT_EQ(final_code, kSum1To10);
+}
+
+TEST(Migrate, BinaryImageRoundTrip) {
+  const fs::path dir = fs::temp_directory_path() / "mojave_test_bin";
+  fs::create_directories(dir);
+  const fs::path file = dir / "counter.img";
+  fs::remove(file);
+
+  vm::Process p(
+      make_counter_program("suspend://" + file.string() + ";binary", 4));
+  migrate::Migrator mig(p);
+  EXPECT_EQ(p.run().kind, vm::RunResult::Kind::kMigratedAway);
+
+  const auto img = migrate::Migrator::read_image_file(file);
+  EXPECT_EQ(migrate::inspect_image(img).kind, migrate::ImageKind::kBinary);
+  auto unpacked = migrate::unpack_process(img);
+  // The trusted path does not verify or recompile.
+  EXPECT_EQ(unpacked.breakdown.typecheck_seconds, 0.0);
+  EXPECT_EQ(unpacked.breakdown.recompile_seconds, 0.0);
+  EXPECT_FALSE(unpacked.process->has_fir());
+}
+
+TEST(Migrate, TcpMigrationMovesProcessToServer) {
+  migrate::MigrationServer server(migrate::MigrationServer::Options{});
+  vm::Process p(make_counter_program(
+      "migrate://127.0.0.1:" + std::to_string(server.port()), 4));
+  migrate::Migrator mig(p);
+  const auto result = p.run();
+  // First migrate at i=4 succeeds → the local copy terminates.
+  EXPECT_EQ(result.kind, vm::RunResult::Kind::kMigratedAway);
+  ASSERT_EQ(mig.events().size(), 1u);
+  EXPECT_TRUE(mig.events()[0].success);
+
+  // The server reconstructs the process. It runs until the *next* migrate
+  // instruction; the server's prepare hook did not attach a migrator, so
+  // by default the process would throw — attach one via a second server
+  // run below. Here we only check the first hop arrived and resumed.
+  const auto completed = server.wait_for(1);
+  ASSERT_EQ(completed.size(), 1u);
+  EXPECT_EQ(completed[0].program_name, "counter");
+  // Without a migrator the resumed process fails at its next migrate
+  // point; that is recorded as an error, not a crash.
+  EXPECT_FALSE(completed[0].error.empty());
+}
+
+TEST(Migrate, TcpMigrationChainsToCompletion) {
+  // A server whose prepare hook attaches a Migrator so the process can
+  // keep hopping (to itself) until it halts.
+  migrate::MigrationServer::Options opts;
+  opts.prepare = [](vm::Process& proc) {
+    proc.adopt_hook(std::make_unique<migrate::Migrator>(proc));
+  };
+  migrate::MigrationServer server(std::move(opts));
+
+  vm::Process p(make_counter_program(
+      "migrate://127.0.0.1:" + std::to_string(server.port()), 4));
+  migrate::Migrator mig(p);
+  EXPECT_EQ(p.run().kind, vm::RunResult::Kind::kMigratedAway);
+
+  // i=4 hop, i=8 hop, then halt on the server: 2 completions, the last
+  // one carrying the final sum.
+  const auto completed = server.wait_for(2);
+  ASSERT_EQ(completed.size(), 2u);
+  std::int64_t final_code = -1;
+  for (const auto& c : completed) {
+    EXPECT_TRUE(c.error.empty()) << c.error;
+    if (c.result.kind == vm::RunResult::Kind::kHalted) {
+      final_code = c.result.exit_code;
+    }
+  }
+  EXPECT_EQ(final_code, kSum1To10);
+}
+
+TEST(Migrate, RefusesActiveSpeculation) {
+  ProgramBuilder pb("specmig");
+  auto main_id = pb.declare("main", {});
+  auto body_id = pb.declare("body", {Type::integer()});
+  {
+    auto fb = pb.define(main_id, {});
+    fb.speculate(Atom::fun_ref(body_id), {});
+  }
+  {
+    auto fb = pb.define(body_id, {"c"});
+    auto tgt = fb.let_atom("tgt", Type::ptr(), pb.str("checkpoint://x.img"));
+    fb.migrate(1, fb.v(tgt), Atom::fun_ref(body_id), {fb.arg(0)});
+  }
+  vm::Process p(pb.take("main"));
+  migrate::Migrator mig(p);
+  EXPECT_THROW(p.run(), MigrateError);
+}
+
+TEST(Migrate, CorruptImageRejected) {
+  const fs::path dir = fs::temp_directory_path() / "mojave_test_corrupt";
+  fs::create_directories(dir);
+  const fs::path file = dir / "c.img";
+  vm::Process p(make_counter_program("suspend://" + file.string(), 4));
+  migrate::Migrator mig(p);
+  EXPECT_EQ(p.run().kind, vm::RunResult::Kind::kMigratedAway);
+
+  auto img = migrate::Migrator::read_image_file(file);
+  // Flip a byte in the middle: checksum must catch it.
+  img[img.size() / 2] ^= std::byte{0xff};
+  EXPECT_THROW((void)migrate::unpack_process(img), ImageError);
+
+  // Truncations must be rejected too.
+  auto truncated = migrate::Migrator::read_image_file(file);
+  truncated.resize(truncated.size() / 2);
+  EXPECT_THROW((void)migrate::unpack_process(truncated), ImageError);
+}
+
+TEST(Migrate, ForgedResumeLabelRejected) {
+  const fs::path dir = fs::temp_directory_path() / "mojave_test_forge";
+  fs::create_directories(dir);
+  const fs::path file = dir / "f.img";
+  vm::Process p(make_counter_program("suspend://" + file.string(), 4));
+  {
+    migrate::Migrator mig(p);
+    EXPECT_EQ(p.run().kind, vm::RunResult::Kind::kMigratedAway);
+  }
+  // Re-pack by hand with a label that is not a migration point.
+  auto unpacked = migrate::unpack_process(migrate::Migrator::read_image_file(file));
+  auto forged =
+      migrate::pack_process(*unpacked.process, /*label=*/999,
+                            unpacked.resume_fun, unpacked.resume_args,
+                            migrate::ImageKind::kFir);
+  EXPECT_THROW((void)migrate::unpack_process(forged.bytes), SafetyError);
+}
+
+}  // namespace

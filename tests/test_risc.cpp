@@ -1,0 +1,253 @@
+// RISC backend tests: differential execution against the bytecode
+// interpreter (both backends must agree bit-for-bit on every program),
+// speculation semantics on the second backend, and heterogeneous
+// migration — pack on the bytecode backend, resume on the RISC machine.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "frontend/compile.hpp"
+#include "migrate/image.hpp"
+#include "migrate/migrator.hpp"
+#include "risc/disasm.hpp"
+#include "risc/lower.hpp"
+#include "risc/machine.hpp"
+#include "support/rng.hpp"
+#include "vm/lowering.hpp"
+#include "vm/process.hpp"
+
+namespace {
+
+using namespace mojave;
+namespace fs = std::filesystem;
+
+struct BothResults {
+  std::int64_t bytecode_code = 0;
+  std::int64_t risc_code = 0;
+  std::string bytecode_out;
+  std::string risc_out;
+};
+
+BothResults run_on_both(const std::string& src) {
+  fir::Program program = frontend::compile_source("diff", src);
+  BothResults r;
+  {
+    std::ostringstream out;
+    vm::ProcessConfig cfg;
+    cfg.output = &out;
+    cfg.max_instructions = 50'000'000;
+    vm::Process p(fir::clone_program(program), cfg);
+    const auto res = p.run();
+    EXPECT_EQ(res.kind, vm::RunResult::Kind::kHalted);
+    r.bytecode_code = res.exit_code;
+    r.bytecode_out = out.str();
+  }
+  {
+    std::ostringstream out;
+    runtime::Heap heap;
+    spec::SpeculationManager spec(heap);
+    risc::Machine m(heap, spec, risc::lower(program));
+    m.set_output(&out);
+    m.set_max_instructions(100'000'000);
+    const auto res = m.run();
+    EXPECT_EQ(res.kind, risc::RRunResult::Kind::kHalted);
+    r.risc_code = res.exit_code;
+    r.risc_out = out.str();
+  }
+  return r;
+}
+
+TEST(Risc, AgreesOnArithmeticAndControlFlow) {
+  const auto r = run_on_both(
+      "int main() { int acc = 0;"
+      "  for (int i = 1; i <= 12; i++) {"
+      "    if (i % 3 == 0) { acc += i * i; } else { acc -= i; }"
+      "  }"
+      "  return acc; }");
+  EXPECT_EQ(r.bytecode_code, r.risc_code);
+}
+
+TEST(Risc, AgreesOnHeapAndStrings) {
+  const auto r = run_on_both(
+      "int main() { ptr a = alloc(8);"
+      "  for (int i = 0; i < 8; i++) { a[i] = i * 7; }"
+      "  print_string(\"sum=\");"
+      "  int s = 0;"
+      "  for (int i = 0; i < 8; i++) { s += a[i]; }"
+      "  print_int(s); print_string(\"\\n\");"
+      "  return s; }");
+  EXPECT_EQ(r.bytecode_code, r.risc_code);
+  EXPECT_EQ(r.bytecode_out, r.risc_out);
+  EXPECT_EQ(r.bytecode_out, "sum=196\n");
+}
+
+TEST(Risc, AgreesOnFloats) {
+  const auto r = run_on_both(
+      "int main() { float x = 1.5; float y = 0.25;"
+      "  for (int i = 0; i < 10; i++) { x = x * 1.125 + y; }"
+      "  return f2i(x * 1000.0); }");
+  EXPECT_EQ(r.bytecode_code, r.risc_code);
+}
+
+TEST(Risc, SpeculationSemanticsMatch) {
+  const auto r = run_on_both(
+      "int main() { ptr a = alloc(1); a[0] = 10; int x = 1;"
+      "  int id = speculate();"
+      "  if (id > 0) { a[0] = 20; x = 2; abort(id); }"
+      "  return a[0] * 100 + x * 10 + id; }");
+  EXPECT_EQ(r.bytecode_code, r.risc_code);
+  EXPECT_EQ(r.risc_code, 1010);
+}
+
+TEST(Risc, RollbackRetrySemanticsMatch) {
+  const auto r = run_on_both(
+      "int main() { ptr a = alloc(1); a[0] = 5;"
+      "  int id = speculate();"
+      "  if (id > 0) { a[0] = 99; rollback(id, 0 - 7); }"
+      "  int lvl = spec_level(); commit(lvl);"
+      "  return a[0] * 100 + lvl * 10 + (0 - id); }");
+  EXPECT_EQ(r.bytecode_code, r.risc_code);
+  EXPECT_EQ(r.risc_code, 517);
+}
+
+TEST(Risc, UserFunctionCallsAndRecursion) {
+  const auto r = run_on_both(
+      "int fib(int n) { if (n < 2) { return n; }"
+      "  int a = fib(n - 1); int b = fib(n - 2); return a + b; }"
+      "int main() { return fib(15); }");
+  EXPECT_EQ(r.bytecode_code, r.risc_code);
+  EXPECT_EQ(r.risc_code, 610);
+}
+
+TEST(Risc, SafetyChecksFireIdentically) {
+  fir::Program program = frontend::compile_source(
+      "oob", "int main() { ptr a = alloc(2); return a[5]; }");
+  {
+    vm::Process p(fir::clone_program(program));
+    EXPECT_THROW((void)p.run(), SafetyError);
+  }
+  {
+    runtime::Heap heap;
+    spec::SpeculationManager spec(heap);
+    risc::Machine m(heap, spec, risc::lower(program));
+    EXPECT_THROW((void)m.run(), SafetyError);
+  }
+}
+
+TEST(Risc, SpillTrafficIsAccounted) {
+  fir::Program program = frontend::compile_source(
+      "spill", "int main() { int a = 1; int b = 2; return a + b; }");
+  runtime::Heap heap;
+  spec::SpeculationManager spec(heap);
+  risc::Machine m(heap, spec, risc::lower(program));
+  EXPECT_EQ(m.run().exit_code, 3);
+  // A load/store machine pays spill traffic the bytecode VM does not.
+  EXPECT_GT(m.stats().spill_loads, 0u);
+  EXPECT_GT(m.stats().spill_stores, 0u);
+}
+
+/// Differential property: random programs agree across backends.
+class RiscDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RiscDifferential, RandomProgramsAgree) {
+  Rng rng(GetParam());
+  std::ostringstream src;
+  src << "int main() {\n  int acc = " << rng.below(64) << ";\n"
+      << "  ptr a = alloc(6);\n"
+      << "  for (int i = 0; i < 6; i++) { a[i] = i * "
+      << (1 + rng.below(5)) << "; }\n";
+  for (int i = 0; i < 12; ++i) {
+    switch (rng.below(6)) {
+      case 0: src << "  acc += a[" << rng.below(6) << "];\n"; break;
+      case 1: src << "  acc ^= " << rng.below(255) << ";\n"; break;
+      case 2: src << "  acc *= " << (1 + rng.below(3)) << ";\n"; break;
+      case 3:
+        src << "  if (acc % " << (2 + rng.below(5))
+            << " == 0) { acc += 11; } else { acc -= 5; }\n";
+        break;
+      case 4:
+        src << "  for (int k = 0; k < " << (1 + rng.below(4))
+            << "; k++) { acc += k; }\n";
+        break;
+      default:
+        src << "  a[" << rng.below(6) << "] = acc & 1023;\n";
+    }
+  }
+  src << "  return acc & 65535;\n}\n";
+  const auto r = run_on_both(src.str());
+  EXPECT_EQ(r.bytecode_code, r.risc_code) << src.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RiscDifferential,
+                         ::testing::Values(3, 6, 9, 12, 15, 18, 21, 24));
+
+// --- Heterogeneous migration ---------------------------------------------------
+
+TEST(Risc, HeterogeneousResumeFromBytecodeCheckpoint) {
+  // Pack on the bytecode backend mid-run (suspend), then resume the image
+  // on the RISC machine: the FIR image is backend-neutral, so the final
+  // answer must match the single-backend run.
+  const fs::path dir = fs::temp_directory_path() / "mojave_hetero";
+  fs::create_directories(dir);
+  const fs::path img = dir / "state.img";
+  fs::remove(img);
+
+  const std::string src =
+      "int main() {\n"
+      "  ptr a = alloc(16);\n"
+      "  int acc = 0;\n"
+      "  for (int i = 0; i < 16; i++) { a[i] = i * 13; acc += a[i]; }\n"
+      "  migrate(\"suspend://" + img.string() + "\");\n"
+      "  for (int i = 0; i < 16; i++) { acc += a[i] * 2; }\n"
+      "  return acc & 65535;\n"
+      "}\n";
+  fir::Program program = frontend::compile_source("hetero", src);
+
+  // Reference: uninterrupted bytecode run (replace suspend with checkpoint
+  // by... simply run a clone without a migrator? It would throw at migrate.
+  // Instead compute the expected value directly: acc = sum + 2*sum = 3*sum.
+  std::int64_t sum = 0;
+  for (int i = 0; i < 16; ++i) sum += i * 13;
+  const std::int64_t expected = (3 * sum) & 65535;
+
+  // Leg 1: bytecode backend runs to the suspend point.
+  {
+    vm::Process p(fir::clone_program(program));
+    migrate::Migrator mig(p);
+    ASSERT_EQ(p.run().kind, vm::RunResult::Kind::kMigratedAway);
+  }
+  ASSERT_TRUE(fs::exists(img));
+
+  // Leg 2: reconstruct the heap via unpack (it also re-verifies the FIR),
+  // then execute the remainder on the RISC machine over that same heap.
+  const auto bytes = migrate::Migrator::read_image_file(img);
+  migrate::UnpackResult unpacked = migrate::unpack_process(bytes);
+  ASSERT_TRUE(unpacked.process->has_fir());
+
+  risc::Machine machine(unpacked.process->heap(), unpacked.process->spec(),
+                        risc::lower(unpacked.process->program()),
+                        /*intern_strings=*/false);
+  machine.set_string_blocks(unpacked.process->vm().string_blocks());
+  const auto result =
+      machine.run_from(unpacked.resume_fun, std::move(unpacked.resume_args));
+  EXPECT_EQ(result.kind, risc::RRunResult::Kind::kHalted);
+  EXPECT_EQ(result.exit_code, expected);
+  EXPECT_GT(machine.stats().spill_loads, 0u);
+}
+
+TEST(Disasm, BothBackendsRenderPrograms) {
+  fir::Program program = frontend::compile_source(
+      "d", "int main() { ptr a = alloc(2); a[0] = 7; return a[0]; }");
+  const std::string bc = vm::disassemble(vm::lower(program));
+  EXPECT_NE(bc.find("bytecode program d"), std::string::npos);
+  EXPECT_NE(bc.find("alloc"), std::string::npos);
+  EXPECT_NE(bc.find("halt"), std::string::npos);
+  const std::string rc = risc::disassemble(risc::lower(program));
+  EXPECT_NE(rc.find("risc program d"), std::string::npos);
+  EXPECT_NE(rc.find("sw"), std::string::npos);  // spill stores
+  EXPECT_NE(rc.find("lw"), std::string::npos);
+  EXPECT_NE(rc.find("hwrite"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,244 @@
+// Runtime substrate unit tests: tagged values, blocks, the pointer table,
+// raw-memory canonical encoding, and the write barrier plumbing.
+#include <gtest/gtest.h>
+
+#include "runtime/heap.hpp"
+#include "runtime/value_codec.hpp"
+#include "support/serialize.hpp"
+
+namespace {
+
+using namespace mojave;
+using runtime::Block;
+using runtime::BlockKind;
+using runtime::Generation;
+using runtime::Heap;
+using runtime::HeapConfig;
+using runtime::PtrValue;
+using runtime::RootSet;
+using runtime::Tag;
+using runtime::Value;
+
+TEST(Value, TagChecksOnEveryAccessor) {
+  const Value i = Value::from_int(42);
+  EXPECT_EQ(i.as_int(), 42);
+  EXPECT_THROW((void)i.as_float(), SafetyError);
+  EXPECT_THROW((void)i.as_ptr(), SafetyError);
+  EXPECT_THROW((void)i.as_fun(), SafetyError);
+
+  const Value f = Value::from_float(2.5);
+  EXPECT_EQ(f.as_float(), 2.5);
+  EXPECT_THROW((void)f.as_int(), SafetyError);
+
+  const Value p = Value::from_ptr(3, 7);
+  EXPECT_EQ(p.as_ptr().index, 3u);
+  EXPECT_EQ(p.as_ptr().offset, 7u);
+  EXPECT_THROW((void)p.as_int(), SafetyError);
+
+  const Value u = Value::unit();
+  EXPECT_TRUE(u.is(Tag::kUnit));
+  EXPECT_THROW((void)u.as_int(), SafetyError);
+}
+
+TEST(Value, EqualityAndPrinting) {
+  EXPECT_EQ(Value::from_int(1), Value::from_int(1));
+  EXPECT_NE(Value::from_int(1), Value::from_int(2));
+  EXPECT_NE(Value::from_int(1), Value::from_float(1.0));
+  EXPECT_EQ(Value::from_ptr(2, 3).to_string(), "<2+3>");
+  EXPECT_EQ(Value::unit().to_string(), "()");
+}
+
+TEST(ValueCodec, RoundTripsEveryTag) {
+  const Value cases[] = {
+      Value::unit(), Value::from_int(-123456789), Value::from_float(3.25),
+      Value::from_ptr(77, 12), Value::from_fun(5)};
+  for (const Value& v : cases) {
+    Writer w;
+    runtime::write_value(w, v);
+    Reader r(w.view());
+    EXPECT_EQ(runtime::read_value(r), v);
+    EXPECT_TRUE(r.done());
+  }
+}
+
+TEST(PointerTable, ValidatesIndexAndFreeEntries) {
+  Heap heap;
+  const BlockIndex idx = heap.alloc_tagged(4);
+  EXPECT_NE(heap.deref(idx), nullptr);
+  // Index 0 is the permanent null pointer.
+  EXPECT_THROW((void)heap.deref(kNullIndex), SafetyError);
+  // Out-of-range index.
+  EXPECT_THROW((void)heap.deref(9999), SafetyError);
+  // Freed entries are rejected (the "free entry" check).
+  heap.table().release(idx);
+  EXPECT_THROW((void)heap.deref(idx), SafetyError);
+  // Release is idempotent.
+  heap.table().release(idx);
+}
+
+TEST(PointerTable, ReusesFreedEntries) {
+  Heap heap;
+  RootSet roots(heap);
+  const BlockIndex a = heap.alloc_tagged(1);
+  heap.table().release(a);
+  const BlockIndex b = heap.alloc_tagged(1);
+  EXPECT_EQ(a, b);  // freed slot is recycled
+  roots.pin(Value::from_ptr(b, 0));
+}
+
+TEST(PointerTable, RestoreAtEnforcesOrderAndThreadsFreeList) {
+  Heap heap(HeapConfig{.old_capacity = 1u << 20});
+  Block* b5 = heap.restore_block(5, BlockKind::kTagged, 2);
+  EXPECT_EQ(b5->h.index, 5u);
+  EXPECT_EQ(heap.deref(5), b5);
+  // Skipped entries 1..4 are free...
+  EXPECT_TRUE(heap.table().is_free(3));
+  // ...and out-of-order restore is rejected.
+  EXPECT_THROW((void)heap.restore_block(4, BlockKind::kRaw, 1), ImageError);
+  // The skipped slots are on the free list for future allocations.
+  RootSet roots(heap);
+  const BlockIndex fresh = heap.alloc_tagged(1);
+  roots.pin(Value::from_ptr(fresh, 0));
+  EXPECT_LT(fresh, 5u);
+}
+
+TEST(Block, SlotBoundsAndKindChecks) {
+  Heap heap;
+  const BlockIndex t = heap.alloc_tagged(3);
+  EXPECT_THROW((void)heap.read_slot(t, 3), SafetyError);
+  EXPECT_THROW(heap.raw_store(t, 0, 4, 1), SafetyError);  // raw op on tagged
+
+  const BlockIndex r = heap.alloc_raw(8);
+  EXPECT_THROW((void)heap.read_slot(r, 0), SafetyError);  // tagged op on raw
+  EXPECT_THROW((void)heap.raw_load(r, 5, 4), SafetyError);  // 5+4 > 8
+  EXPECT_THROW((void)heap.raw_load(r, 0, 3), SafetyError);  // bad width
+  (void)heap.raw_load(r, 4, 4);  // exactly at the end: fine
+}
+
+TEST(Heap, RawMemoryIsCanonicalLittleEndian) {
+  Heap heap;
+  const BlockIndex r = heap.alloc_raw(16);
+  heap.raw_store(r, 0, 4, 0x01020304);
+  EXPECT_EQ(heap.raw_load(r, 0, 1), 0x04);
+  EXPECT_EQ(heap.raw_load(r, 1, 1), 0x03);
+  EXPECT_EQ(heap.raw_load(r, 2, 1), 0x02);
+  EXPECT_EQ(heap.raw_load(r, 3, 1), 0x01);
+
+  // Sign extension on narrow loads.
+  heap.raw_store(r, 8, 1, -1);
+  EXPECT_EQ(heap.raw_load(r, 8, 1), -1);
+  heap.raw_store(r, 8, 2, -2);
+  EXPECT_EQ(heap.raw_load(r, 8, 2), -2);
+
+  // Doubles round-trip through the bit pattern.
+  heap.raw_store_f64(r, 8, 6.125);
+  EXPECT_EQ(heap.raw_load_f64(r, 8), 6.125);
+}
+
+TEST(Heap, StringsAreNulTerminatedRawBlocks) {
+  Heap heap;
+  const BlockIndex s = heap.alloc_string("hello");
+  EXPECT_EQ(heap.deref(s)->h.kind, BlockKind::kRaw);
+  EXPECT_EQ(heap.deref(s)->h.count, 6u);
+  EXPECT_EQ(heap.read_string(PtrValue{s, 0}), "hello");
+  EXPECT_EQ(heap.read_string(PtrValue{s, 2}), "llo");
+  EXPECT_THROW((void)heap.read_string(PtrValue{s, 99}), SafetyError);
+
+  const BlockIndex t = heap.alloc_tagged(1);
+  EXPECT_THROW((void)heap.read_string(PtrValue{t, 0}), SafetyError);
+}
+
+TEST(Heap, OversizedBlocksGoStraightToOldGeneration) {
+  Heap heap(HeapConfig{.young_capacity = 4096, .old_capacity = 1u << 20});
+  RootSet roots(heap);
+  const BlockIndex big = heap.alloc_tagged(1000);  // 16 KB > nursery/2
+  roots.pin(Value::from_ptr(big, 0));
+  EXPECT_EQ(heap.deref(big)->h.generation, Generation::kOld);
+  const BlockIndex small = heap.alloc_tagged(4);
+  roots.pin(Value::from_ptr(small, 0));
+  EXPECT_EQ(heap.deref(small)->h.generation, Generation::kYoung);
+}
+
+TEST(Heap, PerBlockOverheadIsReported) {
+  Heap heap;
+  // The paper quotes >12 bytes/block on IA32; ours carries GC + speculation
+  // state too. The exact number matters less than it being accounted for.
+  EXPECT_GE(heap.per_block_overhead(), 12u);
+  EXPECT_LE(heap.per_block_overhead(), 64u);
+}
+
+TEST(Heap, CowCloneRedirectsTableAndPreservesOldVersion) {
+  Heap heap;
+  RootSet roots(heap);
+  const BlockIndex idx = heap.alloc_tagged(2);
+  roots.pin(Value::from_ptr(idx, 0));
+  heap.write_slot(idx, 0, Value::from_int(1));
+  heap.write_slot(idx, 1, Value::from_int(2));
+
+  Block* before = heap.deref(idx);
+  auto pair = heap.cow_clone(idx);
+  EXPECT_EQ(pair.old_version, before);
+  EXPECT_NE(pair.clone, before);
+  EXPECT_EQ(heap.deref(idx), pair.clone);       // table redirected
+  EXPECT_EQ(pair.clone->h.index, idx);          // back-index stamped
+  EXPECT_EQ(pair.clone->slot(0).as_int(), 1);   // payload copied
+  EXPECT_EQ(pair.clone->slot(1).as_int(), 2);
+  // Mutating the clone leaves the old version intact.
+  heap.write_slot(idx, 0, Value::from_int(99));
+  EXPECT_EQ(pair.old_version->slot(0).as_int(), 1);
+  EXPECT_EQ(heap.stats().cow_clones, 1u);
+}
+
+TEST(Heap, ResetClearsEverything) {
+  Heap heap;
+  (void)heap.alloc_tagged(4);
+  (void)heap.alloc_raw(100);
+  heap.reset();
+  EXPECT_EQ(heap.table().live_entries(), 0u);
+  EXPECT_EQ(heap.young_used(), 0u);
+  EXPECT_EQ(heap.old_used(), 0u);
+}
+
+TEST(Support, WriterReaderRoundTrip) {
+  Writer w;
+  w.u8(7);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x123456789abcdef0ULL);
+  w.i64(-42);
+  w.f64(-2.5);
+  w.str("mojave");
+  Reader r(w.view());
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x123456789abcdef0ULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_EQ(r.f64(), -2.5);
+  EXPECT_EQ(r.str(), "mojave");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Support, ReaderRejectsTruncation) {
+  Writer w;
+  w.u32(5);
+  Reader r(w.view());
+  (void)r.u16();
+  EXPECT_THROW((void)r.u32(), ImageError);
+  Reader r2(w.view());
+  EXPECT_THROW((void)r2.str(), ImageError);  // length 5 but only 4 bytes
+}
+
+TEST(Support, WriterPatching) {
+  Writer w;
+  const std::size_t pos = w.size();
+  w.u32(0);
+  w.u32(777);
+  w.patch_u32(pos, 42);
+  Reader r(w.view());
+  EXPECT_EQ(r.u32(), 42u);
+  EXPECT_EQ(r.u32(), 777u);
+  EXPECT_THROW(w.patch_u32(w.size() - 2, 1), ImageError);
+}
+
+}  // namespace

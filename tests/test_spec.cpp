@@ -1,0 +1,312 @@
+// Speculation manager tests: level discipline, copy-on-write semantics,
+// commit folding (including out-of-order commits), rollback of multiple
+// levels, allocation release, and a randomized property sweep comparing
+// the heap against a shadow versioned model with interleaved collections.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "runtime/heap.hpp"
+#include "spec/speculation.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace mojave;
+using runtime::Heap;
+using runtime::HeapConfig;
+using runtime::RootSet;
+using runtime::Value;
+using spec::SpeculationManager;
+
+struct Fixture {
+  Heap heap{HeapConfig{.young_capacity = 1u << 15}};
+  SpeculationManager spec{heap};
+  RootSet roots{heap};
+
+  BlockIndex make(std::int64_t v) {
+    const BlockIndex idx = heap.alloc_tagged(2, Value::from_int(v));
+    roots.pin(Value::from_ptr(idx, 0));
+    return idx;
+  }
+  std::int64_t get(BlockIndex idx) { return heap.read_slot(idx, 0).as_int(); }
+  void set(BlockIndex idx, std::int64_t v) {
+    heap.write_slot(idx, 0, Value::from_int(v));
+  }
+};
+
+TEST(Spec, LevelNumberingAndValidation) {
+  Fixture f;
+  EXPECT_EQ(f.spec.current_level(), 0u);
+  EXPECT_THROW(f.spec.commit(1), SpecError);
+  EXPECT_THROW((void)f.spec.rollback(1, 0, false), SpecError);
+
+  EXPECT_EQ(f.spec.speculate({}), 1u);
+  EXPECT_EQ(f.spec.speculate({}), 2u);
+  EXPECT_EQ(f.spec.current_level(), 2u);
+  EXPECT_THROW(f.spec.commit(3), SpecError);
+  EXPECT_THROW(f.spec.commit(0), SpecError);
+}
+
+TEST(Spec, WritesOutsideSpeculationAreNotVersioned) {
+  Fixture f;
+  const BlockIndex idx = f.make(1);
+  f.set(idx, 2);
+  EXPECT_EQ(f.heap.stats().cow_clones, 0u);
+  EXPECT_EQ(f.spec.preserved_blocks(), 0u);
+}
+
+TEST(Spec, FirstWritePerLevelClonesOnceOnly) {
+  Fixture f;
+  const BlockIndex idx = f.make(1);
+  (void)f.spec.speculate({});
+  f.set(idx, 2);
+  f.set(idx, 3);
+  f.set(idx, 4);
+  EXPECT_EQ(f.heap.stats().cow_clones, 1u);  // one clone per level, not per write
+  EXPECT_EQ(f.spec.preserved_blocks(), 1u);
+}
+
+TEST(Spec, RollbackRestoresExactlyTheEntryState) {
+  Fixture f;
+  const BlockIndex a = f.make(10);
+  const BlockIndex b = f.make(20);
+  f.set(a, 11);  // pre-speculation mutation is permanent
+  const SpecLevel level = f.spec.speculate({});
+  f.set(a, 12);
+  f.set(b, 22);
+  (void)f.spec.rollback(level, -1, /*retry=*/false);
+  EXPECT_EQ(f.get(a), 11);
+  EXPECT_EQ(f.get(b), 20);
+  EXPECT_EQ(f.spec.current_level(), 0u);
+}
+
+TEST(Spec, RollbackReleasesInLevelAllocations) {
+  Fixture f;
+  const SpecLevel level = f.spec.speculate({});
+  const BlockIndex idx = f.heap.alloc_tagged(4);
+  EXPECT_FALSE(f.heap.table().is_free(idx));
+  (void)f.spec.rollback(level, 0, false);
+  EXPECT_TRUE(f.heap.table().is_free(idx));
+}
+
+TEST(Spec, CommitKeepsInLevelAllocations) {
+  Fixture f;
+  const SpecLevel level = f.spec.speculate({});
+  const BlockIndex idx = f.heap.alloc_tagged(4, Value::from_int(3));
+  f.roots.pin(Value::from_ptr(idx, 0));
+  f.spec.commit(level);
+  EXPECT_EQ(f.get(idx), 3);
+}
+
+TEST(Spec, NestedRollbackRestoresOldestSavedVersion) {
+  Fixture f;
+  const BlockIndex idx = f.make(1);
+  const SpecLevel l1 = f.spec.speculate({});
+  f.set(idx, 2);
+  (void)f.spec.speculate({});
+  f.set(idx, 3);
+  // Roll back both levels at once: the level-1 pre-state must win.
+  (void)f.spec.rollback(l1, 0, false);
+  EXPECT_EQ(f.get(idx), 1);
+  EXPECT_EQ(f.spec.current_level(), 0u);
+}
+
+TEST(Spec, RollbackOfInnerLevelOnlyKeepsOuterChanges) {
+  Fixture f;
+  const BlockIndex idx = f.make(1);
+  (void)f.spec.speculate({});
+  f.set(idx, 2);
+  const SpecLevel l2 = f.spec.speculate({});
+  f.set(idx, 3);
+  (void)f.spec.rollback(l2, 0, false);
+  EXPECT_EQ(f.get(idx), 2);       // outer change survives
+  EXPECT_EQ(f.spec.current_level(), 1u);
+  (void)f.spec.rollback(1, 0, false);
+  EXPECT_EQ(f.get(idx), 1);
+}
+
+TEST(Spec, CommitFoldsIntoParentSoParentRollbackUndoesBoth) {
+  Fixture f;
+  const BlockIndex idx = f.make(1);
+  const SpecLevel l1 = f.spec.speculate({});
+  f.set(idx, 2);
+  const SpecLevel l2 = f.spec.speculate({});
+  f.set(idx, 3);
+  f.spec.commit(l2);  // fold into level 1
+  EXPECT_EQ(f.get(idx), 3);
+  (void)f.spec.rollback(l1, 0, false);
+  // "rollback [l] reverts all changes made by in level l and all later
+  // levels" — including the folded-in level-2 write.
+  EXPECT_EQ(f.get(idx), 1);
+}
+
+TEST(Spec, OutOfOrderCommitOfMiddleLevel) {
+  Fixture f;
+  const BlockIndex a = f.make(1);
+  const BlockIndex b = f.make(100);
+  (void)f.spec.speculate({});   // level 1
+  f.set(a, 2);
+  (void)f.spec.speculate({});   // level 2
+  f.set(b, 200);
+  (void)f.spec.speculate({});   // level 3
+  f.set(a, 3);
+
+  // Commit level 2 out of order: levels renumber, 3 becomes 2.
+  f.spec.commit(2);
+  EXPECT_EQ(f.spec.current_level(), 2u);
+
+  // Rolling back (new) level 2 undoes the a=3 write only.
+  (void)f.spec.rollback(2, 0, false);
+  EXPECT_EQ(f.get(a), 2);
+  EXPECT_EQ(f.get(b), 200);  // folded level-2 write survives at level 1
+
+  // Rolling back level 1 undoes everything.
+  (void)f.spec.rollback(1, 0, false);
+  EXPECT_EQ(f.get(a), 1);
+  EXPECT_EQ(f.get(b), 100);
+}
+
+TEST(Spec, CommitToZeroMakesEffectsPermanent) {
+  Fixture f;
+  const BlockIndex idx = f.make(1);
+  const SpecLevel level = f.spec.speculate({});
+  f.set(idx, 2);
+  f.spec.commit(level);
+  EXPECT_EQ(f.spec.current_level(), 0u);
+  EXPECT_EQ(f.get(idx), 2);
+  EXPECT_EQ(f.spec.preserved_blocks(), 0u);  // records discharged
+}
+
+TEST(Spec, RetryReentersLevelWithContinuation) {
+  Fixture f;
+  spec::SavedContinuation cont;
+  cont.fun = 3;
+  cont.args = {Value::from_int(55)};
+  const SpecLevel level = f.spec.speculate(cont);
+  const auto outcome = f.spec.rollback(level, -9, /*retry=*/true);
+  EXPECT_EQ(outcome.reentered_level, 1u);
+  EXPECT_EQ(outcome.continuation.fun, 3u);
+  EXPECT_EQ(outcome.continuation.c, -9);
+  ASSERT_EQ(outcome.continuation.args.size(), 1u);
+  EXPECT_EQ(outcome.continuation.args[0].as_int(), 55);
+  EXPECT_EQ(f.spec.current_level(), 1u);  // automatically re-entered
+}
+
+TEST(Spec, ObserversFire) {
+  Fixture f;
+  int rollbacks = 0;
+  int commits_to_zero = 0;
+  f.spec.set_rollback_observer([&](SpecLevel, bool) { ++rollbacks; });
+  f.spec.set_commit_observer([&] { ++commits_to_zero; });
+
+  const SpecLevel l1 = f.spec.speculate({});
+  const SpecLevel l2 = f.spec.speculate({});
+  f.spec.commit(l2);             // fold: not a commit to zero
+  EXPECT_EQ(commits_to_zero, 0);
+  f.spec.commit(l1);
+  EXPECT_EQ(commits_to_zero, 1);
+
+  (void)f.spec.speculate({});
+  (void)f.spec.rollback(1, 0, false);
+  EXPECT_EQ(rollbacks, 1);
+}
+
+TEST(Spec, RawBlocksAreVersionedToo) {
+  Fixture f;
+  const BlockIndex raw = f.heap.alloc_raw(16);
+  f.roots.pin(Value::from_ptr(raw, 0));
+  f.heap.raw_store(raw, 0, 8, 1111);
+  const SpecLevel level = f.spec.speculate({});
+  f.heap.raw_store(raw, 0, 8, 2222);
+  EXPECT_EQ(f.heap.raw_load(raw, 0, 8), 2222);
+  (void)f.spec.rollback(level, 0, false);
+  EXPECT_EQ(f.heap.raw_load(raw, 0, 8), 1111);
+}
+
+// --- Property sweep: shadow versioned model ---------------------------------
+
+/// The shadow model keeps a stack of snapshots: entering a level pushes a
+/// copy of the state; commit(l) drops snapshot l; rollback(l) restores
+/// snapshot l. The heap must agree with the model after every operation
+/// sequence, including interleaved minor/major collections.
+class SpecProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SpecProperty, HeapAgreesWithShadowModel) {
+  Heap heap(HeapConfig{.young_capacity = 1u << 15});
+  SpeculationManager spec(heap);
+  RootSet roots(heap);
+  Rng rng(GetParam());
+
+  using State = std::map<BlockIndex, std::int64_t>;
+  State state;                       // current (speculative) contents
+  std::vector<State> snapshots;      // snapshot at each level entry
+  std::vector<BlockIndex> blocks;
+
+  const auto check = [&] {
+    for (const auto& [idx, v] : state) {
+      ASSERT_EQ(heap.read_slot(idx, 0).as_int(), v) << "idx=" << idx;
+    }
+  };
+
+  for (int round = 0; round < 600; ++round) {
+    const double dice = rng.uniform();
+    if (dice < 0.25 || blocks.empty()) {
+      const BlockIndex idx = heap.alloc_tagged(1, Value::from_int(0));
+      roots.pin(Value::from_ptr(idx, 0));
+      blocks.push_back(idx);
+      state[idx] = 0;
+    } else if (dice < 0.60) {
+      const BlockIndex idx = blocks[rng.below(blocks.size())];
+      if (heap.table().is_free(idx)) continue;  // released by a rollback
+      const auto v = static_cast<std::int64_t>(rng.next() & 0xffff);
+      heap.write_slot(idx, 0, Value::from_int(v));
+      state[idx] = v;
+    } else if (dice < 0.75) {
+      (void)spec.speculate({});
+      snapshots.push_back(state);
+    } else if (dice < 0.85) {
+      if (spec.current_level() == 0) continue;
+      const auto level = static_cast<SpecLevel>(
+          1 + rng.below(spec.current_level()));
+      spec.commit(level);
+      snapshots.erase(snapshots.begin() + (level - 1));
+    } else if (dice < 0.93) {
+      if (spec.current_level() == 0) continue;
+      const auto level = static_cast<SpecLevel>(
+          1 + rng.below(spec.current_level()));
+      (void)spec.rollback(level, 0, /*retry=*/false);
+      state = snapshots[level - 1];
+      snapshots.resize(level - 1);
+      // Blocks allocated after the snapshot were released: purge them from
+      // the model (their indices may be recycled later).
+      for (auto it = state.begin(); it != state.end();) {
+        if (heap.table().is_free(it->first)) {
+          it = state.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    } else if (dice < 0.97) {
+      heap.collect(false);
+    } else {
+      heap.collect(true);
+    }
+    if (round % 16 == 0) check();
+  }
+
+  // Wind down: commit everything, verify, collect, verify again.
+  while (spec.current_level() > 0) {
+    spec.commit(spec.current_level());
+    snapshots.pop_back();
+  }
+  check();
+  heap.collect(true);
+  check();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpecProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace

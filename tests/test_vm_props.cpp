@@ -1,0 +1,294 @@
+// VM property sweeps: every arithmetic operator is checked against native
+// C++ semantics over a grid of operands (TEST_P), runtime safety checks
+// fire on every class of violation, and the instruction fuse works.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fir/builder.hpp"
+#include "vm/process.hpp"
+
+namespace {
+
+using namespace mojave;
+using fir::Atom;
+using fir::Binop;
+using fir::ProgramBuilder;
+using fir::Type;
+using fir::Unop;
+
+std::int64_t run_int_binop(Binop op, std::int64_t a, std::int64_t b) {
+  ProgramBuilder pb("binop");
+  auto main_id = pb.declare("main", {});
+  {
+    auto fb = pb.define(main_id, {});
+    auto x = fb.let_binop("x", op, Atom::integer(a), Atom::integer(b));
+    fb.halt(fb.v(x));
+  }
+  vm::Process p(pb.take("main"));
+  return p.run().exit_code;
+}
+
+double run_float_binop(Binop op, double a, double b) {
+  ProgramBuilder pb("fbinop");
+  auto main_id = pb.declare("main", {});
+  {
+    auto fb = pb.define(main_id, {});
+    auto x = fb.let_binop("x", op, Atom::real(a), Atom::real(b));
+    auto bits = fb.let_external("u", Type::unit(), "print_float", {fb.v(x)});
+    (void)bits;
+    fb.halt(Atom::integer(0));
+  }
+  std::ostringstream out;
+  vm::ProcessConfig cfg;
+  cfg.output = &out;
+  vm::Process p(pb.take("main"), cfg);
+  (void)p.run();
+  return std::stod(out.str());
+}
+
+struct OperandPair {
+  std::int64_t a;
+  std::int64_t b;
+};
+
+class IntArithProperty : public ::testing::TestWithParam<OperandPair> {};
+
+TEST_P(IntArithProperty, MatchesNativeSemantics) {
+  const auto [a, b] = GetParam();
+  EXPECT_EQ(run_int_binop(Binop::kAdd, a, b), a + b);
+  EXPECT_EQ(run_int_binop(Binop::kSub, a, b), a - b);
+  EXPECT_EQ(run_int_binop(Binop::kMul, a, b), a * b);
+  EXPECT_EQ(run_int_binop(Binop::kAnd, a, b), a & b);
+  EXPECT_EQ(run_int_binop(Binop::kOr, a, b), a | b);
+  EXPECT_EQ(run_int_binop(Binop::kXor, a, b), a ^ b);
+  EXPECT_EQ(run_int_binop(Binop::kShl, a, b), a << (b & 63));
+  EXPECT_EQ(run_int_binop(Binop::kShr, a, b), a >> (b & 63));
+  EXPECT_EQ(run_int_binop(Binop::kLt, a, b), a < b ? 1 : 0);
+  EXPECT_EQ(run_int_binop(Binop::kLe, a, b), a <= b ? 1 : 0);
+  EXPECT_EQ(run_int_binop(Binop::kGt, a, b), a > b ? 1 : 0);
+  EXPECT_EQ(run_int_binop(Binop::kGe, a, b), a >= b ? 1 : 0);
+  EXPECT_EQ(run_int_binop(Binop::kEq, a, b), a == b ? 1 : 0);
+  EXPECT_EQ(run_int_binop(Binop::kNe, a, b), a != b ? 1 : 0);
+  if (b != 0) {
+    EXPECT_EQ(run_int_binop(Binop::kDiv, a, b), a / b);
+    EXPECT_EQ(run_int_binop(Binop::kMod, a, b), a % b);
+  } else {
+    EXPECT_THROW((void)run_int_binop(Binop::kDiv, a, b), SafetyError);
+    EXPECT_THROW((void)run_int_binop(Binop::kMod, a, b), SafetyError);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, IntArithProperty,
+    ::testing::Values(OperandPair{0, 0}, OperandPair{1, 2},
+                      OperandPair{-7, 3}, OperandPair{7, -3},
+                      OperandPair{1 << 20, 5}, OperandPair{-1, 63},
+                      OperandPair{123456789, 987654}, OperandPair{5, 0}));
+
+TEST(VmFloat, FloatOpsMatchNative) {
+  EXPECT_DOUBLE_EQ(run_float_binop(Binop::kFAdd, 1.5, 2.25), 3.75);
+  EXPECT_DOUBLE_EQ(run_float_binop(Binop::kFSub, 1.5, 2.25), -0.75);
+  EXPECT_DOUBLE_EQ(run_float_binop(Binop::kFMul, 1.5, 2.0), 3.0);
+  EXPECT_DOUBLE_EQ(run_float_binop(Binop::kFDiv, 3.0, 2.0), 1.5);
+}
+
+std::int64_t run_unop(Unop op, std::int64_t a) {
+  ProgramBuilder pb("unop");
+  auto main_id = pb.declare("main", {});
+  {
+    auto fb = pb.define(main_id, {});
+    auto x = fb.let_unop("x", op, Atom::integer(a));
+    fb.halt(fb.v(x));
+  }
+  vm::Process p(pb.take("main"));
+  return p.run().exit_code;
+}
+
+TEST(VmUnop, IntUnops) {
+  EXPECT_EQ(run_unop(Unop::kNeg, 5), -5);
+  EXPECT_EQ(run_unop(Unop::kNot, 0), 1);
+  EXPECT_EQ(run_unop(Unop::kNot, 9), 0);
+  EXPECT_EQ(run_unop(Unop::kBitNot, 0), -1);
+}
+
+TEST(VmSafety, NullPointerDereferenceTraps) {
+  ProgramBuilder pb("null");
+  auto main_id = pb.declare("main", {});
+  {
+    auto fb = pb.define(main_id, {});
+    auto n = fb.let_atom("n", Type::ptr(), Atom::null_ptr());
+    auto x = fb.let_read("x", Type::integer(), fb.v(n), Atom::integer(0));
+    fb.halt(fb.v(x));
+  }
+  vm::Process p(pb.take("main"));
+  EXPECT_THROW((void)p.run(), SafetyError);
+}
+
+TEST(VmSafety, ReadWithWrongExpectedTagTraps) {
+  ProgramBuilder pb("tag");
+  auto main_id = pb.declare("main", {});
+  {
+    auto fb = pb.define(main_id, {});
+    auto b = fb.let_alloc("b", Atom::integer(1), Atom::real(1.5));
+    auto x = fb.let_read("x", Type::integer(), fb.v(b), Atom::integer(0));
+    fb.halt(fb.v(x));
+  }
+  vm::Process p(pb.take("main"));
+  EXPECT_THROW((void)p.run(), SafetyError);
+}
+
+TEST(VmSafety, NegativeAllocationTraps) {
+  ProgramBuilder pb("neg");
+  auto main_id = pb.declare("main", {});
+  {
+    auto fb = pb.define(main_id, {});
+    auto b = fb.let_alloc("b", Atom::integer(-3), Atom::integer(0));
+    (void)b;
+    fb.halt(Atom::integer(0));
+  }
+  vm::Process p(pb.take("main"));
+  EXPECT_THROW((void)p.run(), SafetyError);
+}
+
+TEST(VmSafety, NegativeEffectiveOffsetTraps) {
+  ProgramBuilder pb("off");
+  auto main_id = pb.declare("main", {});
+  {
+    auto fb = pb.define(main_id, {});
+    auto b = fb.let_alloc("b", Atom::integer(4), Atom::integer(0));
+    auto x = fb.let_read("x", Type::integer(), fb.v(b), Atom::integer(-1));
+    fb.halt(fb.v(x));
+  }
+  vm::Process p(pb.take("main"));
+  EXPECT_THROW((void)p.run(), SafetyError);
+}
+
+TEST(VmSafety, PtrAddDerivedPointersAreBoundsCheckedAtUse) {
+  ProgramBuilder pb("derived");
+  auto main_id = pb.declare("main", {});
+  {
+    auto fb = pb.define(main_id, {});
+    auto b = fb.let_alloc("b", Atom::integer(4), Atom::integer(7));
+    auto p = fb.let_ptr_add("p", fb.v(b), Atom::integer(3));
+    auto ok = fb.let_read("ok", Type::integer(), fb.v(p), Atom::integer(0));
+    // p points at slot 3; reading p[1] = slot 4 is out of bounds.
+    auto bad = fb.let_read("bad", Type::integer(), fb.v(p), Atom::integer(1));
+    auto sum = fb.let_binop("s", Binop::kAdd, fb.v(ok), fb.v(bad));
+    fb.halt(fb.v(sum));
+  }
+  vm::Process p(pb.take("main"));
+  EXPECT_THROW((void)p.run(), SafetyError);
+}
+
+TEST(VmSafety, UnregisteredExternalTraps) {
+  ProgramBuilder pb("ext");
+  auto main_id = pb.declare("main", {});
+  {
+    auto fb = pb.define(main_id, {});
+    auto x = fb.let_external("x", Type::integer(), "no_such_host_fn", {});
+    fb.halt(fb.v(x));
+  }
+  vm::Process p(pb.take("main"));
+  EXPECT_THROW((void)p.run(), SafetyError);
+}
+
+TEST(VmSafety, ExternalResultTagIsChecked) {
+  ProgramBuilder pb("extret");
+  auto main_id = pb.declare("main", {});
+  {
+    auto fb = pb.define(main_id, {});
+    auto x = fb.let_external("x", Type::integer(), "lying_external", {});
+    fb.halt(fb.v(x));
+  }
+  vm::Process p(pb.take("main"));
+  p.vm().register_external(
+      "lying_external",
+      [](vm::Interpreter&, std::span<const runtime::Value>) {
+        return runtime::Value::from_float(1.0);  // declared int!
+      });
+  EXPECT_THROW((void)p.run(), SafetyError);
+}
+
+TEST(VmFuel, InstructionBudgetStopsRunawayLoops) {
+  ProgramBuilder pb("spin");
+  auto main_id = pb.declare("main", {});
+  auto loop_id = pb.declare("loop", {});
+  {
+    auto fb = pb.define(main_id, {});
+    fb.tail_call(Atom::fun_ref(loop_id), {});
+  }
+  {
+    auto fb = pb.define(loop_id, {});
+    fb.tail_call(Atom::fun_ref(loop_id), {});
+  }
+  vm::ProcessConfig cfg;
+  cfg.max_instructions = 10'000;
+  vm::Process p(pb.take("main"), cfg);
+  EXPECT_THROW((void)p.run(), Error);
+  EXPECT_GE(p.vm().stats().instructions, 10'000u);
+}
+
+TEST(VmStats, CountsCallsAndInstructions) {
+  ProgramBuilder pb("stats");
+  auto main_id = pb.declare("main", {});
+  auto f_id = pb.declare("f", {Type::integer()});
+  {
+    auto fb = pb.define(main_id, {});
+    fb.tail_call(Atom::fun_ref(f_id), {Atom::integer(3)});
+  }
+  {
+    auto fb = pb.define(f_id, {"x"});
+    fb.halt(fb.arg(0));
+  }
+  vm::Process p(pb.take("main"));
+  EXPECT_EQ(p.run().exit_code, 3);
+  EXPECT_EQ(p.vm().stats().calls, 2u);  // main, f
+  EXPECT_GT(p.vm().stats().instructions, 0u);
+}
+
+/// Deterministic GC pressure: a program that allocates heavily in a loop
+/// must run identically with a tiny nursery (forcing many collections).
+TEST(VmGc, AllocationHeavyProgramSurvivesTinyNursery) {
+  ProgramBuilder pb("alloc_heavy");
+  auto main_id = pb.declare("main", {});
+  auto loop_id =
+      pb.declare("loop", {Type::integer(), Type::integer(), Type::ptr()});
+  {
+    auto fb = pb.define(main_id, {});
+    auto keep = fb.let_alloc("keep", Atom::integer(1), Atom::integer(0));
+    fb.tail_call(Atom::fun_ref(loop_id),
+                 {Atom::integer(0), Atom::integer(0), fb.v(keep)});
+  }
+  {
+    auto fb = pb.define(loop_id, {"i", "acc", "keep"});
+    auto done =
+        fb.let_binop("done", Binop::kGe, fb.arg(0), Atom::integer(2000));
+    fb.branch(
+        fb.v(done),
+        [&](auto& t) {
+          auto k =
+              t.let_read("k", Type::integer(), t.arg(2), Atom::integer(0));
+          auto sum = t.let_binop("sum", Binop::kAdd, t.arg(1), t.v(k));
+          t.halt(t.v(sum));
+        },
+        [&](auto& e) {
+          // Fresh garbage block every iteration; occasionally update keep.
+          auto tmp = e.let_alloc("tmp", Atom::integer(32), e.arg(0));
+          auto x =
+              e.let_read("x", Type::integer(), e.v(tmp), Atom::integer(5));
+          e.write(e.arg(2), Atom::integer(0), e.v(x));
+          auto i1 = e.let_binop("i1", Binop::kAdd, e.arg(0), Atom::integer(1));
+          auto a1 = e.let_binop("a1", Binop::kAdd, e.arg(1), e.v(x));
+          e.tail_call(Atom::fun_ref(loop_id), {e.v(i1), e.v(a1), e.arg(2)});
+        });
+  }
+  vm::ProcessConfig cfg;
+  cfg.heap.young_capacity = 8 * 1024;  // force frequent minor collections
+  vm::Process p(pb.take("main"), cfg);
+  // acc = sum of i for i in 0..1999  (tmp[5] == i), plus keep == 1999.
+  EXPECT_EQ(p.run().exit_code, 1999 * 2000 / 2 + 1999);
+  EXPECT_GT(p.heap().stats().gc.minor_collections, 10u);
+}
+
+}  // namespace
