@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cow.dir/bench_ablation_cow.cpp.o"
+  "CMakeFiles/bench_ablation_cow.dir/bench_ablation_cow.cpp.o.d"
+  "bench_ablation_cow"
+  "bench_ablation_cow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ptable.dir/bench_ablation_ptable.cpp.o"
+  "CMakeFiles/bench_ablation_ptable.dir/bench_ablation_ptable.cpp.o.d"
+  "bench_ablation_ptable"
+  "bench_ablation_ptable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ptable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

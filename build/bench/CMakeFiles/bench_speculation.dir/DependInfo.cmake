@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_speculation.cpp" "bench/CMakeFiles/bench_speculation.dir/bench_speculation.cpp.o" "gcc" "bench/CMakeFiles/bench_speculation.dir/bench_speculation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spec/CMakeFiles/mojave_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/mojave_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/mojave_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/fir/CMakeFiles/mojave_fir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mojave_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robust_buffer.dir/robust_buffer.cpp.o"
+  "CMakeFiles/robust_buffer.dir/robust_buffer.cpp.o.d"
+  "robust_buffer"
+  "robust_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robust_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

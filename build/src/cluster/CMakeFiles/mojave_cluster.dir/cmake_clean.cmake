@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mojave_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/mojave_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/mojave_cluster.dir/storage.cpp.o"
+  "CMakeFiles/mojave_cluster.dir/storage.cpp.o.d"
+  "CMakeFiles/mojave_cluster.dir/tracker.cpp.o"
+  "CMakeFiles/mojave_cluster.dir/tracker.cpp.o.d"
+  "libmojave_cluster.a"
+  "libmojave_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mojave_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

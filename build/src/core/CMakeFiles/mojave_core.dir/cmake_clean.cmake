@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mojave_core.dir/engine.cpp.o"
+  "CMakeFiles/mojave_core.dir/engine.cpp.o.d"
+  "libmojave_core.a"
+  "libmojave_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mojave_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mojc.dir/mojc_main.cpp.o"
+  "CMakeFiles/mojc.dir/mojc_main.cpp.o.d"
+  "mojc"
+  "mojc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mojc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

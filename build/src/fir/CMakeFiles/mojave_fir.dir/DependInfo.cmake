@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fir/builder.cpp" "src/fir/CMakeFiles/mojave_fir.dir/builder.cpp.o" "gcc" "src/fir/CMakeFiles/mojave_fir.dir/builder.cpp.o.d"
+  "/root/repo/src/fir/ir.cpp" "src/fir/CMakeFiles/mojave_fir.dir/ir.cpp.o" "gcc" "src/fir/CMakeFiles/mojave_fir.dir/ir.cpp.o.d"
+  "/root/repo/src/fir/optimize.cpp" "src/fir/CMakeFiles/mojave_fir.dir/optimize.cpp.o" "gcc" "src/fir/CMakeFiles/mojave_fir.dir/optimize.cpp.o.d"
+  "/root/repo/src/fir/printer.cpp" "src/fir/CMakeFiles/mojave_fir.dir/printer.cpp.o" "gcc" "src/fir/CMakeFiles/mojave_fir.dir/printer.cpp.o.d"
+  "/root/repo/src/fir/serialize.cpp" "src/fir/CMakeFiles/mojave_fir.dir/serialize.cpp.o" "gcc" "src/fir/CMakeFiles/mojave_fir.dir/serialize.cpp.o.d"
+  "/root/repo/src/fir/typecheck.cpp" "src/fir/CMakeFiles/mojave_fir.dir/typecheck.cpp.o" "gcc" "src/fir/CMakeFiles/mojave_fir.dir/typecheck.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mojave_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

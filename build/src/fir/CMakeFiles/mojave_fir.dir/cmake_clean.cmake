@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mojave_fir.dir/builder.cpp.o"
+  "CMakeFiles/mojave_fir.dir/builder.cpp.o.d"
+  "CMakeFiles/mojave_fir.dir/ir.cpp.o"
+  "CMakeFiles/mojave_fir.dir/ir.cpp.o.d"
+  "CMakeFiles/mojave_fir.dir/optimize.cpp.o"
+  "CMakeFiles/mojave_fir.dir/optimize.cpp.o.d"
+  "CMakeFiles/mojave_fir.dir/printer.cpp.o"
+  "CMakeFiles/mojave_fir.dir/printer.cpp.o.d"
+  "CMakeFiles/mojave_fir.dir/serialize.cpp.o"
+  "CMakeFiles/mojave_fir.dir/serialize.cpp.o.d"
+  "CMakeFiles/mojave_fir.dir/typecheck.cpp.o"
+  "CMakeFiles/mojave_fir.dir/typecheck.cpp.o.d"
+  "libmojave_fir.a"
+  "libmojave_fir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mojave_fir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmojave_fir.a"
+)

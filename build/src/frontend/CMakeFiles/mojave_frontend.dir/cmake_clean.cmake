@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mojave_frontend.dir/compile.cpp.o"
+  "CMakeFiles/mojave_frontend.dir/compile.cpp.o.d"
+  "CMakeFiles/mojave_frontend.dir/lexer.cpp.o"
+  "CMakeFiles/mojave_frontend.dir/lexer.cpp.o.d"
+  "CMakeFiles/mojave_frontend.dir/parser.cpp.o"
+  "CMakeFiles/mojave_frontend.dir/parser.cpp.o.d"
+  "libmojave_frontend.a"
+  "libmojave_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mojave_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mojave_gridapp.dir/heat.cpp.o"
+  "CMakeFiles/mojave_gridapp.dir/heat.cpp.o.d"
+  "libmojave_gridapp.a"
+  "libmojave_gridapp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mojave_gridapp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

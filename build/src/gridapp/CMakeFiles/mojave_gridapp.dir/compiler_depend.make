@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mojave_gridapp.
+# This may be replaced when dependencies are built.

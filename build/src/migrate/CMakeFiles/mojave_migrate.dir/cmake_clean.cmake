@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mojave_migrate.dir/image.cpp.o"
+  "CMakeFiles/mojave_migrate.dir/image.cpp.o.d"
+  "CMakeFiles/mojave_migrate.dir/migrator.cpp.o"
+  "CMakeFiles/mojave_migrate.dir/migrator.cpp.o.d"
+  "CMakeFiles/mojave_migrate.dir/protocols.cpp.o"
+  "CMakeFiles/mojave_migrate.dir/protocols.cpp.o.d"
+  "CMakeFiles/mojave_migrate.dir/server.cpp.o"
+  "CMakeFiles/mojave_migrate.dir/server.cpp.o.d"
+  "libmojave_migrate.a"
+  "libmojave_migrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mojave_migrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

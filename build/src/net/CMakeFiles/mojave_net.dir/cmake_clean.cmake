@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mojave_net.dir/sim.cpp.o"
+  "CMakeFiles/mojave_net.dir/sim.cpp.o.d"
+  "CMakeFiles/mojave_net.dir/tcp.cpp.o"
+  "CMakeFiles/mojave_net.dir/tcp.cpp.o.d"
+  "libmojave_net.a"
+  "libmojave_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mojave_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

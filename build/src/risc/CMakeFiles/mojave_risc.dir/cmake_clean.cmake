@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mojave_risc.dir/disasm.cpp.o"
+  "CMakeFiles/mojave_risc.dir/disasm.cpp.o.d"
+  "CMakeFiles/mojave_risc.dir/lower.cpp.o"
+  "CMakeFiles/mojave_risc.dir/lower.cpp.o.d"
+  "CMakeFiles/mojave_risc.dir/machine.cpp.o"
+  "CMakeFiles/mojave_risc.dir/machine.cpp.o.d"
+  "libmojave_risc.a"
+  "libmojave_risc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mojave_risc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/gc.cpp" "src/runtime/CMakeFiles/mojave_runtime.dir/gc.cpp.o" "gcc" "src/runtime/CMakeFiles/mojave_runtime.dir/gc.cpp.o.d"
+  "/root/repo/src/runtime/heap.cpp" "src/runtime/CMakeFiles/mojave_runtime.dir/heap.cpp.o" "gcc" "src/runtime/CMakeFiles/mojave_runtime.dir/heap.cpp.o.d"
+  "/root/repo/src/runtime/value.cpp" "src/runtime/CMakeFiles/mojave_runtime.dir/value.cpp.o" "gcc" "src/runtime/CMakeFiles/mojave_runtime.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mojave_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mojave_runtime.dir/gc.cpp.o"
+  "CMakeFiles/mojave_runtime.dir/gc.cpp.o.d"
+  "CMakeFiles/mojave_runtime.dir/heap.cpp.o"
+  "CMakeFiles/mojave_runtime.dir/heap.cpp.o.d"
+  "CMakeFiles/mojave_runtime.dir/value.cpp.o"
+  "CMakeFiles/mojave_runtime.dir/value.cpp.o.d"
+  "libmojave_runtime.a"
+  "libmojave_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mojave_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mojave_runtime.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mojave_spec.dir/speculation.cpp.o"
+  "CMakeFiles/mojave_spec.dir/speculation.cpp.o.d"
+  "libmojave_spec.a"
+  "libmojave_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mojave_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mojave_support.dir/log.cpp.o"
+  "CMakeFiles/mojave_support.dir/log.cpp.o.d"
+  "libmojave_support.a"
+  "libmojave_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mojave_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

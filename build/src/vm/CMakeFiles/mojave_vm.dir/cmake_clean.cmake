@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mojave_vm.dir/bytecode.cpp.o"
+  "CMakeFiles/mojave_vm.dir/bytecode.cpp.o.d"
+  "CMakeFiles/mojave_vm.dir/interpreter.cpp.o"
+  "CMakeFiles/mojave_vm.dir/interpreter.cpp.o.d"
+  "CMakeFiles/mojave_vm.dir/lowering.cpp.o"
+  "CMakeFiles/mojave_vm.dir/lowering.cpp.o.d"
+  "CMakeFiles/mojave_vm.dir/process.cpp.o"
+  "CMakeFiles/mojave_vm.dir/process.cpp.o.d"
+  "libmojave_vm.a"
+  "libmojave_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mojave_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

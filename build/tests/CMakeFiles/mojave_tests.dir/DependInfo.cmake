@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_chaos.cpp" "tests/CMakeFiles/mojave_tests.dir/test_chaos.cpp.o" "gcc" "tests/CMakeFiles/mojave_tests.dir/test_chaos.cpp.o.d"
+  "/root/repo/tests/test_cluster.cpp" "tests/CMakeFiles/mojave_tests.dir/test_cluster.cpp.o" "gcc" "tests/CMakeFiles/mojave_tests.dir/test_cluster.cpp.o.d"
+  "/root/repo/tests/test_engine.cpp" "tests/CMakeFiles/mojave_tests.dir/test_engine.cpp.o" "gcc" "tests/CMakeFiles/mojave_tests.dir/test_engine.cpp.o.d"
+  "/root/repo/tests/test_fir.cpp" "tests/CMakeFiles/mojave_tests.dir/test_fir.cpp.o" "gcc" "tests/CMakeFiles/mojave_tests.dir/test_fir.cpp.o.d"
+  "/root/repo/tests/test_frontend.cpp" "tests/CMakeFiles/mojave_tests.dir/test_frontend.cpp.o" "gcc" "tests/CMakeFiles/mojave_tests.dir/test_frontend.cpp.o.d"
+  "/root/repo/tests/test_frontend_ext.cpp" "tests/CMakeFiles/mojave_tests.dir/test_frontend_ext.cpp.o" "gcc" "tests/CMakeFiles/mojave_tests.dir/test_frontend_ext.cpp.o.d"
+  "/root/repo/tests/test_gc.cpp" "tests/CMakeFiles/mojave_tests.dir/test_gc.cpp.o" "gcc" "tests/CMakeFiles/mojave_tests.dir/test_gc.cpp.o.d"
+  "/root/repo/tests/test_migrate.cpp" "tests/CMakeFiles/mojave_tests.dir/test_migrate.cpp.o" "gcc" "tests/CMakeFiles/mojave_tests.dir/test_migrate.cpp.o.d"
+  "/root/repo/tests/test_misc.cpp" "tests/CMakeFiles/mojave_tests.dir/test_misc.cpp.o" "gcc" "tests/CMakeFiles/mojave_tests.dir/test_misc.cpp.o.d"
+  "/root/repo/tests/test_optimize.cpp" "tests/CMakeFiles/mojave_tests.dir/test_optimize.cpp.o" "gcc" "tests/CMakeFiles/mojave_tests.dir/test_optimize.cpp.o.d"
+  "/root/repo/tests/test_risc.cpp" "tests/CMakeFiles/mojave_tests.dir/test_risc.cpp.o" "gcc" "tests/CMakeFiles/mojave_tests.dir/test_risc.cpp.o.d"
+  "/root/repo/tests/test_runtime.cpp" "tests/CMakeFiles/mojave_tests.dir/test_runtime.cpp.o" "gcc" "tests/CMakeFiles/mojave_tests.dir/test_runtime.cpp.o.d"
+  "/root/repo/tests/test_serialize.cpp" "tests/CMakeFiles/mojave_tests.dir/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/mojave_tests.dir/test_serialize.cpp.o.d"
+  "/root/repo/tests/test_spec.cpp" "tests/CMakeFiles/mojave_tests.dir/test_spec.cpp.o" "gcc" "tests/CMakeFiles/mojave_tests.dir/test_spec.cpp.o.d"
+  "/root/repo/tests/test_vm_basic.cpp" "tests/CMakeFiles/mojave_tests.dir/test_vm_basic.cpp.o" "gcc" "tests/CMakeFiles/mojave_tests.dir/test_vm_basic.cpp.o.d"
+  "/root/repo/tests/test_vm_props.cpp" "tests/CMakeFiles/mojave_tests.dir/test_vm_props.cpp.o" "gcc" "tests/CMakeFiles/mojave_tests.dir/test_vm_props.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/mojave_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/migrate/CMakeFiles/mojave_migrate.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/mojave_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mojave_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/gridapp/CMakeFiles/mojave_gridapp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mojave_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/risc/CMakeFiles/mojave_risc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mojave_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/fir/CMakeFiles/mojave_fir.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/mojave_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/mojave_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mojave_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
