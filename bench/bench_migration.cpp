@@ -19,12 +19,14 @@
 // the phase breakdown in microseconds and the transfer fraction.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <thread>
 
 #include "bench/workloads.hpp"
 #include "migrate/image.hpp"
 #include "net/sim.hpp"
 #include "net/tcp.hpp"
+#include "obs/metrics.hpp"
 #include "support/stopwatch.hpp"
 
 namespace {
@@ -123,4 +125,31 @@ BENCHMARK(BM_MigrationBinary)
     ->Args({200, 800})->Args({1024, 800})->Args({5120, 800})
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // One-line machine-readable record for the perf trajectory, sourced
+  // from the process-wide metrics registry (aggregate over every run).
+  const auto snap = mojave::obs::MetricsRegistry::instance().snapshot();
+  const auto counter = [&](const char* name) -> unsigned long long {
+    const auto it = snap.counters.find(name);
+    return it == snap.counters.end() ? 0ull : it->second;
+  };
+  const auto hist_q = [&](const char* name, double q) -> double {
+    const auto it = snap.histograms.find(name);
+    return it == snap.histograms.end() ? 0.0 : it->second.quantile_us(q);
+  };
+  std::printf(
+      "BENCH_JSON {\"bench\":\"migration\",\"images_packed\":%llu,"
+      "\"image_bytes_packed\":%llu,\"pack_p50_us\":%.1f,\"pack_p99_us\":%.1f,"
+      "\"unpack_p50_us\":%.1f,\"recompile_p50_us\":%.1f,"
+      "\"gc_pause_p50_us\":%.1f,\"gc_pause_p99_us\":%.1f}\n",
+      counter("migrate.images_packed"), counter("migrate.image_bytes_packed"),
+      hist_q("migrate.pack_us", 0.5), hist_q("migrate.pack_us", 0.99),
+      hist_q("migrate.unpack_us", 0.5), hist_q("migrate.recompile_us", 0.5),
+      hist_q("gc.pause_us", 0.5), hist_q("gc.pause_us", 0.99));
+  return 0;
+}

@@ -15,7 +15,10 @@
 // slots × 16 B ≈ 200 KB, as in the paper.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "bench/workloads.hpp"
+#include "obs/metrics.hpp"
 #include "support/stopwatch.hpp"
 
 namespace {
@@ -131,4 +134,31 @@ BENCHMARK(BM_SpeculateCommit)->Arg(10)->Arg(25)->Arg(50)->Arg(75)->Arg(100)
 BENCHMARK(BM_NestedSpeculation)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // One-line machine-readable record for the perf trajectory, sourced
+  // from the process-wide metrics registry (aggregate over every run).
+  const auto snap = mojave::obs::MetricsRegistry::instance().snapshot();
+  const auto counter = [&](const char* name) -> unsigned long long {
+    const auto it = snap.counters.find(name);
+    return it == snap.counters.end() ? 0ull : it->second;
+  };
+  const auto hist_q = [&](const char* name, double q) -> double {
+    const auto it = snap.histograms.find(name);
+    return it == snap.histograms.end() ? 0.0 : it->second.quantile_us(q);
+  };
+  std::printf(
+      "BENCH_JSON {\"bench\":\"speculation\",\"speculates\":%llu,"
+      "\"commits\":%llu,\"rollbacks\":%llu,\"blocks_preserved\":%llu,"
+      "\"bytes_preserved\":%llu,\"cow_clones\":%llu,"
+      "\"gc_pause_p50_us\":%.1f,\"gc_pause_p99_us\":%.1f}\n",
+      counter("spec.speculates"), counter("spec.commits"),
+      counter("spec.rollbacks"), counter("spec.blocks_preserved"),
+      counter("spec.bytes_preserved"), counter("heap.cow_clones"),
+      hist_q("gc.pause_us", 0.5), hist_q("gc.pause_us", 0.99));
+  return 0;
+}

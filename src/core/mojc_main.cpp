@@ -23,6 +23,8 @@
 #include "core/engine.hpp"
 #include "fir/serialize.hpp"
 #include "fir/printer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "risc/disasm.hpp"
 #include "risc/lower.hpp"
 #include "vm/lowering.hpp"
@@ -42,7 +44,10 @@ int usage() {
       "  mojc resume <checkpoint.img>\n"
       "  mojc serve [port]\n"
       "  mojc inspect <image>\n"
-      "  mojc dump <file.mjc> [--risc]\n";
+      "  mojc dump <file.mjc> [--risc]\n"
+      "telemetry (any command):\n"
+      "  --stats[=json]        dump the metrics registry to stderr at exit\n"
+      "  --trace-out=<file>    record runtime events, write Chrome trace JSON\n";
   return 2;
 }
 
@@ -50,7 +55,10 @@ struct Flags {
   bool dump_fir = false;
   bool no_opt = false;
   bool trap_spec = false;
+  bool stats = false;
+  bool stats_json = false;
   std::uint64_t max_insns = 0;
+  std::string trace_out;
   std::string output;
   std::vector<std::string> positional;
 };
@@ -65,6 +73,13 @@ Flags parse_flags(int argc, char** argv, int first) {
       flags.no_opt = true;
     } else if (arg == "--trap-spec") {
       flags.trap_spec = true;
+    } else if (arg == "--stats") {
+      flags.stats = true;
+    } else if (arg == "--stats=json") {
+      flags.stats = true;
+      flags.stats_json = true;
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      flags.trace_out = arg.substr(std::string("--trace-out=").size());
     } else if (arg == "--max-insns" && i + 1 < argc) {
       flags.max_insns = std::stoull(argv[++i]);
     } else if (arg == "-o" && i + 1 < argc) {
@@ -74,6 +89,25 @@ Flags parse_flags(int argc, char** argv, int first) {
     }
   }
   return flags;
+}
+
+/// End-of-process telemetry export: the Chrome trace file and/or the
+/// registry dump, honoured on every exit path (including errors).
+void export_telemetry(const Flags& flags) {
+  if (!flags.trace_out.empty()) {
+    std::ofstream out(flags.trace_out, std::ios::trunc);
+    if (out) {
+      out << obs::Tracer::instance().dump_chrome_json();
+      std::cerr << "[mojc] wrote " << obs::Tracer::instance().recorded()
+                << " trace events to " << flags.trace_out << "\n";
+    } else {
+      std::cerr << "[mojc] cannot write trace to " << flags.trace_out << "\n";
+    }
+  }
+  if (flags.stats) {
+    auto& reg = obs::MetricsRegistry::instance();
+    std::cerr << (flags.stats_json ? reg.dump_json() + "\n" : reg.dump_text());
+  }
 }
 
 Engine make_engine(const Flags& flags) {
@@ -186,31 +220,39 @@ int cmd_inspect(const Flags& flags) {
   return 0;
 }
 
+int dispatch(const std::string& cmd, const Flags& flags) {
+  if (cmd == "run") return cmd_run(flags);
+  if (cmd == "compile") return cmd_compile(flags);
+  if (cmd == "exec") return cmd_exec(flags);
+  if (cmd == "resume") return cmd_resume(flags);
+  if (cmd == "serve") return cmd_serve(flags);
+  if (cmd == "inspect") return cmd_inspect(flags);
+  if (cmd == "dump") {
+    Flags f = flags;
+    bool risc_backend = false;
+    std::erase_if(f.positional, [&](const std::string& a) {
+      if (a == "--risc") { risc_backend = true; return true; }
+      return false;
+    });
+    return cmd_dump(f, risc_backend);
+  }
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   const Flags flags = parse_flags(argc, argv, 2);
+  if (!flags.trace_out.empty()) obs::Tracer::instance().enable();
   try {
-    if (cmd == "run") return cmd_run(flags);
-    if (cmd == "compile") return cmd_compile(flags);
-    if (cmd == "exec") return cmd_exec(flags);
-    if (cmd == "resume") return cmd_resume(flags);
-    if (cmd == "serve") return cmd_serve(flags);
-    if (cmd == "inspect") return cmd_inspect(flags);
-    if (cmd == "dump") {
-      Flags f = flags;
-      bool risc_backend = false;
-      std::erase_if(f.positional, [&](const std::string& a) {
-        if (a == "--risc") { risc_backend = true; return true; }
-        return false;
-      });
-      return cmd_dump(f, risc_backend);
-    }
-    return usage();
+    const int rc = dispatch(cmd, flags);
+    export_telemetry(flags);
+    return rc;
   } catch (const std::exception& e) {
     std::cerr << "mojc: " << e.what() << "\n";
+    export_telemetry(flags);
     return 1;
   }
 }

@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "fir/serialize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/value_codec.hpp"
 #include "fir/typecheck.hpp"
 #include "support/hash.hpp"
@@ -41,6 +43,8 @@ void verify_checksum(std::span<const std::byte> image) {
 PackResult pack_process(vm::Process& proc, MigrateLabel label,
                         FunIndex resume_fun,
                         std::span<const runtime::Value> args, ImageKind kind) {
+  obs::ScopedSpan span("migrate", "pack");
+  Stopwatch pack_sw;
   runtime::Heap& heap = proc.heap();
   if (proc.spec().current_level() != 0) {
     throw MigrateError(
@@ -119,11 +123,23 @@ PackResult pack_process(vm::Process& proc, MigrateLabel label,
   result.stats.serialize_seconds = ser_sw.seconds();
   result.bytes = w.take();
   result.stats.image_bytes = result.bytes.size();
+
+  span.set_arg("image_bytes", result.bytes.size());
+  auto& reg = obs::MetricsRegistry::instance();
+  static obs::Counter& packed_ctr = reg.counter("migrate.images_packed");
+  static obs::Counter& packed_bytes = reg.counter("migrate.image_bytes_packed");
+  static obs::Histogram& pack_us = reg.histogram("migrate.pack_us");
+  packed_ctr.inc();
+  packed_bytes.inc(result.bytes.size());
+  pack_us.record_seconds(pack_sw.seconds());
   return result;
 }
 
 UnpackResult unpack_process(std::span<const std::byte> image,
                             vm::ProcessConfig cfg) {
+  obs::ScopedSpan span("migrate", "unpack");
+  span.set_arg("image_bytes", image.size());
+  Stopwatch unpack_sw;
   verify_checksum(image);
   UnpackResult out;
   Reader r(image.subspan(0, image.size() - 8));
@@ -153,11 +169,21 @@ UnpackResult unpack_process(std::span<const std::byte> image,
       have_fir = true;
       out.breakdown.decode_seconds = sw.seconds();
       sw.reset();
-      fir::typecheck(program);
+      {
+        obs::ScopedSpan verify_span("migrate", "typecheck");
+        fir::typecheck(program);
+      }
       out.breakdown.typecheck_seconds = sw.seconds();
       sw.reset();
-      compiled = vm::lower(program);
+      {
+        obs::ScopedSpan recompile_span("migrate", "recompile");
+        compiled = vm::lower(program);
+      }
       out.breakdown.recompile_seconds = sw.seconds();
+      obs::MetricsRegistry::instance()
+          .histogram("migrate.recompile_us")
+          .record_seconds(out.breakdown.recompile_seconds +
+                          out.breakdown.typecheck_seconds);
     } else {
       Reader pr(program_bytes);
       compiled = vm::deserialize_compiled(pr);
@@ -254,6 +280,12 @@ UnpackResult unpack_process(std::span<const std::byte> image,
   }
   out.resume_args.assign(env->slots(), env->slots() + env->h.count);
   out.process = std::move(proc);
+
+  auto& reg = obs::MetricsRegistry::instance();
+  static obs::Counter& unpacked_ctr = reg.counter("migrate.images_unpacked");
+  static obs::Histogram& unpack_us = reg.histogram("migrate.unpack_us");
+  unpacked_ctr.inc();
+  unpack_us.record_seconds(unpack_sw.seconds());
   return out;
 }
 

@@ -3,10 +3,33 @@
 #include <fstream>
 
 #include "net/tcp.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/log.hpp"
 #include "support/stopwatch.hpp"
 
 namespace mojave::migrate {
+
+namespace {
+
+struct MigrateMetrics {
+  obs::Counter& attempts;
+  obs::Counter& successes;
+  obs::Counter& failures;
+  obs::Histogram& transfer_us;
+
+  static MigrateMetrics& get() {
+    static MigrateMetrics m{
+        obs::MetricsRegistry::instance().counter("migrate.attempts"),
+        obs::MetricsRegistry::instance().counter("migrate.successes"),
+        obs::MetricsRegistry::instance().counter("migrate.failures"),
+        obs::MetricsRegistry::instance().histogram("migrate.transfer_us"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 vm::MigrationHook::Action Migrator::on_migrate(
     vm::Interpreter& vm, MigrateLabel label, const std::string& target_str,
@@ -14,6 +37,13 @@ vm::MigrationHook::Action Migrator::on_migrate(
   if (&vm != &process_.vm()) {
     throw MigrateError("migrator attached to a different process");
   }
+  // Keep vm.* counters current: this is a natural safepoint and the image
+  // below freezes the process's state.
+  vm.flush_metrics();
+  MigrateMetrics& m = MigrateMetrics::get();
+  m.attempts.inc();
+  obs::ScopedSpan span("migrate", "migrate");
+  span.set_arg("label", label);
   Event event;
   event.label = label;
   event.target = target_str;
@@ -28,6 +58,7 @@ vm::MigrationHook::Action Migrator::on_migrate(
 
   Action action = Action::kContinue;
   Stopwatch transfer_sw;
+  obs::ScopedSpan transfer_span("migrate", "transfer");
   try {
     switch (target.protocol) {
       case Protocol::kCheckpoint:
@@ -63,6 +94,8 @@ vm::MigrationHook::Action Migrator::on_migrate(
     action = Action::kContinue;
   }
   event.transfer_seconds = transfer_sw.seconds();
+  m.transfer_us.record_seconds(event.transfer_seconds);
+  (event.success ? m.successes : m.failures).inc();
   events_.push_back(std::move(event));
   return action;
 }

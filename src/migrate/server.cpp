@@ -1,8 +1,27 @@
 #include "migrate/server.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/log.hpp"
 
 namespace mojave::migrate {
+
+namespace {
+
+struct ServerMetrics {
+  obs::Counter& received;
+  obs::Counter& failed;
+
+  static ServerMetrics& get() {
+    static ServerMetrics m{
+        obs::MetricsRegistry::instance().counter("server.images_received"),
+        obs::MetricsRegistry::instance().counter("server.images_failed"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 namespace {
 const std::byte kAck[2] = {std::byte{'O'}, std::byte{'K'}};
@@ -43,6 +62,9 @@ void MigrationServer::handle(net::TcpStream stream) {
     const auto frame = stream.recv_frame();
     if (!frame.has_value()) return;  // client went away
     ++received_;
+    ServerMetrics::get().received.inc();
+    obs::ScopedSpan span("migrate", "server.handle");
+    span.set_arg("image_bytes", frame->size());
 
     const ImageInfo info = inspect_image(*frame);
     record.program_name = info.program_name;
@@ -63,6 +85,7 @@ void MigrationServer::handle(net::TcpStream stream) {
                                              std::move(unpacked.resume_args));
   } catch (const std::exception& e) {
     record.error = e.what();
+    ServerMetrics::get().failed.inc();
     MOJAVE_LOG(kWarn, "server") << "inbound migration failed: " << e.what();
     try {
       stream.send_frame(kNak);

@@ -2,7 +2,30 @@
 
 #include <chrono>
 
+#include "obs/metrics.hpp"
+
 namespace mojave::net {
+
+namespace {
+
+struct SimMetrics {
+  obs::Counter& messages_sent;
+  obs::Counter& bytes_sent;
+  obs::Counter& messages_dropped;
+  obs::Histogram& delivery_us;
+
+  static SimMetrics& get() {
+    static SimMetrics m{
+        obs::MetricsRegistry::instance().counter("net.sim.messages_sent"),
+        obs::MetricsRegistry::instance().counter("net.sim.bytes_sent"),
+        obs::MetricsRegistry::instance().counter("net.sim.messages_dropped"),
+        obs::MetricsRegistry::instance().histogram("net.sim.delivery_us"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 const char* recv_status_name(RecvStatus s) {
   switch (s) {
@@ -26,14 +49,20 @@ SimNetwork::SimNetwork(std::uint32_t num_nodes, SimConfig cfg)
 bool SimNetwork::send(NodeId src, NodeId dst, std::int32_t tag,
                       std::vector<std::byte> payload) {
   std::lock_guard<std::mutex> lock(mu_);
+  SimMetrics& m = SimMetrics::get();
   if (src >= boxes_.size() || dst >= boxes_.size() || !alive_[src] ||
       !alive_[dst] || shutdown_) {
     ++stats_.messages_dropped;
+    m.messages_dropped.inc();
     return false;
   }
+  const double delivery_seconds = transfer_seconds(payload.size());
   ++stats_.messages_sent;
   stats_.bytes_sent += payload.size();
-  stats_.virtual_transfer_seconds += transfer_seconds(payload.size());
+  stats_.virtual_transfer_seconds += delivery_seconds;
+  m.messages_sent.inc();
+  m.bytes_sent.inc(payload.size());
+  m.delivery_us.record_seconds(delivery_seconds);
   boxes_[dst].queues[Key{src, tag}].push_back(std::move(payload));
   cv_.notify_all();
   return true;

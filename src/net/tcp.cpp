@@ -9,7 +9,10 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
+#include "support/stopwatch.hpp"
 
 namespace mojave::net {
 
@@ -17,6 +20,25 @@ namespace {
 [[noreturn]] void fail(const std::string& what) {
   throw NetError(what + ": " + std::strerror(errno));
 }
+
+struct TcpMetrics {
+  obs::Counter& frames_sent;
+  obs::Counter& frames_recv;
+  obs::Counter& bytes_sent;
+  obs::Counter& bytes_recv;
+  obs::Histogram& send_us;
+
+  static TcpMetrics& get() {
+    static TcpMetrics m{
+        obs::MetricsRegistry::instance().counter("net.tcp.frames_sent"),
+        obs::MetricsRegistry::instance().counter("net.tcp.frames_recv"),
+        obs::MetricsRegistry::instance().counter("net.tcp.bytes_sent"),
+        obs::MetricsRegistry::instance().counter("net.tcp.bytes_recv"),
+        obs::MetricsRegistry::instance().histogram("net.tcp.send_us"),
+    };
+    return m;
+  }
+};
 }  // namespace
 
 TcpStream::~TcpStream() { close(); }
@@ -79,6 +101,9 @@ bool TcpStream::recv_all(std::byte* data, std::size_t n) {
 void TcpStream::send_frame(std::span<const std::byte> payload) {
   if (!valid()) throw NetError("send on closed stream");
   if (payload.size() > kMaxFrameBytes) throw NetError("frame too large");
+  obs::ScopedSpan span("net", "tcp.send_frame");
+  span.set_arg("bytes", payload.size());
+  Stopwatch sw;
   std::byte header[4];
   const auto n = static_cast<std::uint32_t>(payload.size());
   for (int i = 0; i < 4; ++i) {
@@ -86,6 +111,10 @@ void TcpStream::send_frame(std::span<const std::byte> payload) {
   }
   send_all(header, 4);
   if (!payload.empty()) send_all(payload.data(), payload.size());
+  TcpMetrics& m = TcpMetrics::get();
+  m.frames_sent.inc();
+  m.bytes_sent.inc(payload.size() + 4);
+  m.send_us.record_seconds(sw.seconds());
 }
 
 std::optional<std::vector<std::byte>> TcpStream::recv_frame() {
@@ -102,6 +131,9 @@ std::optional<std::vector<std::byte>> TcpStream::recv_frame() {
   if (n > 0 && !recv_all(payload.data(), n)) {
     throw NetError("peer closed mid-frame");
   }
+  TcpMetrics& m = TcpMetrics::get();
+  m.frames_recv.inc();
+  m.bytes_recv.inc(payload.size() + 4);
   return payload;
 }
 

@@ -1,0 +1,236 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace mojave::obs {
+
+const std::array<double, Histogram::kNumBounds>& Histogram::bounds() {
+  static const std::array<double, kNumBounds> b = {
+      1,    2,    5,    10,   20,   50,   100,  200,  500,  1e3,  2e3,
+      5e3,  1e4,  2e4,  5e4,  1e5,  2e5,  5e5,  1e6,  2e6,  5e6,  1e7};
+  return b;
+}
+
+void Histogram::record_us(double us) {
+  if (!(us >= 0)) us = 0;  // also catches NaN
+  const auto& b = bounds();
+  std::size_t i = 0;
+  while (i < kNumBounds && us > b[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  const auto ns = static_cast<std::uint64_t>(us * 1e3);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+  // min/max via CAS; latency events are rare enough that contention is nil.
+  std::uint64_t cur = min_ns_.load(std::memory_order_relaxed);
+  while (ns < cur &&
+         !min_ns_.compare_exchange_weak(cur, ns, std::memory_order_relaxed)) {
+  }
+  cur = max_ns_.load(std::memory_order_relaxed);
+  while (ns > cur &&
+         !max_ns_.compare_exchange_weak(cur, ns, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum_us = static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) / 1e3;
+  const std::uint64_t min_ns = min_ns_.load(std::memory_order_relaxed);
+  s.min_us = min_ns == kNoMin ? 0 : static_cast<double>(min_ns) / 1e3;
+  s.max_us = static_cast<double>(max_ns_.load(std::memory_order_relaxed)) / 1e3;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_ns_.store(0, std::memory_order_relaxed);
+  min_ns_.store(kNoMin, std::memory_order_relaxed);
+  max_ns_.store(0, std::memory_order_relaxed);
+}
+
+double Histogram::Snapshot::quantile_us(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto& b = Histogram::bounds();
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    const std::uint64_t in_bucket = buckets[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cum + in_bucket) >= target) {
+      const double lo = i == 0 ? 0 : b[i - 1];
+      const double hi = i < kNumBounds ? b[i] : max_us;
+      const double frac =
+          (target - static_cast<double>(cum)) / static_cast<double>(in_bucket);
+      return lo + (std::max(hi, lo) - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    cum += in_bucket;
+  }
+  return max_us;
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+RegistrySnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RegistrySnapshot s;
+  for (const auto& [name, c] : counters_) s.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) s.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) s.histograms[name] = h->snapshot();
+  return s;
+}
+
+void MetricsRegistry::reset_all() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+namespace {
+
+void format_double(std::ostream& out, double v) {
+  // Trim to 3 decimals without trailing zeros; JSON-safe (never NaN/inf).
+  if (!std::isfinite(v)) v = 0;
+  std::ostringstream tmp;
+  tmp.setf(std::ios::fixed);
+  tmp.precision(3);
+  tmp << v;
+  std::string s = tmp.str();
+  while (s.size() > 1 && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  out << s;
+}
+
+void json_string(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf]
+              << "0123456789abcdef"[c & 0xf];
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+std::string MetricsRegistry::dump_text() const {
+  const RegistrySnapshot s = snapshot();
+  std::ostringstream out;
+  for (const auto& [name, v] : s.counters) {
+    out << "counter " << name << " " << v << "\n";
+  }
+  for (const auto& [name, v] : s.gauges) {
+    out << "gauge " << name << " " << v << "\n";
+  }
+  for (const auto& [name, h] : s.histograms) {
+    out << "hist " << name << " count=" << h.count << " mean_us=";
+    format_double(out, h.mean_us());
+    out << " p50_us=";
+    format_double(out, h.quantile_us(0.5));
+    out << " p99_us=";
+    format_double(out, h.quantile_us(0.99));
+    out << " max_us=";
+    format_double(out, h.max_us);
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::dump_json() const {
+  const RegistrySnapshot s = snapshot();
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : s.counters) {
+    if (!first) out << ",";
+    first = false;
+    json_string(out, name);
+    out << ":" << v;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : s.gauges) {
+    if (!first) out << ",";
+    first = false;
+    json_string(out, name);
+    out << ":" << v;
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : s.histograms) {
+    if (!first) out << ",";
+    first = false;
+    json_string(out, name);
+    out << ":{\"count\":" << h.count << ",\"sum_us\":";
+    format_double(out, h.sum_us);
+    out << ",\"min_us\":";
+    format_double(out, h.min_us);
+    out << ",\"max_us\":";
+    format_double(out, h.max_us);
+    out << ",\"p50_us\":";
+    format_double(out, h.quantile_us(0.5));
+    out << ",\"p90_us\":";
+    format_double(out, h.quantile_us(0.9));
+    out << ",\"p99_us\":";
+    format_double(out, h.quantile_us(0.99));
+    out << ",\"buckets\":[";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i > 0) out << ",";
+      out << h.buckets[i];
+    }
+    out << "]}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+}  // namespace mojave::obs

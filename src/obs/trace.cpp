@@ -1,0 +1,137 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <sstream>
+
+#include "support/thread_id.hpp"
+
+namespace mojave::obs {
+
+namespace {
+
+std::chrono::steady_clock::time_point tracer_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+void json_escaped(std::ostream& out, const char* s) {
+  out << '"';
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf]
+              << "0123456789abcdef"[c & 0xf];
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+std::uint64_t Tracer::now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - tracer_epoch())
+          .count());
+}
+
+void Tracer::enable(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity == 0) capacity = 1;
+  ring_.assign(capacity, TraceEvent{});
+  head_.store(0, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::disable() { enabled_.store(false, std::memory_order_release); }
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (TraceEvent& e : ring_) e = TraceEvent{};
+  head_.store(0, std::memory_order_relaxed);
+}
+
+void Tracer::record(const TraceEvent& e) {
+  // Lock-free slot claim; the ring is only resized under mu_ while
+  // disabled, and writers bail when disabled.
+  const std::uint64_t slot = head_.fetch_add(1, std::memory_order_relaxed);
+  ring_[slot % ring_.size()] = e;
+}
+
+void Tracer::instant(const char* cat, const char* name, const char* arg_name,
+                     std::uint64_t arg_value) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.cat = cat;
+  e.name = name;
+  e.ts_us = now_us();
+  e.tid = small_thread_id();
+  e.instant = true;
+  e.arg_name = arg_name;
+  e.arg_value = arg_value;
+  record(e);
+}
+
+void Tracer::complete(const char* cat, const char* name, std::uint64_t ts_us,
+                      std::uint64_t dur_us, const char* arg_name,
+                      std::uint64_t arg_value) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.cat = cat;
+  e.name = name;
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  e.tid = small_thread_id();
+  e.instant = false;
+  e.arg_name = arg_name;
+  e.arg_value = arg_value;
+  record(e);
+}
+
+std::string Tracer::dump_chrome_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  const std::uint64_t head = head_.load(std::memory_order_relaxed);
+  const std::size_t cap = ring_.size();
+  const std::uint64_t n = cap == 0 ? 0 : std::min<std::uint64_t>(head, cap);
+  const std::uint64_t first = head - n;  // oldest retained event
+  bool first_out = true;
+  for (std::uint64_t i = first; i < head; ++i) {
+    const TraceEvent& e = ring_[i % cap];
+    if (!first_out) out << ",";
+    first_out = false;
+    out << "{\"name\":";
+    json_escaped(out, e.name);
+    out << ",\"cat\":";
+    json_escaped(out, e.cat);
+    out << ",\"ph\":\"" << (e.instant ? "i" : "X") << "\"";
+    out << ",\"ts\":" << e.ts_us;
+    if (!e.instant) out << ",\"dur\":" << e.dur_us;
+    if (e.instant) out << ",\"s\":\"t\"";  // thread-scoped instant
+    out << ",\"pid\":1,\"tid\":" << e.tid;
+    if (e.arg_name != nullptr) {
+      out << ",\"args\":{";
+      json_escaped(out, e.arg_name);
+      out << ":" << e.arg_value << "}";
+    }
+    out << "}";
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}";
+  return out.str();
+}
+
+}  // namespace mojave::obs

@@ -1,0 +1,120 @@
+// Runtime event tracer: a bounded in-memory ring buffer of timestamped
+// span and instant events, exportable as Chrome trace_event JSON (load the
+// file in chrome://tracing or https://ui.perfetto.dev).
+//
+// Tracing is off by default; every record site first checks one relaxed
+// atomic bool, so a disabled tracer costs a load and a branch. When
+// enabled, recording is lock-free: a fetch_add claims a ring slot, the
+// event is written in place, and wraparound silently overwrites the oldest
+// events (the tail of a long run is usually what matters).
+//
+// Event names and categories must be string literals (or otherwise outlive
+// the tracer) — they are stored as raw pointers so the hot path never
+// allocates.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mojave::obs {
+
+struct TraceEvent {
+  const char* cat = "";
+  const char* name = "";
+  std::uint64_t ts_us = 0;   ///< start, microseconds since tracer epoch
+  std::uint64_t dur_us = 0;  ///< span duration; unused for instants
+  std::uint32_t tid = 0;
+  bool instant = false;
+  /// Optional single argument rendered into the event's "args" object.
+  const char* arg_name = nullptr;
+  std::uint64_t arg_value = 0;
+};
+
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1u << 16;
+
+  /// The process-wide tracer.
+  static Tracer& instance();
+
+  /// Start recording into a fresh ring of `capacity` events.
+  void enable(std::size_t capacity = kDefaultCapacity);
+  void disable();
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Microseconds since the tracer epoch (process start).
+  [[nodiscard]] static std::uint64_t now_us();
+
+  void instant(const char* cat, const char* name, const char* arg_name = nullptr,
+               std::uint64_t arg_value = 0);
+  void complete(const char* cat, const char* name, std::uint64_t ts_us,
+                std::uint64_t dur_us, const char* arg_name = nullptr,
+                std::uint64_t arg_value = 0);
+
+  /// Events recorded since enable() — may exceed capacity() if wrapped.
+  [[nodiscard]] std::uint64_t recorded() const {
+    return head_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+
+  /// Render retained events (oldest first) as Chrome trace_event JSON.
+  [[nodiscard]] std::string dump_chrome_json() const;
+
+  /// Drop all recorded events, keep recording state.
+  void clear();
+
+ private:
+  Tracer() = default;
+  void record(const TraceEvent& e);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> head_{0};
+  std::vector<TraceEvent> ring_;
+  mutable std::mutex mu_;  // guards ring_ resize and dump
+};
+
+/// RAII span: times the enclosed scope and records one complete event.
+/// Cheap no-op while tracing is disabled (the clock is not read).
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* cat, const char* name)
+      : cat_(cat), name_(name), armed_(Tracer::instance().enabled()) {
+    if (armed_) start_us_ = Tracer::now_us();
+  }
+
+  /// Attach one argument to the event (e.g. bytes moved), any time before
+  /// the scope closes.
+  void set_arg(const char* arg_name, std::uint64_t value) {
+    arg_name_ = arg_name;
+    arg_value_ = value;
+  }
+
+  /// Rename the span before it closes (e.g. a minor GC that escalated).
+  void set_name(const char* name) { name_ = name; }
+
+  ~ScopedSpan() {
+    if (!armed_) return;
+    const std::uint64_t end = Tracer::now_us();
+    Tracer::instance().complete(cat_, name_, start_us_,
+                                end > start_us_ ? end - start_us_ : 0,
+                                arg_name_, arg_value_);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* cat_;
+  const char* name_;
+  const char* arg_name_ = nullptr;
+  std::uint64_t arg_value_ = 0;
+  std::uint64_t start_us_ = 0;
+  bool armed_;
+};
+
+}  // namespace mojave::obs

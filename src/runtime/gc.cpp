@@ -5,12 +5,39 @@
 #include <functional>
 #include <memory>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/heap.hpp"
 #include "support/stopwatch.hpp"
 
 namespace mojave::runtime {
 
 namespace {
+
+/// Registry handles, resolved once; collections dual-write the per-heap
+/// GcStats deltas into these process-wide aggregates.
+struct GcMetrics {
+  obs::Counter& minor;
+  obs::Counter& major;
+  obs::Counter& blocks_promoted;
+  obs::Counter& entries_freed;
+  obs::Counter& bytes_evacuated;
+  obs::Histogram& pause_us;
+  obs::Gauge& old_used_bytes;
+
+  static GcMetrics& get() {
+    static GcMetrics m{
+        obs::MetricsRegistry::instance().counter("gc.minor_collections"),
+        obs::MetricsRegistry::instance().counter("gc.major_collections"),
+        obs::MetricsRegistry::instance().counter("gc.blocks_promoted"),
+        obs::MetricsRegistry::instance().counter("gc.entries_freed"),
+        obs::MetricsRegistry::instance().counter("gc.bytes_evacuated"),
+        obs::MetricsRegistry::instance().histogram("gc.pause_us"),
+        obs::MetricsRegistry::instance().gauge("heap.old_used_bytes"),
+    };
+    return m;
+  }
+};
 
 /// Adapter translating RootProvider callbacks into Gc marking actions.
 class MarkingVisitor : public RootVisitor {
@@ -45,6 +72,9 @@ Gc::Gc(Heap& heap, bool major, std::size_t extra_need)
 bool Gc::is_young(const Block* b) const { return heap_.young_->contains(b); }
 
 void Gc::run() {
+  GcMetrics& m = GcMetrics::get();
+  obs::ScopedSpan span("gc", "minor");
+  const GcStats before = heap_.stats_.gc;
   Stopwatch sw;
   if (major_) {
     major_cycle();
@@ -52,7 +82,22 @@ void Gc::run() {
   } else {
     minor_cycle();
   }
-  heap_.stats_.gc.pause_seconds_total += sw.seconds();
+  const double pause = sw.seconds();
+  heap_.stats_.gc.pause_seconds_total += pause;
+
+  // Export: per-cycle deltas into the registry, the pause into the
+  // histogram, the span (named by what actually ran — a minor cycle can
+  // escalate to major) into the tracer.
+  const GcStats& after = heap_.stats_.gc;
+  if (major_) span.set_name("major");
+  span.set_arg("bytes_evacuated", after.bytes_evacuated - before.bytes_evacuated);
+  m.pause_us.record_seconds(pause);
+  m.minor.inc(after.minor_collections - before.minor_collections);
+  m.major.inc(after.major_collections - before.major_collections);
+  m.blocks_promoted.inc(after.blocks_promoted - before.blocks_promoted);
+  m.entries_freed.inc(after.entries_freed - before.entries_freed);
+  m.bytes_evacuated.inc(after.bytes_evacuated - before.bytes_evacuated);
+  m.old_used_bytes.set(static_cast<std::int64_t>(heap_.old_->used()));
 }
 
 void Gc::clear_marks() {

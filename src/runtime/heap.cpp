@@ -3,14 +3,36 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/metrics.hpp"
 #include "support/error.hpp"
 
 namespace mojave::runtime {
 
+namespace {
+
+struct HeapMetrics {
+  obs::Counter& blocks_allocated;
+  obs::Counter& bytes_allocated;
+  obs::Counter& cow_clones;
+
+  static HeapMetrics& get() {
+    static HeapMetrics m{
+        obs::MetricsRegistry::instance().counter("heap.blocks_allocated"),
+        obs::MetricsRegistry::instance().counter("heap.bytes_allocated"),
+        obs::MetricsRegistry::instance().counter("heap.cow_clones"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
 Heap::Heap(HeapConfig cfg)
     : cfg_(cfg),
       young_(std::make_unique<Arena>(cfg.young_capacity)),
-      old_(std::make_unique<Arena>(cfg.old_capacity)) {}
+      old_(std::make_unique<Arena>(cfg.old_capacity)) {
+  (void)HeapMetrics::get();  // register heap.* metrics eagerly
+}
 
 // --- Allocation -----------------------------------------------------------
 
@@ -25,6 +47,9 @@ Block* Heap::allocate_block(BlockKind kind, std::uint32_t count,
     b->h.generation = gen;
     ++stats_.blocks_allocated;
     stats_.bytes_allocated += fp;
+    HeapMetrics& m = HeapMetrics::get();
+    m.blocks_allocated.inc();
+    m.bytes_allocated.inc(fp);
     return b;
   };
 
@@ -193,6 +218,7 @@ Heap::ClonePair Heap::cow_clone(BlockIndex idx) {
   // itself tracks indices, which now resolve to the clone.
   if (was_remembered) clone->h.in_remembered_set = 1;
   ++stats_.cow_clones;
+  HeapMetrics::get().cow_clones.inc();
   return ClonePair{cur, clone};
 }
 
@@ -241,6 +267,9 @@ Block* Heap::restore_block(BlockIndex idx, BlockKind kind,
   b->h.generation = Generation::kOld;
   ++stats_.blocks_allocated;
   stats_.bytes_allocated += fp;
+  HeapMetrics& m = HeapMetrics::get();
+  m.blocks_allocated.inc();
+  m.bytes_allocated.inc(fp);
   table_.restore_at(idx, b);
   return b;
 }

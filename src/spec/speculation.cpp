@@ -2,9 +2,38 @@
 
 #include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace mojave::spec {
 
+namespace {
+
+struct SpecMetrics {
+  obs::Counter& speculates;
+  obs::Counter& commits;
+  obs::Counter& rollbacks;
+  obs::Counter& blocks_preserved;
+  obs::Counter& bytes_preserved;
+  obs::Gauge& active_levels;
+
+  static SpecMetrics& get() {
+    static SpecMetrics m{
+        obs::MetricsRegistry::instance().counter("spec.speculates"),
+        obs::MetricsRegistry::instance().counter("spec.commits"),
+        obs::MetricsRegistry::instance().counter("spec.rollbacks"),
+        obs::MetricsRegistry::instance().counter("spec.blocks_preserved"),
+        obs::MetricsRegistry::instance().counter("spec.bytes_preserved"),
+        obs::MetricsRegistry::instance().gauge("spec.active_levels"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
 SpeculationManager::SpeculationManager(runtime::Heap& heap) : heap_(heap) {
+  (void)SpecMetrics::get();  // register spec.* metrics eagerly
   heap_.set_write_hook(this);
   heap_.add_root_provider(this);
 }
@@ -23,6 +52,7 @@ void SpeculationManager::check_level(SpecLevel level) const {
 }
 
 SpecLevel SpeculationManager::speculate(SavedContinuation continuation) {
+  obs::ScopedSpan span("spec", "speculate");
   LevelRecord record;
   record.epoch = next_epoch_++;
   record.continuation = std::move(continuation);
@@ -31,6 +61,10 @@ SpecLevel SpeculationManager::speculate(SavedContinuation continuation) {
   // before_write can tell "already versioned here" from "needs a clone".
   heap_.set_spec_epoch(levels_.back().epoch);
   ++stats_.speculates;
+  SpecMetrics& m = SpecMetrics::get();
+  m.speculates.inc();
+  m.active_levels.set(static_cast<std::int64_t>(levels_.size()));
+  span.set_arg("level", levels_.size());
   return static_cast<SpecLevel>(levels_.size());
 }
 
@@ -44,6 +78,9 @@ void SpeculationManager::before_write(BlockIndex idx) {
   top.saved_lookup.emplace(idx, top.saved.size() - 1);
   ++stats_.blocks_preserved;
   stats_.bytes_preserved += pair.old_version->footprint();
+  SpecMetrics& m = SpecMetrics::get();
+  m.blocks_preserved.inc();
+  m.bytes_preserved.inc(pair.old_version->footprint());
 }
 
 void SpeculationManager::after_alloc(BlockIndex idx) {
@@ -53,6 +90,8 @@ void SpeculationManager::after_alloc(BlockIndex idx) {
 
 void SpeculationManager::commit(SpecLevel level) {
   check_level(level);
+  obs::ScopedSpan span("spec", "commit");
+  span.set_arg("level", level);
   LevelRecord record = std::move(levels_[level - 1]);
   if (level >= 2) {
     LevelRecord& parent = levels_[level - 2];
@@ -75,6 +114,9 @@ void SpeculationManager::commit(SpecLevel level) {
   // next speculation correctly preserves them copy-on-write.
   heap_.set_spec_epoch(levels_.empty() ? 0 : levels_.back().epoch);
   ++stats_.commits;
+  SpecMetrics& m = SpecMetrics::get();
+  m.commits.inc();
+  m.active_levels.set(static_cast<std::int64_t>(levels_.size()));
   if (level == 1 && commit_observer_) commit_observer_();
 }
 
@@ -94,6 +136,8 @@ void SpeculationManager::restore_level(LevelRecord& record) {
 RollbackOutcome SpeculationManager::rollback(SpecLevel level,
                                              std::int64_t new_c, bool retry) {
   check_level(level);
+  obs::ScopedSpan span("spec", retry ? "rollback" : "abort");
+  span.set_arg("level", level);
   if (rollback_observer_) rollback_observer_(level, retry);
   // Revert newest-first so that, for a block modified in several levels,
   // the oldest preserved version is the one that ends up in the table.
@@ -103,6 +147,9 @@ RollbackOutcome SpeculationManager::rollback(SpecLevel level,
   SavedContinuation continuation = std::move(levels_[level - 1].continuation);
   levels_.resize(level - 1);
   ++stats_.rollbacks;
+  SpecMetrics& m = SpecMetrics::get();
+  m.rollbacks.inc();
+  m.active_levels.set(static_cast<std::int64_t>(levels_.size()));
 
   RollbackOutcome outcome;
   continuation.c = new_c;

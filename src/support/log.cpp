@@ -2,6 +2,9 @@
 
 #include <chrono>
 #include <cstdio>
+#include <ctime>
+
+#include "support/thread_id.hpp"
 
 namespace mojave {
 
@@ -28,16 +31,32 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
+void Logger::set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = std::move(sink);
+}
+
 void Logger::write(LogLevel level, const std::string& component,
                    const std::string& message) {
-  const auto now = std::chrono::duration_cast<std::chrono::milliseconds>(
-                       std::chrono::steady_clock::now().time_since_epoch())
-                       .count();
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+  localtime_r(&secs, &tm);
+  char stamp[32];
+  std::strftime(stamp, sizeof(stamp), "%H:%M:%S", &tm);
+
   std::lock_guard<std::mutex> lock(mu_);
-  std::fprintf(stderr, "[%8lld.%03lld] %-5s %-10s %s\n",
-               static_cast<long long>(now / 1000),
-               static_cast<long long>(now % 1000), level_name(level),
-               component.c_str(), message.c_str());
+  if (sink_) {
+    sink_(level, component, message);
+    return;
+  }
+  std::fprintf(stderr, "[%s.%03lld t%02u] %-5s %-10s %s\n", stamp,
+               static_cast<long long>(ms), small_thread_id(),
+               level_name(level), component.c_str(), message.c_str());
 }
 
 }  // namespace mojave

@@ -2,6 +2,7 @@
 // through this; tests silence it by default.
 #pragma once
 
+#include <functional>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -12,10 +13,19 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
 class Logger {
  public:
+  /// Alternative destination for formatted records. Receives the level,
+  /// component tag, and message body (without timestamp/thread prefix —
+  /// sinks add their own framing). Replaces the stderr output; pass
+  /// nullptr to restore it.
+  using Sink =
+      std::function<void(LogLevel, const std::string&, const std::string&)>;
+
   static Logger& instance();
 
   void set_level(LogLevel level) { level_ = level; }
   [[nodiscard]] LogLevel level() const { return level_; }
+
+  void set_sink(Sink sink);
 
   void write(LogLevel level, const std::string& component,
              const std::string& message);
@@ -23,6 +33,7 @@ class Logger {
  private:
   Logger() = default;
   LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
   std::mutex mu_;
 };
 

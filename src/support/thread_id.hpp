@@ -1,0 +1,19 @@
+// Small dense thread ids for telemetry. std::thread::id is opaque and
+// wide; log records and trace events want a stable small integer that is
+// assigned on first use and never reused within the process.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace mojave {
+
+/// Dense 1-based id of the calling thread, assigned on first use.
+inline std::uint32_t small_thread_id() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace mojave

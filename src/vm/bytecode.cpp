@@ -35,6 +35,7 @@ Insn read_insn(Reader& r) {
     throw ImageError("unknown opcode " + std::to_string(op));
   }
   insn.op = static_cast<Op>(op);
+  insn.cls = static_cast<std::uint8_t>(op_class(insn.op));
   insn.sub = r.u8();
   insn.dst = r.u16();
   insn.r1 = r.u16();

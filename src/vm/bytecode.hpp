@@ -12,6 +12,7 @@
 // identical trusted hosts.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -55,11 +56,100 @@ enum class Op : std::uint8_t {
   kHalt,           // halt r1
 };
 
+/// Coarse instruction classes for the VM's per-opcode-class telemetry
+/// counters (exported as `vm.ops.<class>` in the metrics registry).
+enum class OpClass : std::uint8_t {
+  kLoad = 0,   ///< register loads and moves
+  kArith,      ///< unop / binop / len / ptr_add
+  kAlloc,
+  kHeapRead,   ///< tagged reads and raw loads
+  kHeapWrite,  ///< tagged writes and raw stores
+  kControl,    ///< jumps, tail calls, halt
+  kSpec,       ///< speculate / commit / rollback / abort
+  kMigrate,
+  kExternal,
+};
+inline constexpr std::size_t kNumOpClasses = 9;
+
+[[nodiscard]] constexpr const char* op_class_name(OpClass c) {
+  switch (c) {
+    case OpClass::kLoad: return "load";
+    case OpClass::kArith: return "arith";
+    case OpClass::kAlloc: return "alloc";
+    case OpClass::kHeapRead: return "heap_read";
+    case OpClass::kHeapWrite: return "heap_write";
+    case OpClass::kControl: return "control";
+    case OpClass::kSpec: return "spec";
+    case OpClass::kMigrate: return "migrate";
+    case OpClass::kExternal: return "external";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr OpClass op_class(Op op) {
+  switch (op) {
+    case Op::kLoadUnit:
+    case Op::kLoadInt:
+    case Op::kLoadFloat:
+    case Op::kLoadString:
+    case Op::kLoadFun:
+    case Op::kLoadNull:
+    case Op::kMove:
+      return OpClass::kLoad;
+    case Op::kUnop:
+    case Op::kBinop:
+    case Op::kLen:
+    case Op::kPtrAdd:
+      return OpClass::kArith;
+    case Op::kAllocTagged:
+    case Op::kAllocRaw:
+      return OpClass::kAlloc;
+    case Op::kRead:
+    case Op::kRawLoad:
+    case Op::kRawLoadF:
+      return OpClass::kHeapRead;
+    case Op::kWrite:
+    case Op::kRawStore:
+    case Op::kRawStoreF:
+      return OpClass::kHeapWrite;
+    case Op::kJump:
+    case Op::kJumpIfZero:
+    case Op::kTailCall:
+    case Op::kHalt:
+      return OpClass::kControl;
+    case Op::kSpeculate:
+    case Op::kCommit:
+    case Op::kRollback:
+    case Op::kAbort:
+      return OpClass::kSpec;
+    case Op::kMigrate:
+      return OpClass::kMigrate;
+    case Op::kExternal:
+      return OpClass::kExternal;
+  }
+  return OpClass::kControl;
+}
+
+inline constexpr std::size_t kNumOps = static_cast<std::size_t>(Op::kHalt) + 1;
+
+/// Flat Op → OpClass index table: the interpreter's dispatch loop does one
+/// table load per retired instruction instead of evaluating the switch.
+inline constexpr auto kOpClassTable = [] {
+  std::array<std::uint8_t, kNumOps> t{};
+  for (std::size_t i = 0; i < kNumOps; ++i) {
+    t[i] = static_cast<std::uint8_t>(op_class(static_cast<Op>(i)));
+  }
+  return t;
+}();
+
 /// One instruction. A fat fixed struct plus an argument list keeps decode
 /// trivial and the encoding obvious.
 struct Insn {
   Op op = Op::kHalt;
   std::uint8_t sub = 0;  ///< unop/binop code, width, or expected Tag
+  /// op_class(op), cached so the dispatch loop's telemetry counter needs
+  /// no table lookup. Derived — not serialized; set wherever op is set.
+  std::uint8_t cls = static_cast<std::uint8_t>(OpClass::kControl);
   std::uint16_t dst = 0;
   std::uint16_t r1 = 0;
   std::uint16_t r2 = 0;

@@ -4,6 +4,7 @@
 #include <iostream>
 
 #include "fir/ir.hpp"
+#include "obs/metrics.hpp"
 #include "support/error.hpp"
 #include "vm/eval.hpp"
 
@@ -13,6 +14,36 @@ using runtime::PtrValue;
 using runtime::Tag;
 using runtime::Value;
 
+namespace {
+
+struct VmMetrics {
+  obs::Counter& instructions;
+  obs::Counter& calls;
+  std::array<obs::Counter*, kNumOpClasses> classes;
+
+  static VmMetrics& get() {
+    static VmMetrics m = [] {
+      auto& reg = obs::MetricsRegistry::instance();
+      VmMetrics v{reg.counter("vm.instructions"), reg.counter("vm.calls"), {}};
+      for (std::size_t i = 0; i < kNumOpClasses; ++i) {
+        v.classes[i] = &reg.counter(
+            std::string("vm.ops.") +
+            op_class_name(static_cast<OpClass>(i)));
+      }
+      return v;
+    }();
+    return m;
+  }
+};
+
+/// Flushes on scope exit so metrics survive exceptions out of run_from.
+struct MetricsFlusher {
+  Interpreter& vm;
+  ~MetricsFlusher() { vm.flush_metrics(); }
+};
+
+}  // namespace
+
 Interpreter::Interpreter(runtime::Heap& heap, spec::SpeculationManager& spec,
                          CompiledProgram compiled, bool intern)
     : heap_(heap),
@@ -20,9 +51,27 @@ Interpreter::Interpreter(runtime::Heap& heap, spec::SpeculationManager& spec,
       compiled_(std::move(compiled)),
       out_(&std::cout) {
   heap_.add_root_provider(this);
+  (void)VmMetrics::get();  // register vm.* metrics eagerly
   setup_function_table();
   if (intern) intern_strings();
   install_default_externals(*this);
+}
+
+void Interpreter::flush_metrics() {
+  // The dispatch loop counts per opcode class only; the instruction total
+  // is their sum (keeps the hot loop at a single memory counter).
+  std::uint64_t total = 0;
+  for (const std::uint64_t v : op_class_counts_) total += v;
+  stats_.instructions = total;
+
+  VmMetrics& m = VmMetrics::get();
+  m.instructions.inc(stats_.instructions - exported_stats_.instructions);
+  m.calls.inc(stats_.calls - exported_stats_.calls);
+  exported_stats_ = stats_;
+  for (std::size_t i = 0; i < kNumOpClasses; ++i) {
+    m.classes[i]->inc(op_class_counts_[i] - exported_classes_[i]);
+  }
+  exported_classes_ = op_class_counts_;
 }
 
 Interpreter::~Interpreter() { heap_.remove_root_provider(this); }
@@ -86,8 +135,17 @@ RunResult Interpreter::run() {
 }
 
 RunResult Interpreter::run_from(FunIndex fun, std::vector<Value> args) {
+  MetricsFlusher flusher{*this};
   pending_fun_ = fun;
   pending_args_ = std::move(args);
+
+  // 0 means "unlimited"; folding that into a sentinel keeps the per-
+  // instruction budget check to a single compare. `executed` mirrors the
+  // lifetime instruction count in a register; the authoritative total is
+  // derived from op_class_counts_ in flush_metrics().
+  const std::uint64_t insn_budget =
+      max_instructions_ != 0 ? max_instructions_ : ~std::uint64_t{0};
+  std::uint64_t executed = stats_.instructions;
 
   while (true) {
     const CompiledFunction& f = compiled_.function(pending_fun_);
@@ -107,8 +165,8 @@ RunResult Interpreter::run_from(FunIndex fun, std::vector<Value> args) {
         throw SafetyError("program counter fell off the end of " + f.name);
       }
       const Insn& I = f.code[pc];
-      ++stats_.instructions;
-      if (max_instructions_ != 0 && stats_.instructions > max_instructions_) {
+      ++op_class_counts_[I.cls];
+      if (++executed > insn_budget) {
         throw Error("instruction budget exhausted");
       }
       try {

@@ -13,6 +13,7 @@
 // backend emits: pointer-table validation, bounds checks, and tag checks.
 #pragma once
 
+#include <array>
 #include <functional>
 #include <iosfwd>
 #include <map>
@@ -59,6 +60,9 @@ struct VmStats {
   std::uint64_t calls = 0;
 };
 
+/// Per-opcode-class instruction counts (indexed by OpClass).
+using OpClassCounts = std::array<std::uint64_t, kNumOpClasses>;
+
 class Interpreter final : public runtime::RootProvider {
  public:
   /// `intern_strings` is false when an unpack operation will restore the
@@ -98,6 +102,14 @@ class Interpreter final : public runtime::RootProvider {
   [[nodiscard]] spec::SpeculationManager& spec() { return spec_; }
   [[nodiscard]] const CompiledProgram& compiled() const { return compiled_; }
   [[nodiscard]] const VmStats& stats() const { return stats_; }
+  [[nodiscard]] const OpClassCounts& op_class_counts() const {
+    return op_class_counts_;
+  }
+
+  /// Export the still-unexported instruction/call/opcode-class counts into
+  /// the process-wide metrics registry. Runs automatically when run_from
+  /// unwinds; hot loops only touch plain per-interpreter counters.
+  void flush_metrics();
 
   /// Interned string blocks: process state, preserved across migration.
   [[nodiscard]] const std::vector<BlockIndex>& string_blocks() const {
@@ -128,6 +140,10 @@ class Interpreter final : public runtime::RootProvider {
   std::vector<runtime::Value> pending_args_;
   std::vector<BlockIndex> string_blocks_;
   VmStats stats_;
+  OpClassCounts op_class_counts_{};
+  /// What has already been flushed to the registry (delta tracking).
+  VmStats exported_stats_;
+  OpClassCounts exported_classes_{};
   std::uint64_t max_instructions_ = 0;
   bool trap_to_speculation_ = false;
 };

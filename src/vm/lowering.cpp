@@ -51,6 +51,7 @@ class FunctionLowering {
   Insn& emit(Op op) {
     code_->emplace_back();
     code_->back().op = op;
+    code_->back().cls = static_cast<std::uint8_t>(op_class(op));
     return code_->back();
   }
 

@@ -6,6 +6,8 @@
 #include <map>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/heap.hpp"
 #include "spec/speculation.hpp"
 #include "support/rng.hpp"
@@ -293,6 +295,38 @@ TEST(GcSpec, CommittedDataSurvivesCollectionAfterManagerActivity) {
   spec.commit(level);
   heap.collect(true);
   EXPECT_EQ(heap.read_slot(idx, 0).as_int(), 8);
+}
+
+TEST(GcObs, CollectionRecordsPauseAndSpan) {
+  auto& reg = obs::MetricsRegistry::instance();
+  auto& tracer = obs::Tracer::instance();
+  tracer.enable(256);
+
+  auto counter_of = [](const obs::RegistrySnapshot& s, const char* name) {
+    const auto it = s.counters.find(name);
+    return it == s.counters.end() ? std::uint64_t{0} : it->second;
+  };
+  auto pauses_of = [](const obs::RegistrySnapshot& s) {
+    const auto it = s.histograms.find("gc.pause_us");
+    return it == s.histograms.end() ? std::uint64_t{0} : it->second.count;
+  };
+  const auto before = reg.snapshot();
+
+  Heap heap;
+  RootSet roots(heap);
+  roots.pin(Value::from_ptr(heap.alloc_tagged(4), 0));
+  (void)heap.alloc_tagged(4);  // garbage
+  heap.collect(/*major=*/true);
+
+  const auto after = reg.snapshot();
+  EXPECT_EQ(counter_of(after, "gc.major_collections"),
+            counter_of(before, "gc.major_collections") + 1);
+  EXPECT_EQ(pauses_of(after), pauses_of(before) + 1);
+
+  const std::string json = tracer.dump_chrome_json();
+  EXPECT_NE(json.find("\"cat\":\"gc\""), std::string::npos);
+  EXPECT_NE(json.find("\"major\""), std::string::npos);
+  tracer.disable();
 }
 
 }  // namespace

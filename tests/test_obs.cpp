@@ -1,0 +1,314 @@
+// Tests for the telemetry layer: metrics registry semantics, histogram
+// bucketing/quantiles, trace ring wraparound, and Chrome JSON output.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace mojave::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Counter / Gauge
+
+TEST(Metrics, CounterIncrementsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Metrics, GaugeSetAddAndNegative) {
+  Gauge g;
+  g.set(10);
+  g.add(-25);
+  EXPECT_EQ(g.value(), -15);
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(Metrics, ConcurrentCounterIncrementsAreExact) {
+  Counter c;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+TEST(Metrics, HistogramEmptySnapshotIsZero) {
+  Histogram h;
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.min_us, 0);
+  EXPECT_EQ(s.max_us, 0);
+  EXPECT_EQ(s.mean_us(), 0);
+  EXPECT_EQ(s.quantile_us(0.5), 0);
+}
+
+TEST(Metrics, HistogramTracksCountSumMinMax) {
+  Histogram h;
+  h.record_us(3);
+  h.record_us(150);
+  h.record_us(7000);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_NEAR(s.sum_us, 7153, 0.01);
+  EXPECT_NEAR(s.min_us, 3, 0.01);
+  EXPECT_NEAR(s.max_us, 7000, 0.01);
+  EXPECT_NEAR(s.mean_us(), 7153.0 / 3, 0.01);
+}
+
+TEST(Metrics, HistogramBucketsValuesOnThe125Ladder) {
+  Histogram h;
+  // Bounds are inclusive: 1, 2, 5, 10, ... — a 2 µs sample lands in the
+  // bucket whose upper bound is 2.
+  h.record_us(2);
+  h.record_us(2.5);   // > 2, <= 5
+  h.record_us(1e8);   // beyond the last bound: overflow bucket
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.buckets[1], 1u);  // (1, 2]
+  EXPECT_EQ(s.buckets[2], 1u);  // (2, 5]
+  EXPECT_EQ(s.buckets[Histogram::kNumBuckets - 1], 1u);  // overflow
+}
+
+TEST(Metrics, HistogramQuantilesAreMonotoneAndBounded) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.record_us(i);  // ~uniform on [1,1000]
+  const auto s = h.snapshot();
+  const double p50 = s.quantile_us(0.5);
+  const double p90 = s.quantile_us(0.9);
+  const double p99 = s.quantile_us(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  // Bucketed estimates: tolerate the bucket-width error (bounds 500/1000).
+  EXPECT_GT(p50, 200);
+  EXPECT_LE(p99, 1000);
+}
+
+TEST(Metrics, HistogramResetClearsEverything) {
+  Histogram h;
+  h.record_us(123);
+  h.reset();
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.sum_us, 0);
+  EXPECT_EQ(s.min_us, 0);
+  EXPECT_EQ(s.max_us, 0);
+  for (const auto b : s.buckets) EXPECT_EQ(b, 0u);
+}
+
+TEST(Metrics, ConcurrentHistogramRecordsCountExactly) {
+  Histogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.record_us(static_cast<double>(1 + (i + t) % 1000));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  std::uint64_t bucket_total = 0;
+  for (const auto b : s.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, s.count);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+TEST(Metrics, RegistryFindOrCreateReturnsStableHandles) {
+  auto& reg = MetricsRegistry::instance();
+  Counter& a = reg.counter("test.obs.stable");
+  Counter& b = reg.counter("test.obs.stable");
+  EXPECT_EQ(&a, &b);
+  a.inc(7);
+  EXPECT_EQ(reg.snapshot().counters.at("test.obs.stable"), 7u);
+}
+
+TEST(Metrics, RegistrySnapshotAndResetAll) {
+  auto& reg = MetricsRegistry::instance();
+  reg.counter("test.obs.c1").inc(3);
+  reg.gauge("test.obs.g1").set(-9);
+  reg.histogram("test.obs.h1").record_us(50);
+
+  auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("test.obs.c1"), 3u);
+  EXPECT_EQ(snap.gauges.at("test.obs.g1"), -9);
+  EXPECT_EQ(snap.histograms.at("test.obs.h1").count, 1u);
+
+  reg.reset_all();
+  snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("test.obs.c1"), 0u);
+  EXPECT_EQ(snap.gauges.at("test.obs.g1"), 0);
+  EXPECT_EQ(snap.histograms.at("test.obs.h1").count, 0u);
+  // Handles stay valid after reset.
+  reg.counter("test.obs.c1").inc();
+  EXPECT_EQ(reg.snapshot().counters.at("test.obs.c1"), 1u);
+}
+
+TEST(Metrics, DumpTextListsEveryFamily) {
+  auto& reg = MetricsRegistry::instance();
+  reg.counter("test.obs.dump_c").inc(5);
+  reg.gauge("test.obs.dump_g").set(2);
+  reg.histogram("test.obs.dump_h").record_us(10);
+  const std::string text = reg.dump_text();
+  EXPECT_NE(text.find("counter test.obs.dump_c 5"), std::string::npos);
+  EXPECT_NE(text.find("gauge test.obs.dump_g 2"), std::string::npos);
+  EXPECT_NE(text.find("hist test.obs.dump_h count=1"), std::string::npos);
+}
+
+// Minimal structural JSON check: balanced brackets outside strings, and no
+// trailing garbage. Good enough to catch emitter bugs without a parser.
+bool json_well_formed(const std::string& s) {
+  std::vector<char> stack;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char c : s) {
+    if (in_string) {
+      if (escaped) escaped = false;
+      else if (c == '\\') escaped = true;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': case '[': stack.push_back(c); break;
+      case '}':
+        if (stack.empty() || stack.back() != '{') return false;
+        stack.pop_back();
+        break;
+      case ']':
+        if (stack.empty() || stack.back() != '[') return false;
+        stack.pop_back();
+        break;
+      default: break;
+    }
+  }
+  return !in_string && stack.empty() && !s.empty();
+}
+
+TEST(Metrics, DumpJsonIsWellFormed) {
+  auto& reg = MetricsRegistry::instance();
+  reg.counter("test.obs.json_c").inc();
+  reg.histogram("test.obs.json_h").record_us(123);
+  const std::string json = reg.dump_json();
+  EXPECT_TRUE(json_well_formed(json)) << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.obs.json_c\":1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+
+class TracerTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Tracer::instance().disable(); }
+};
+
+TEST_F(TracerTest, DisabledTracerRecordsNothing) {
+  auto& tr = Tracer::instance();
+  ASSERT_FALSE(tr.enabled());
+  const auto before = tr.recorded();
+  tr.instant("test", "noop");
+  { ScopedSpan span("test", "noop_span"); }
+  EXPECT_EQ(tr.recorded(), before);
+}
+
+TEST_F(TracerTest, RecordsInstantsAndSpans) {
+  auto& tr = Tracer::instance();
+  tr.enable(64);
+  tr.instant("test", "tick", "n", 3);
+  {
+    ScopedSpan span("test", "work");
+    span.set_arg("bytes", 128);
+  }
+  EXPECT_EQ(tr.recorded(), 2u);
+  const std::string json = tr.dump_chrome_json();
+  EXPECT_TRUE(json_well_formed(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"tick\""), std::string::npos);
+  EXPECT_NE(json.find("\"work\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);  // instant
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // complete span
+  EXPECT_NE(json.find("\"bytes\":128"), std::string::npos);
+}
+
+TEST_F(TracerTest, RingWrapsAndKeepsTheNewestEvents) {
+  auto& tr = Tracer::instance();
+  tr.enable(8);
+  for (int i = 0; i < 20; ++i) tr.instant("test", "e", "i", i);
+  EXPECT_EQ(tr.recorded(), 20u);
+  EXPECT_EQ(tr.capacity(), 8u);
+  const std::string json = tr.dump_chrome_json();
+  // Only the last 8 events are retained: 12..19.
+  EXPECT_EQ(json.find("\"i\":11"), std::string::npos);
+  EXPECT_NE(json.find("\"i\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"i\":19"), std::string::npos);
+}
+
+TEST_F(TracerTest, ClearDropsEventsButKeepsRecording) {
+  auto& tr = Tracer::instance();
+  tr.enable(8);
+  tr.instant("test", "a");
+  tr.clear();
+  EXPECT_EQ(tr.recorded(), 0u);
+  EXPECT_TRUE(tr.enabled());
+  tr.instant("test", "b");
+  EXPECT_EQ(tr.recorded(), 1u);
+  const std::string json = tr.dump_chrome_json();
+  EXPECT_EQ(json.find("\"a\""), std::string::npos);
+  EXPECT_NE(json.find("\"b\""), std::string::npos);
+}
+
+TEST_F(TracerTest, SpanRenameSticks) {
+  auto& tr = Tracer::instance();
+  tr.enable(8);
+  {
+    ScopedSpan span("test", "minor");
+    span.set_name("major");
+  }
+  const std::string json = tr.dump_chrome_json();
+  EXPECT_EQ(json.find("\"minor\""), std::string::npos);
+  EXPECT_NE(json.find("\"major\""), std::string::npos);
+}
+
+TEST_F(TracerTest, ConcurrentRecordingCountsEveryEvent) {
+  auto& tr = Tracer::instance();
+  tr.enable(1u << 12);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tr] {
+      for (int i = 0; i < kPerThread; ++i) tr.instant("test", "mt");
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(tr.recorded(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_TRUE(json_well_formed(tr.dump_chrome_json()));
+}
+
+}  // namespace
+}  // namespace mojave::obs

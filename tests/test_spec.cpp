@@ -7,6 +7,8 @@
 #include <map>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/heap.hpp"
 #include "spec/speculation.hpp"
 #include "support/rng.hpp"
@@ -308,5 +310,39 @@ TEST_P(SpecProperty, HeapAgreesWithShadowModel) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SpecProperty,
                          ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+TEST(SpecObs, RollbackRecordsMetricsAndSpans) {
+  auto& reg = obs::MetricsRegistry::instance();
+  auto& tracer = obs::Tracer::instance();
+  tracer.enable(256);
+
+  auto counter_of = [](const obs::RegistrySnapshot& s, const char* name) {
+    const auto it = s.counters.find(name);
+    return it == s.counters.end() ? std::uint64_t{0} : it->second;
+  };
+  const auto before = reg.snapshot();
+
+  Fixture f;
+  const BlockIndex a = f.make(1);
+  const SpecLevel level = f.spec.speculate({});
+  f.set(a, 2);  // first write: clone preserved for rollback
+  (void)f.spec.rollback(level, 0, /*retry=*/false);
+  EXPECT_EQ(f.get(a), 1);
+
+  const auto after = reg.snapshot();
+  EXPECT_EQ(counter_of(after, "spec.speculates"),
+            counter_of(before, "spec.speculates") + 1);
+  EXPECT_EQ(counter_of(after, "spec.rollbacks"),
+            counter_of(before, "spec.rollbacks") + 1);
+  EXPECT_GE(counter_of(after, "spec.blocks_preserved"),
+            counter_of(before, "spec.blocks_preserved") + 1);
+  EXPECT_EQ(after.gauges.at("spec.active_levels"), 0);
+
+  const std::string json = tracer.dump_chrome_json();
+  EXPECT_NE(json.find("\"cat\":\"spec\""), std::string::npos);
+  EXPECT_NE(json.find("\"speculate\""), std::string::npos);
+  EXPECT_NE(json.find("\"abort\""), std::string::npos);  // non-retry rollback
+  tracer.disable();
+}
 
 }  // namespace
