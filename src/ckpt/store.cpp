@@ -1,0 +1,506 @@
+#include "ckpt/store.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "support/error.hpp"
+#include "support/hash.hpp"
+#include "support/serialize.hpp"
+#include "support/stopwatch.hpp"
+
+namespace mojave::ckpt {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::uint32_t kManifestMagic = 0x74666b6d;  // "mkft"
+constexpr std::uint32_t kManifestVersion = 1;
+/// Seed diversifier for the second FNV pass of a ChunkKey, so (hi, lo)
+/// are not trivially correlated.
+constexpr std::uint64_t kLoSeedSalt = 0x9e3779b97f4a7c15ULL;
+
+struct CkptMetrics {
+  obs::Counter& chunks_written;
+  obs::Counter& chunks_deduped;
+  obs::Counter& chunks_evicted;
+  obs::Counter& bytes_logical;
+  obs::Counter& bytes_written;
+  obs::Counter& bytes_logical_incremental;
+  obs::Counter& bytes_written_incremental;
+  obs::Counter& manifests_written;
+  obs::Counter& manifests_pruned;
+  obs::Counter& restores;
+  obs::Counter& restore_fallbacks;
+  obs::Counter& restore_failures;
+  obs::Histogram& put_us;
+  obs::Histogram& restore_us;
+  obs::Histogram& image_bytes;
+  obs::Histogram& written_bytes;
+
+  static CkptMetrics& get() {
+    auto& r = obs::MetricsRegistry::instance();
+    static CkptMetrics m{
+        r.counter("ckpt.chunks_written"),
+        r.counter("ckpt.chunks_deduped"),
+        r.counter("ckpt.chunks_evicted"),
+        r.counter("ckpt.bytes_logical"),
+        r.counter("ckpt.bytes_written"),
+        r.counter("ckpt.bytes_logical_incremental"),
+        r.counter("ckpt.bytes_written_incremental"),
+        r.counter("ckpt.manifests_written"),
+        r.counter("ckpt.manifests_pruned"),
+        r.counter("ckpt.restores"),
+        r.counter("ckpt.restore_fallbacks"),
+        r.counter("ckpt.restore_failures"),
+        r.histogram("ckpt.put_us"),
+        r.histogram("ckpt.restore_us"),
+        r.histogram("ckpt.image_bytes"),
+        r.histogram("ckpt.written_bytes"),
+    };
+    return m;
+  }
+};
+
+std::string hex16(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string s(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    s[static_cast<std::size_t>(i)] = digits[v & 0xf];
+    v >>= 4;
+  }
+  return s;
+}
+
+std::string chunk_name(const ChunkKey& key) {
+  return std::string(CheckpointStore::kChunkDir) + "/" + key.hex() + ".ch";
+}
+
+std::string seq_str(std::uint64_t seq) {
+  std::string s = std::to_string(seq);
+  return std::string(s.size() >= 12 ? 0 : 12 - s.size(), '0') + s;
+}
+
+std::string manifest_name(const std::string& snapshot, std::uint64_t seq) {
+  return std::string(CheckpointStore::kManifestDir) + "/" + snapshot + "@" +
+         seq_str(seq) + ".mft";
+}
+
+}  // namespace
+
+ChunkKey ChunkKey::of(std::span<const std::byte> data) {
+  ChunkKey key;
+  key.hi = fnv1a(data);
+  key.lo = fnv1a(data, key.hi ^ kLoSeedSalt);
+  return key;
+}
+
+std::string ChunkKey::hex() const { return hex16(hi) + hex16(lo); }
+
+std::vector<std::byte> Manifest::encode() const {
+  Writer w;
+  w.u32(kManifestMagic);
+  w.u32(kManifestVersion);
+  w.str(snapshot);
+  w.u64(seq);
+  w.u64(image_bytes);
+  w.u64(image_hash);
+  w.u32(static_cast<std::uint32_t>(chunks.size()));
+  for (const ManifestEntry& e : chunks) {
+    w.u64(e.key.hi);
+    w.u64(e.key.lo);
+    w.u32(e.length);
+  }
+  w.u64(fnv1a(w.view()));
+  return w.take();
+}
+
+Manifest Manifest::decode(std::span<const std::byte> bytes) {
+  if (bytes.size() < 8) throw ImageError("manifest truncated");
+  const std::uint64_t want =
+      fnv1a(bytes.subspan(0, bytes.size() - 8));
+  Reader r(bytes);
+  if (r.u32() != kManifestMagic) throw ImageError("manifest bad magic");
+  if (r.u32() != kManifestVersion) throw ImageError("manifest bad version");
+  Manifest m;
+  m.snapshot = r.str();
+  m.seq = r.u64();
+  m.image_bytes = r.u64();
+  m.image_hash = r.u64();
+  const std::uint32_t n = r.u32();
+  m.chunks.reserve(n);
+  std::uint64_t total = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ManifestEntry e;
+    e.key.hi = r.u64();
+    e.key.lo = r.u64();
+    e.length = r.u32();
+    total += e.length;
+    m.chunks.push_back(e);
+  }
+  const std::uint64_t got = r.u64();
+  if (!r.done()) throw ImageError("manifest trailing bytes");
+  if (got != want) throw ImageError("manifest checksum mismatch");
+  if (total != m.image_bytes) throw ImageError("manifest length mismatch");
+  return m;
+}
+
+void CheckpointStore::validate_snapshot_name(const std::string& name) {
+  if (name.empty()) throw Error("ckpt: empty snapshot name");
+  if (name == "." || name == "..") {
+    throw Error("ckpt: snapshot name cannot be a dot path: " + name);
+  }
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) {
+      throw Error("ckpt: snapshot name must match [A-Za-z0-9._-]: " + name);
+    }
+  }
+}
+
+CheckpointStore::CheckpointStore(fs::path root, Options opts)
+    : opts_(opts), storage_(std::move(root)) {
+  opts_.chunker.validate();
+  if (opts_.keep_manifests == 0) {
+    throw Error("ckpt: keep_manifests must be >= 1");
+  }
+}
+
+std::shared_ptr<CheckpointStore> CheckpointStore::open_shared(
+    const fs::path& root, Options opts) {
+  static std::mutex mu;
+  static std::map<std::string, std::weak_ptr<CheckpointStore>> open;
+  std::error_code ec;
+  fs::path canon = fs::weakly_canonical(root, ec);
+  if (ec) canon = fs::absolute(root).lexically_normal();
+  const std::string key = canon.string();
+  std::lock_guard<std::mutex> lock(mu);
+  if (auto existing = open[key].lock()) return existing;
+  auto store = std::make_shared<CheckpointStore>(canon, opts);
+  open[key] = store;
+  return store;
+}
+
+std::vector<CheckpointStore::ManifestFile>
+CheckpointStore::list_manifests_locked() const {
+  std::vector<ManifestFile> files;
+  const std::string prefix = std::string(kManifestDir) + "/";
+  for (const std::string& name : storage_.list(kManifestDir)) {
+    if (name.size() <= prefix.size() || name.rfind(prefix, 0) != 0) continue;
+    const std::string base = name.substr(prefix.size());
+    const auto at = base.rfind('@');
+    if (at == std::string::npos || base.size() < at + 1 + 4) continue;
+    if (base.substr(base.size() - 4) != ".mft") continue;
+    const std::string seq_part = base.substr(at + 1, base.size() - at - 5);
+    if (seq_part.empty() ||
+        seq_part.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    ManifestFile mf;
+    mf.name = name;
+    mf.snapshot = base.substr(0, at);
+    mf.seq = std::stoull(seq_part);
+    files.push_back(std::move(mf));
+  }
+  std::sort(files.begin(), files.end(),
+            [](const ManifestFile& a, const ManifestFile& b) {
+              return a.snapshot != b.snapshot ? a.snapshot < b.snapshot
+                                              : a.seq < b.seq;
+            });
+  return files;
+}
+
+std::vector<CheckpointStore::ManifestFile>
+CheckpointStore::list_manifests_locked(const std::string& snapshot) const {
+  auto files = list_manifests_locked();
+  std::erase_if(files, [&](const ManifestFile& mf) {
+    return mf.snapshot != snapshot;
+  });
+  return files;
+}
+
+PutStats CheckpointStore::put(const std::string& snapshot,
+                              std::span<const std::byte> image) {
+  validate_snapshot_name(snapshot);
+  Stopwatch sw;
+  obs::ScopedSpan span("ckpt", "put");
+  span.set_arg("bytes", image.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  CkptMetrics& m = CkptMetrics::get();
+
+  PutStats stats;
+  const auto existing = list_manifests_locked(snapshot);
+  stats.first_snapshot = existing.empty();
+  stats.seq = existing.empty() ? 1 : existing.back().seq + 1;
+
+  Manifest man;
+  man.snapshot = snapshot;
+  man.seq = stats.seq;
+  man.image_bytes = image.size();
+  man.image_hash = fnv1a(image);
+
+  // Chunks first, manifest last: the checkpoint only becomes visible once
+  // every byte it references is durably in place.
+  for (std::span<const std::byte> chunk :
+       split_chunks(image, opts_.chunker)) {
+    const ChunkKey key = ChunkKey::of(chunk);
+    man.chunks.push_back({key, static_cast<std::uint32_t>(chunk.size())});
+    ++stats.chunks_total;
+    stats.bytes_total += chunk.size();
+    const std::string name = chunk_name(key);
+    if (storage_.exists(name)) {
+      ++stats.chunks_deduped;
+    } else {
+      storage_.write(name, chunk);
+      ++stats.chunks_written;
+      stats.bytes_written += chunk.size();
+    }
+  }
+  storage_.write(manifest_name(snapshot, stats.seq), man.encode());
+
+  m.chunks_written.inc(stats.chunks_written);
+  m.chunks_deduped.inc(stats.chunks_deduped);
+  m.bytes_logical.inc(stats.bytes_total);
+  m.bytes_written.inc(stats.bytes_written);
+  if (!stats.first_snapshot) {
+    m.bytes_logical_incremental.inc(stats.bytes_total);
+    m.bytes_written_incremental.inc(stats.bytes_written);
+  }
+  m.manifests_written.inc();
+  m.image_bytes.record_us(static_cast<double>(image.size()));
+  m.written_bytes.record_us(static_cast<double>(stats.bytes_written));
+
+  if (opts_.auto_gc) {
+    const GcStats gc = collect_garbage_locked();
+    stats.manifests_pruned = gc.manifests_pruned;
+    stats.chunks_evicted = gc.chunks_evicted;
+  }
+  m.put_us.record_seconds(sw.seconds());
+  return stats;
+}
+
+std::optional<std::vector<std::byte>> CheckpointStore::restore(
+    const std::string& snapshot, RestoreStats* out) const {
+  Stopwatch sw;
+  obs::ScopedSpan span("ckpt", "restore");
+  std::lock_guard<std::mutex> lock(mu_);
+  CkptMetrics& m = CkptMetrics::get();
+  m.restores.inc();
+
+  const auto files = list_manifests_locked(snapshot);
+  std::size_t skipped = 0;
+  for (auto it = files.rbegin(); it != files.rend(); ++it) {
+    const auto raw = storage_.read(it->name);
+    if (!raw.has_value()) {
+      ++skipped;
+      continue;
+    }
+    Manifest man;
+    try {
+      man = Manifest::decode(*raw);
+    } catch (const Error&) {
+      ++skipped;
+      continue;
+    }
+    std::vector<std::byte> image;
+    image.reserve(man.image_bytes);
+    bool ok = true;
+    for (const ManifestEntry& e : man.chunks) {
+      const auto chunk = storage_.read(chunk_name(e.key));
+      if (!chunk.has_value() || chunk->size() != e.length ||
+          ChunkKey::of(*chunk) != e.key) {
+        ok = false;
+        break;
+      }
+      image.insert(image.end(), chunk->begin(), chunk->end());
+    }
+    if (!ok || image.size() != man.image_bytes ||
+        fnv1a(image) != man.image_hash) {
+      ++skipped;
+      continue;
+    }
+    if (skipped > 0) m.restore_fallbacks.inc();
+    m.restore_us.record_seconds(sw.seconds());
+    if (out != nullptr) {
+      out->seq = man.seq;
+      out->chunks = man.chunks.size();
+      out->manifests_skipped = skipped;
+    }
+    return image;
+  }
+  m.restore_failures.inc();
+  if (out != nullptr) {
+    *out = RestoreStats{};
+    out->manifests_skipped = skipped;
+  }
+  return std::nullopt;
+}
+
+bool CheckpointStore::has_snapshot(const std::string& snapshot) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !list_manifests_locked(snapshot).empty();
+}
+
+std::uint64_t CheckpointStore::latest_seq(const std::string& snapshot) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto files = list_manifests_locked(snapshot);
+  return files.empty() ? 0 : files.back().seq;
+}
+
+std::vector<std::string> CheckpointStore::snapshots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  for (const ManifestFile& mf : list_manifests_locked()) {
+    if (names.empty() || names.back() != mf.snapshot) {
+      names.push_back(mf.snapshot);
+    }
+  }
+  return names;
+}
+
+std::vector<Manifest> CheckpointStore::manifests(
+    const std::string& snapshot) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Manifest> out;
+  for (const ManifestFile& mf : list_manifests_locked(snapshot)) {
+    const auto raw = storage_.read(mf.name);
+    if (!raw.has_value()) continue;
+    try {
+      out.push_back(Manifest::decode(*raw));
+    } catch (const Error&) {
+      // Corrupt manifests are invisible here; restore skips them too.
+    }
+  }
+  return out;
+}
+
+GcStats CheckpointStore::collect_garbage() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return collect_garbage_locked();
+}
+
+GcStats CheckpointStore::collect_garbage_locked() {
+  GcStats gc;
+  CkptMetrics& m = CkptMetrics::get();
+
+  // Retention: keep the newest keep_manifests manifests per snapshot.
+  std::map<std::string, std::vector<ManifestFile>> by_snapshot;
+  for (ManifestFile& mf : list_manifests_locked()) {
+    by_snapshot[mf.snapshot].push_back(std::move(mf));
+  }
+  std::vector<ManifestFile> survivors;
+  for (auto& [snapshot, files] : by_snapshot) {
+    while (files.size() > opts_.keep_manifests) {
+      storage_.remove(files.front().name);
+      files.erase(files.begin());
+      ++gc.manifests_pruned;
+    }
+    for (ManifestFile& mf : files) survivors.push_back(std::move(mf));
+  }
+
+  // Reference-count chunks across every surviving manifest (all
+  // snapshots): a chunk shared between ranks lives as long as any of
+  // them references it. An undecodable manifest can never be restored,
+  // so it is dropped rather than pinning garbage forever.
+  std::set<std::string> referenced;
+  for (const ManifestFile& mf : survivors) {
+    const auto raw = storage_.read(mf.name);
+    bool good = false;
+    if (raw.has_value()) {
+      try {
+        const Manifest man = Manifest::decode(*raw);
+        for (const ManifestEntry& e : man.chunks) {
+          referenced.insert(chunk_name(e.key));
+        }
+        good = true;
+      } catch (const Error&) {
+      }
+    }
+    if (!good) {
+      storage_.remove(mf.name);
+      ++gc.manifests_pruned;
+    }
+  }
+  for (const std::string& name : storage_.list(kChunkDir)) {
+    if (referenced.contains(name)) continue;
+    std::error_code ec;
+    const auto size = fs::file_size(storage_.path_for(name), ec);
+    if (!ec) gc.bytes_evicted += size;
+    storage_.remove(name);
+    ++gc.chunks_evicted;
+  }
+  m.chunks_evicted.inc(gc.chunks_evicted);
+  m.manifests_pruned.inc(gc.manifests_pruned);
+  return gc;
+}
+
+VerifyReport CheckpointStore::verify() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  VerifyReport report;
+  std::set<std::string> referenced;
+  std::set<std::string> checked;
+  for (const ManifestFile& mf : list_manifests_locked()) {
+    const auto raw = storage_.read(mf.name);
+    Manifest man;
+    try {
+      if (!raw.has_value()) throw ImageError("unreadable");
+      man = Manifest::decode(*raw);
+    } catch (const Error&) {
+      ++report.manifests_corrupt;
+      continue;
+    }
+    ++report.manifests_ok;
+    for (const ManifestEntry& e : man.chunks) {
+      const std::string name = chunk_name(e.key);
+      referenced.insert(name);
+      if (!checked.insert(name).second) continue;  // verified already
+      const auto chunk = storage_.read(name);
+      if (!chunk.has_value()) {
+        ++report.chunks_missing;
+      } else if (chunk->size() != e.length ||
+                 ChunkKey::of(*chunk) != e.key) {
+        ++report.chunks_corrupt;
+      } else {
+        ++report.chunks_ok;
+      }
+    }
+  }
+  for (const std::string& name : storage_.list(kChunkDir)) {
+    if (!referenced.contains(name)) ++report.chunks_orphaned;
+  }
+  return report;
+}
+
+StoreStats CheckpointStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  StoreStats s;
+  std::map<std::string, std::uint64_t> latest;  // ascending seq ⇒ last wins
+  for (const ManifestFile& mf : list_manifests_locked()) {
+    const auto raw = storage_.read(mf.name);
+    if (!raw.has_value()) continue;
+    Manifest man;
+    try {
+      man = Manifest::decode(*raw);
+    } catch (const Error&) {
+      continue;
+    }
+    ++s.manifests;
+    s.logical_bytes += man.image_bytes;
+    latest[mf.snapshot] = man.image_bytes;
+  }
+  s.snapshots = latest.size();
+  for (const auto& [snapshot, bytes] : latest) s.latest_image_bytes += bytes;
+  for (const std::string& name : storage_.list(kChunkDir)) {
+    ++s.chunks;
+    std::error_code ec;
+    const auto size = fs::file_size(storage_.path_for(name), ec);
+    if (!ec) s.stored_chunk_bytes += size;
+  }
+  return s;
+}
+
+}  // namespace mojave::ckpt

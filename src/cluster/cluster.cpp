@@ -32,6 +32,12 @@ Cluster::Cluster(ClusterConfig cfg)
       net_(cfg.num_nodes, cfg.net),
       storage_(cfg.storage_dir.empty() ? default_storage_dir()
                                        : cfg.storage_dir) {
+  if (cfg_.use_ckpt_store) {
+    // Shared with the Migrators running on the node threads (they open
+    // the same root from the ckpt:// target), so puts and GC serialize.
+    ckpt_store_ =
+        ckpt::CheckpointStore::open_shared(storage_.root(), cfg_.ckpt);
+  }
   slots_.reserve(cfg_.num_nodes);
   for (std::uint32_t i = 0; i < cfg_.num_nodes; ++i) {
     slots_.push_back(std::make_unique<Slot>());
@@ -135,7 +141,12 @@ void Cluster::register_externals(vm::Process& proc, net::NodeId rank) {
           }
           if (status == net::RecvStatus::kTimeout) {
             waited += 0.005;
-            if (waited >= cfg_.recv_timeout_seconds) return Value::from_int(2);
+            if (waited >= cfg_.recv_timeout_seconds) {
+              MOJAVE_LOG(kDebug, "cluster")
+                  << "rank " << rank << " recv timeout from " << src
+                  << " tag " << tag;
+              return Value::from_int(2);
+            }
             continue;
           }
           throw NodeKilled{};  // kSelfFailed / kShutdown
@@ -163,8 +174,11 @@ void Cluster::register_externals(vm::Process& proc, net::NodeId rank) {
       "checkpoint_target",
       [this, rank](vm::Interpreter& it, std::span<const Value>) -> Value {
         const std::string target =
-            "checkpoint://" +
-            storage_.path_for(checkpoint_name(rank)).string();
+            cfg_.use_ckpt_store
+                ? "ckpt://" + storage_.root().string() + "/" +
+                      snapshot_name(rank)
+                : "checkpoint://" +
+                      storage_.path_for(checkpoint_name(rank)).string();
         return Value::from_ptr(it.heap().alloc_string(target), 0);
       });
 
@@ -203,6 +217,7 @@ void Cluster::record_migrator(net::NodeId rank,
     ++r.checkpoints;
     r.checkpoint_seconds += event.pack_seconds;
     r.checkpoint_bytes = event.image_bytes;
+    r.checkpoint_bytes_written += event.bytes_written;
   }
 }
 
@@ -263,9 +278,23 @@ void Cluster::kill(net::NodeId rank) {
   net_.kill(rank);
 }
 
+bool Cluster::has_checkpoint(net::NodeId rank) const {
+  return cfg_.use_ckpt_store ? ckpt_store_->has_snapshot(snapshot_name(rank))
+                             : storage_.exists(checkpoint_name(rank));
+}
+
+std::optional<std::vector<std::byte>> Cluster::read_checkpoint(
+    net::NodeId rank) const {
+  // Chunk-store restore verifies every chunk and the whole image, and
+  // falls back to the previous manifest on any mismatch — a node killed
+  // mid-checkpoint resurrects from the last *complete* checkpoint.
+  return cfg_.use_ckpt_store ? ckpt_store_->restore(snapshot_name(rank))
+                             : storage_.read(checkpoint_name(rank));
+}
+
 bool Cluster::resurrect(net::NodeId rank) {
   Slot& slot = *slots_.at(rank);
-  const auto image = storage_.read(checkpoint_name(rank));
+  const auto image = read_checkpoint(rank);
   if (!image.has_value()) return false;
   if (slot.thread.joinable()) slot.thread.join();  // the killed incarnation
   slot.finished.store(false);
@@ -325,7 +354,7 @@ void Cluster::daemon_loop(double interval) {
       if (!slot.launched.load()) continue;
       if (net_.alive(rank)) continue;
       if (!slot.finished.load()) continue;  // still unwinding
-      if (!storage_.exists(checkpoint_name(rank))) continue;
+      if (!has_checkpoint(rank)) continue;
       if (stopping_.load()) return;
       resurrect(rank);
     }
@@ -342,7 +371,7 @@ std::vector<NodeResult> Cluster::wait_all() {
     if (!daemon_active) return true;
     std::lock_guard<std::mutex> lock(mu_);
     if (s.result.error != "killed") return true;
-    return !storage_.exists(checkpoint_name(s.result.rank));
+    return !has_checkpoint(s.result.rank);
   };
   while (true) {
     bool all_done = true;

@@ -17,7 +17,10 @@
 //   int msg_recv(int src, int tag, ptr buf, int count);
 //       0 = ok, 1 = MSG_ROLL (peer failed / speculation poisoned),
 //       2 = timeout; blocks until one of these
-//   ptr checkpoint_target();     "checkpoint://<storage>/rank_<r>.img"
+//   ptr checkpoint_target();     "ckpt://<storage>/rank_<r>" (incremental
+//                                chunk store; the legacy whole-image
+//                                "checkpoint://<storage>/rank_<r>.img"
+//                                when use_ckpt_store is off)
 //   void report_result(float);   hand a scalar result to the host
 //   void sleep_ms(int);
 #pragma once
@@ -32,6 +35,7 @@
 #include <thread>
 #include <vector>
 
+#include "ckpt/store.hpp"
 #include "cluster/storage.hpp"
 #include "cluster/tracker.hpp"
 #include "fir/ir.hpp"
@@ -48,6 +52,10 @@ struct ClusterConfig {
   std::filesystem::path storage_dir;      ///< empty = fresh temp directory
   std::uint64_t max_instructions = 0;     ///< per process; 0 = unlimited
   double recv_timeout_seconds = 30.0;     ///< msg_recv safety net
+  /// Checkpoint through the incremental content-addressed chunk store
+  /// (ckpt:// targets, O(delta) writes). Off = legacy whole-image files.
+  bool use_ckpt_store = true;
+  ckpt::CheckpointStore::Options ckpt;
 };
 
 struct NodeResult {
@@ -63,6 +71,9 @@ struct NodeResult {
   std::uint64_t checkpoints = 0;        ///< migrate events executed
   double checkpoint_seconds = 0.0;      ///< total pack time
   std::size_t checkpoint_bytes = 0;     ///< last image size
+  /// Bytes actually written to storage across all checkpoints (for the
+  /// chunk store this is the deduplicated delta, not the image size).
+  std::size_t checkpoint_bytes_written = 0;
   double reported = 0.0;  ///< last report_result() value
   bool has_reported = false;
 };
@@ -100,9 +111,21 @@ class Cluster {
   [[nodiscard]] net::SimNetwork& network() { return net_; }
   [[nodiscard]] SharedStorage& storage() { return storage_; }
   [[nodiscard]] DependencyTracker& tracker() { return tracker_; }
+  /// The chunk store backing ckpt:// checkpoints (null in legacy mode).
+  [[nodiscard]] const std::shared_ptr<ckpt::CheckpointStore>& ckpt_store()
+      const {
+    return ckpt_store_;
+  }
+  /// Legacy whole-image checkpoint file name for `rank`.
   [[nodiscard]] std::string checkpoint_name(net::NodeId rank) const {
     return "rank_" + std::to_string(rank) + ".img";
   }
+  /// Chunk-store snapshot name for `rank`.
+  [[nodiscard]] std::string snapshot_name(net::NodeId rank) const {
+    return "rank_" + std::to_string(rank);
+  }
+  /// Whether a restorable checkpoint exists for `rank` (either mode).
+  [[nodiscard]] bool has_checkpoint(net::NodeId rank) const;
 
  private:
   struct Slot {
@@ -124,10 +147,15 @@ class Cluster {
   void record_migrator(net::NodeId rank, const migrate::Migrator& migrator);
   void run_body(net::NodeId rank, vm::Process& proc);
   void daemon_loop(double interval);
+  /// Latest restorable image for `rank`, from the chunk store (with
+  /// manifest fallback) or the legacy file.
+  [[nodiscard]] std::optional<std::vector<std::byte>> read_checkpoint(
+      net::NodeId rank) const;
 
   ClusterConfig cfg_;
   net::SimNetwork net_;
   SharedStorage storage_;
+  std::shared_ptr<ckpt::CheckpointStore> ckpt_store_;
   DependencyTracker tracker_;
   std::vector<std::unique_ptr<Slot>> slots_;
   std::mutex mu_;

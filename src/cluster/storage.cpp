@@ -1,5 +1,10 @@
 #include "cluster/storage.hpp"
 
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <fstream>
 
 #include "support/error.hpp"
@@ -15,7 +20,15 @@ SharedStorage::SharedStorage(fs::path root) : root_(std::move(root)) {
 void SharedStorage::write(const std::string& name,
                           std::span<const std::byte> bytes) const {
   const fs::path target = path_for(name);
-  const fs::path tmp = target.string() + ".tmp";
+  if (target.has_parent_path()) {
+    fs::create_directories(target.parent_path());
+  }
+  // Unique temp name per writer: two nodes racing to publish the same
+  // object (e.g. the same content-addressed chunk) must not interleave
+  // writes into one temp file and rename a torn result.
+  static std::atomic<std::uint64_t> nonce{0};
+  const fs::path tmp = target.string() + "." + std::to_string(::getpid()) +
+                       "." + std::to_string(nonce++) + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) throw Error("storage: cannot open " + tmp.string());
@@ -49,14 +62,30 @@ void SharedStorage::remove(const std::string& name) const {
   fs::remove(path_for(name), ec);
 }
 
-std::vector<std::string> SharedStorage::list() const {
+std::vector<std::string> SharedStorage::list(const std::string& subdir) const {
   std::vector<std::string> names;
-  for (const auto& entry : fs::directory_iterator(root_)) {
-    if (entry.is_regular_file() &&
-        entry.path().extension() != ".tmp") {
-      names.push_back(entry.path().filename().string());
+  const fs::path base = subdir.empty() ? root_ : root_ / subdir;
+  std::error_code ec;
+  if (!fs::is_directory(base, ec)) return names;
+  const auto now = fs::file_time_type::clock::now();
+  const auto stale = std::chrono::duration_cast<fs::file_time_type::duration>(
+      std::chrono::duration<double>(stale_tmp_age_));
+  for (fs::recursive_directory_iterator it(base, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    if (!it->is_regular_file(ec)) continue;
+    const fs::path& p = it->path();
+    if (p.extension() == ".tmp") {
+      // In-flight writes are invisible; a temp file no writer can still
+      // own (a crash between write and rename) is swept so a
+      // resurrection daemon never tries to restore a torn name.
+      std::error_code tec;
+      const auto mtime = fs::last_write_time(p, tec);
+      if (!tec && now - mtime > stale) fs::remove(p, tec);
+      continue;
     }
+    names.push_back(p.lexically_relative(root_).generic_string());
   }
+  std::sort(names.begin(), names.end());
   return names;
 }
 

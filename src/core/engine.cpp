@@ -46,7 +46,9 @@ EngineResult Engine::run_program(fir::Program program) {
 }
 
 EngineResult Engine::resume_file(const std::filesystem::path& image_path) {
-  const auto bytes = migrate::Migrator::read_image_file(image_path);
+  // Accepts plain files and checkpoint URIs, including ckpt://root/name
+  // chunk-store snapshots (restored with verification + fallback).
+  const auto bytes = migrate::read_checkpoint_uri(image_path.string());
   migrate::UnpackResult unpacked =
       migrate::unpack_process(bytes, options_.process);
   if (options_.enable_migration) {

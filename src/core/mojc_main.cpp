@@ -14,12 +14,16 @@
 //       recompile, and execute them.
 //   mojc inspect <image>
 //       Print what an image contains without running it.
+//   mojc ckpt <store-root> [list|stats|verify|gc]
+//       Inspect (or garbage-collect) an incremental checkpoint store:
+//       snapshots, manifests, chunk dedup ratio, integrity.
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "ckpt/store.hpp"
 #include "core/engine.hpp"
 #include "fir/serialize.hpp"
 #include "fir/printer.hpp"
@@ -41,9 +45,10 @@ int usage() {
       "  mojc run <file.mjc> [--dump-fir] [--trap-spec] [--no-opt] [--max-insns N]\n"
       "  mojc compile <file.mjc> [-o out.fir]\n"
       "  mojc exec <file.fir>\n"
-      "  mojc resume <checkpoint.img>\n"
+      "  mojc resume <checkpoint.img | ckpt://root/name>\n"
       "  mojc serve [port]\n"
       "  mojc inspect <image>\n"
+      "  mojc ckpt <store-root> [list|stats|verify|gc]\n"
       "  mojc dump <file.mjc> [--risc]\n"
       "telemetry (any command):\n"
       "  --stats[=json]        dump the metrics registry to stderr at exit\n"
@@ -220,6 +225,64 @@ int cmd_inspect(const Flags& flags) {
   return 0;
 }
 
+int cmd_ckpt(const Flags& flags) {
+  if (flags.positional.empty() || flags.positional.size() > 2) return usage();
+  const std::string sub =
+      flags.positional.size() == 2 ? flags.positional[1] : "list";
+  ckpt::CheckpointStore store(flags.positional[0]);
+
+  if (sub == "list") {
+    const auto names = store.snapshots();
+    if (names.empty()) {
+      std::cout << "(empty store)\n";
+      return 0;
+    }
+    for (const std::string& name : names) {
+      const auto manifests = store.manifests(name);
+      if (manifests.empty()) continue;
+      const auto& latest = manifests.back();
+      std::cout << name << ": " << manifests.size() << " snapshot(s), latest seq "
+                << latest.seq << ", " << latest.image_bytes << " bytes in "
+                << latest.chunks.size() << " chunks\n";
+    }
+    const auto s = store.stats();
+    std::cout << "store: " << s.chunks << " chunks, " << s.stored_chunk_bytes
+              << " stored bytes for " << s.logical_bytes
+              << " logical bytes (dedup x" << s.dedup_ratio() << ")\n";
+    return 0;
+  }
+  if (sub == "stats") {
+    const auto s = store.stats();
+    std::cout << "snapshots:          " << s.snapshots << "\n"
+              << "manifests:          " << s.manifests << "\n"
+              << "chunks:             " << s.chunks << "\n"
+              << "stored chunk bytes: " << s.stored_chunk_bytes << "\n"
+              << "logical bytes:      " << s.logical_bytes << "\n"
+              << "latest image bytes: " << s.latest_image_bytes << "\n"
+              << "dedup ratio:        " << s.dedup_ratio() << "\n";
+    return 0;
+  }
+  if (sub == "verify") {
+    const auto report = store.verify();
+    std::cout << "manifests: " << report.manifests_ok << " ok, "
+              << report.manifests_corrupt << " corrupt\n"
+              << "chunks:    " << report.chunks_ok << " ok, "
+              << report.chunks_corrupt << " corrupt, "
+              << report.chunks_missing << " missing, "
+              << report.chunks_orphaned << " orphaned\n"
+              << (report.ok() ? "store OK\n" : "store CORRUPT\n");
+    return report.ok() ? 0 : 1;
+  }
+  if (sub == "gc") {
+    const auto gc = store.collect_garbage();
+    std::cout << "pruned " << gc.manifests_pruned << " manifest(s), evicted "
+              << gc.chunks_evicted << " chunk(s) (" << gc.bytes_evicted
+              << " bytes)\n";
+    return 0;
+  }
+  return usage();
+}
+
 int dispatch(const std::string& cmd, const Flags& flags) {
   if (cmd == "run") return cmd_run(flags);
   if (cmd == "compile") return cmd_compile(flags);
@@ -227,6 +290,7 @@ int dispatch(const std::string& cmd, const Flags& flags) {
   if (cmd == "resume") return cmd_resume(flags);
   if (cmd == "serve") return cmd_serve(flags);
   if (cmd == "inspect") return cmd_inspect(flags);
+  if (cmd == "ckpt") return cmd_ckpt(flags);
   if (cmd == "dump") {
     Flags f = flags;
     bool risc_backend = false;

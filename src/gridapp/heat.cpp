@@ -113,7 +113,22 @@ int main() {
     }
     r = r + 1;
   }
-
+)";
+  if (cfg.static_slots > 0) {
+    src << "\n  /* Static application state: filled once, never mutated, so\n"
+           "     every checkpoint after the first dedupes it away. */\n";
+    src << "  int statn = " << cfg.static_slots << ";\n";
+    src << R"(  ptr stat = alloc(statn);
+  float statv = 1.5;
+  int t = 0;
+  while (t < statn) {
+    stat[t] = statv;
+    statv = statv + 0.125;
+    t = t + 1;
+  }
+)";
+  }
+  src << R"(
   /* The speculative main loop of Figure 2: speculate at the start and
      after every checkpoint; on a failed exchange roll back (retry); at
      each interval commit, then checkpoint through migrate. */
@@ -147,7 +162,13 @@ int main() {
     r = r + 1;
   }
   report_result(sum);
-  return 0;
+)";
+  if (cfg.static_slots > 0) {
+    src << "  /* Never taken (step > steps here): keeps the static table\n"
+           "     live through the optimizer and in every checkpoint. */\n"
+           "  if (step < 0) { report_result(readf(stat, 0)); }\n";
+  }
+  src << R"(  return 0;
 }
 )";
   return src.str();

@@ -27,6 +27,13 @@ struct HeatConfig {
   std::uint32_t cols = 32;
   std::uint32_t steps = 50;
   std::uint32_t checkpoint_interval = 0;  ///< in steps; 0 = never checkpoint
+  /// Extra heap slots of static (write-once) data allocated alongside the
+  /// grid — stands in for the large read-mostly state (meshes, material
+  /// tables, constants) real scientific codes carry. It inflates the
+  /// checkpoint image without changing between checkpoints, which is what
+  /// the incremental chunk store dedupes away. 0 = none. Does not affect
+  /// the computed sums.
+  std::uint32_t static_slots = 0;
 };
 
 /// The MojC source of the per-node (SPMD) program.

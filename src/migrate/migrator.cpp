@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "ckpt/store.hpp"
 #include "net/tcp.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -64,11 +65,23 @@ vm::MigrationHook::Action Migrator::on_migrate(
       case Protocol::kCheckpoint:
         write_image_file(target.path, packed.bytes);
         event.success = true;
+        event.bytes_written = packed.bytes.size();
         action = Action::kContinue;  // keep running after a checkpoint
         break;
+      case Protocol::kCkpt: {
+        // Incremental checkpoint: unchanged chunks dedupe against what
+        // the store already holds, so only the delta hits storage.
+        const auto store = ckpt::CheckpointStore::open_shared(target.path);
+        const ckpt::PutStats put = store->put(target.snapshot, packed.bytes);
+        event.success = true;
+        event.bytes_written = put.bytes_written;
+        action = Action::kContinue;
+        break;
+      }
       case Protocol::kSuspend:
         write_image_file(target.path, packed.bytes);
         event.success = true;
+        event.bytes_written = packed.bytes.size();
         action = Action::kExit;  // terminate once the state is on disk
         break;
       case Protocol::kMigrate: {
@@ -81,6 +94,7 @@ vm::MigrationHook::Action Migrator::on_migrate(
                         static_cast<char>((*ack)[1]) == 'K';
         if (!ok) throw MigrateError("migration server rejected the image");
         event.success = true;
+        event.bytes_written = packed.bytes.size();
         action = Action::kExit;  // the process now runs at the destination
         break;
       }
@@ -132,6 +146,41 @@ std::vector<std::byte> Migrator::read_image_file(
 ResurrectResult resurrect_from_file(const std::filesystem::path& path,
                                     const ResurrectOptions& options) {
   const auto bytes = Migrator::read_image_file(path);
+  UnpackResult unpacked = unpack_process(bytes, options.cfg);
+  ResurrectResult result;
+  result.breakdown = unpacked.breakdown;
+  if (options.prepare) options.prepare(*unpacked.process);
+  result.run = unpacked.process->resume(unpacked.resume_fun,
+                                        std::move(unpacked.resume_args));
+  return result;
+}
+
+std::vector<std::byte> read_checkpoint_uri(const std::string& uri) {
+  if (uri.find("://") == std::string::npos) {
+    return Migrator::read_image_file(uri);  // plain file path
+  }
+  const MigrateTarget target = MigrateTarget::parse(uri);
+  switch (target.protocol) {
+    case Protocol::kCheckpoint:
+    case Protocol::kSuspend:
+      return Migrator::read_image_file(target.path);
+    case Protocol::kCkpt: {
+      const auto store = ckpt::CheckpointStore::open_shared(target.path);
+      auto image = store->restore(target.snapshot);
+      if (!image.has_value()) {
+        throw MigrateError("no restorable checkpoint for " + uri);
+      }
+      return std::move(*image);
+    }
+    case Protocol::kMigrate:
+      break;
+  }
+  throw MigrateError("cannot read a checkpoint from " + uri);
+}
+
+ResurrectResult resurrect_from_uri(const std::string& uri,
+                                   const ResurrectOptions& options) {
+  const auto bytes = read_checkpoint_uri(uri);
   UnpackResult unpacked = unpack_process(bytes, options.cfg);
   ResurrectResult result;
   result.breakdown = unpacked.breakdown;

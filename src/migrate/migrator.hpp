@@ -10,6 +10,10 @@
 //                 happened except through external functions.
 //  * suspend    — pack to a file; terminate only if the write succeeded.
 //  * checkpoint — pack to a file; always continue running.
+//  * ckpt       — incremental checkpoint into the content-addressed chunk
+//                 store (src/ckpt): only chunks the store does not already
+//                 hold are written, so steady-state checkpoint cost is
+//                 O(delta), not O(image); always continue running.
 //
 // Checkpoint files are written atomically (temp file + rename) so a
 // resurrection daemon never sees a torn image — the role NFS played for
@@ -35,6 +39,10 @@ class Migrator final : public vm::MigrationHook {
     std::string target;
     bool success = false;
     std::size_t image_bytes = 0;
+    /// Bytes actually moved to storage/network. Equal to image_bytes for
+    /// whole-image protocols; for ckpt:// targets only the chunks the
+    /// store did not already hold (the incremental delta).
+    std::size_t bytes_written = 0;
     double pack_seconds = 0;
     double transfer_seconds = 0;
   };
@@ -82,5 +90,16 @@ struct ResurrectResult {
 
 ResurrectResult resurrect_from_file(const std::filesystem::path& path,
                                     const ResurrectOptions& options = {});
+
+/// Load a checkpoint image from any checkpoint designator: a plain file
+/// path, a `checkpoint://` / `suspend://` target, or a `ckpt://root/name`
+/// chunk-store URI (restored with integrity verification and manifest
+/// fallback). Throws MigrateError when nothing restorable exists.
+[[nodiscard]] std::vector<std::byte> read_checkpoint_uri(
+    const std::string& uri);
+
+/// resurrect_from_file generalized over read_checkpoint_uri.
+ResurrectResult resurrect_from_uri(const std::string& uri,
+                                   const ResurrectOptions& options = {});
 
 }  // namespace mojave::migrate

@@ -12,6 +12,8 @@ const char* protocol_name(Protocol p) {
       return "suspend";
     case Protocol::kCheckpoint:
       return "checkpoint";
+    case Protocol::kCkpt:
+      return "ckpt";
   }
   return "?";
 }
@@ -58,6 +60,17 @@ MigrateTarget MigrateTarget::parse(const std::string& target) {
       throw MigrateError("file migration target needs a path: " + target);
     }
     t.path = rest;
+  } else if (scheme == "ckpt") {
+    t.protocol = Protocol::kCkpt;
+    // ckpt://<store-root>/<snapshot>: the last path component names the
+    // snapshot inside the chunk store rooted at everything before it.
+    const auto slash = rest.rfind('/');
+    if (slash == std::string::npos || slash == 0 ||
+        slash == rest.size() - 1) {
+      throw MigrateError("ckpt target needs root/snapshot: " + target);
+    }
+    t.path = rest.substr(0, slash);
+    t.snapshot = rest.substr(slash + 1);
   } else {
     throw MigrateError("unknown migration protocol: " + scheme);
   }
@@ -68,6 +81,8 @@ std::string MigrateTarget::to_string() const {
   std::string s = std::string(protocol_name(protocol)) + "://";
   if (protocol == Protocol::kMigrate) {
     s += host + ":" + std::to_string(port);
+  } else if (protocol == Protocol::kCkpt) {
+    s += path + "/" + snapshot;
   } else {
     s += path;
   }

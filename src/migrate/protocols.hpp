@@ -11,6 +11,11 @@
 //                                    terminate if the write succeeded.
 //   checkpoint://path[;binary]     — write the state to a file and keep
 //                                    running regardless.
+//   ckpt://root/name[;binary]      — incremental checkpoint into the
+//                                    content-addressed chunk store at
+//                                    `root` under snapshot `name` (only
+//                                    changed chunks are written); keep
+//                                    running regardless.
 //
 // The ";binary" suffix selects the trusted image kind (bytecode, no
 // destination-side verification); the default is the untrusted FIR image.
@@ -23,7 +28,12 @@
 
 namespace mojave::migrate {
 
-enum class Protocol : std::uint8_t { kMigrate = 0, kSuspend = 1, kCheckpoint = 2 };
+enum class Protocol : std::uint8_t {
+  kMigrate = 0,
+  kSuspend = 1,
+  kCheckpoint = 2,
+  kCkpt = 3,  ///< incremental chunk-store checkpoint
+};
 
 [[nodiscard]] const char* protocol_name(Protocol p);
 
@@ -31,7 +41,8 @@ struct MigrateTarget {
   Protocol protocol = Protocol::kCheckpoint;
   std::string host;         ///< kMigrate
   std::uint16_t port = 0;   ///< kMigrate
-  std::string path;         ///< kSuspend / kCheckpoint
+  std::string path;         ///< kSuspend / kCheckpoint; store root for kCkpt
+  std::string snapshot;     ///< kCkpt: snapshot name within the store
   ImageKind kind = ImageKind::kFir;
 
   /// Parse a target string; throws MigrateError on malformed input.

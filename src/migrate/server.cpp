@@ -1,5 +1,6 @@
 #include "migrate/server.hpp"
 
+#include "ckpt/store.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "support/log.hpp"
@@ -26,6 +27,18 @@ struct ServerMetrics {
 namespace {
 const std::byte kAck[2] = {std::byte{'O'}, std::byte{'K'}};
 const std::byte kNak[2] = {std::byte{'N'}, std::byte{'O'}};
+
+/// Program names come from the (untrusted) image; coerce to a valid
+/// snapshot identifier.
+std::string journal_snapshot_name(const std::string& program) {
+  std::string name = "inbound_" + program;
+  for (char& c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) c = '_';
+  }
+  return name;
+}
 }  // namespace
 
 MigrationServer::MigrationServer(Options options)
@@ -77,6 +90,12 @@ void MigrationServer::handle(net::TcpStream stream) {
     // before the sender is allowed to terminate its copy.
     UnpackResult unpacked = unpack_process(*frame, options_.cfg);
     record.breakdown = unpacked.breakdown;
+    if (!options_.ckpt_journal_root.empty()) {
+      // Journal before the ack: the sender terminates its copy on ack, so
+      // the image must already be durable (and restorable) here.
+      ckpt::CheckpointStore::open_shared(options_.ckpt_journal_root)
+          ->put(journal_snapshot_name(info.program_name), *frame);
+    }
     stream.send_frame(kAck);
     stream.close();
 

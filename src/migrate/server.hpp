@@ -13,6 +13,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <filesystem>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -34,6 +35,13 @@ class MigrationServer {
     bool accept_fir = true;
     /// Reject binary images (a server that insists on verification).
     bool accept_binary = true;
+    /// When non-empty, every accepted image is journaled into the
+    /// content-addressed chunk store at this root (snapshot
+    /// "inbound_<program>") *before* the sender is acked — the sender
+    /// only discards its copy once the image is durable here, and a
+    /// crashed server can be resurrected from the store. Repeated
+    /// migrations of the same process dedupe to their delta.
+    std::filesystem::path ckpt_journal_root;
     /// Called after unpack, before resume: register host externals,
     /// attach a Migrator for onward migration, etc.
     std::function<void(vm::Process&)> prepare;

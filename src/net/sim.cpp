@@ -63,7 +63,13 @@ bool SimNetwork::send(NodeId src, NodeId dst, std::int32_t tag,
   m.messages_sent.inc();
   m.bytes_sent.inc(payload.size());
   m.delivery_us.record_seconds(delivery_seconds);
-  boxes_[dst].queues[Key{src, tag}].push_back(std::move(payload));
+  const Key key{src, tag};
+  // Sender-based logging happens at *send* time, not delivery time: a
+  // message that is still queued when the receiver is killed (and whose
+  // queue revive() then wipes) must remain replayable, or the resurrected
+  // incarnation waits forever for a message the sender will never repeat.
+  if (cfg_.replay_logging) boxes_[dst].delivered[key] = payload;
+  boxes_[dst].queues[key].push_back(std::move(payload));
   cv_.notify_all();
   return true;
 }
@@ -88,7 +94,6 @@ RecvStatus SimNetwork::recv(NodeId self, NodeId from, std::int32_t tag,
     if (!q.empty()) {
       out = std::move(q.front());
       q.pop_front();
-      if (cfg_.replay_logging) boxes_[self].delivered[key] = out;
       return RecvStatus::kOk;
     }
     if (cfg_.replay_logging) {

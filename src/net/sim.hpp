@@ -27,12 +27,13 @@ using NodeId = std::uint32_t;
 struct SimConfig {
   double bandwidth_bytes_per_sec = 100e6 / 8.0;  ///< the paper's 100 Mbps
   double latency_seconds = 100e-6;               ///< per-message latency
-  /// Sender-based message logging: a delivered message is remembered and
+  /// Sender-based message logging: every sent message is remembered and
   /// replayed when the same (source, tag) is received again. This is what
   /// lets a rolled-back process "request the border information for that
   /// timestep again from the neighbours" (Figure 2) even though the
-  /// original delivery was already consumed — the standard message-logging
-  /// companion of checkpoint/rollback recovery (cf. MPICH-V).
+  /// original delivery was already consumed — or lost when the receiver
+  /// died with it still queued — the standard message-logging companion
+  /// of checkpoint/rollback recovery (cf. MPICH-V).
   bool replay_logging = true;
 };
 
@@ -100,8 +101,10 @@ class SimNetwork {
   };
   struct Mailbox {
     std::map<Key, std::deque<std::vector<std::byte>>> queues;
-    /// Replay log: last message delivered per (source, tag). Survives
-    /// node revival — it is the receiver's stable message log.
+    /// Replay log: last message *sent* per (source, tag), recorded at send
+    /// time. Survives node revival — queues are wiped on revive(), but a
+    /// resurrected incarnation can still re-request any border message its
+    /// predecessor was owed.
     std::map<Key, std::vector<std::byte>> delivered;
   };
 

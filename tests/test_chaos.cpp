@@ -5,9 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstring>
 #include <thread>
 
+#include "ckpt/store.hpp"
 #include "gridapp/heat.hpp"
+#include "obs/metrics.hpp"
 #include "support/rng.hpp"
 
 namespace {
@@ -35,11 +38,10 @@ TEST_P(GridChaos, RepeatedKillsStillProduceTheReferenceAnswer) {
     // checkpoint to come back from.
     for (int round = 0; round < 2; ++round) {
       const auto victim = static_cast<net::NodeId>(rng.below(cfg.nodes));
-      const std::string ckpt = cl.checkpoint_name(victim);
-      for (int i = 0; i < 3000 && !cl.storage().exists(ckpt); ++i) {
+      for (int i = 0; i < 3000 && !cl.has_checkpoint(victim); ++i) {
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
       }
-      if (!cl.storage().exists(ckpt)) continue;
+      if (!cl.has_checkpoint(victim)) continue;
       std::this_thread::sleep_for(
           std::chrono::milliseconds(rng.below(20)));
       if (!cl.network().alive(victim)) continue;  // still recovering
@@ -62,5 +64,74 @@ TEST_P(GridChaos, RepeatedKillsStillProduceTheReferenceAnswer) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GridChaos, ::testing::Values(31, 62, 93));
+
+std::uint64_t restore_fallbacks() {
+  const auto snap = obs::MetricsRegistry::instance().snapshot();
+  const auto it = snap.counters.find("ckpt.restore_fallbacks");
+  return it == snap.counters.end() ? 0 : it->second;
+}
+
+TEST(GridChaos, KillMidCheckpointResurrectsFromLastCompleteManifest) {
+  // A node dies *during* a checkpoint: the chunk writes may have landed
+  // but the manifest did not (here: landed torn). The store must treat the
+  // newest manifest as unrestorable and resurrect the victim from the last
+  // complete one — costing at most one checkpoint interval, never a torn
+  // image or a stuck rank.
+  gridapp::HeatConfig cfg;
+  cfg.nodes = 3;
+  cfg.rows = 12;
+  cfg.cols = 8;
+  cfg.steps = 90;
+  cfg.checkpoint_interval = 9;
+
+  cluster::ClusterConfig ccfg;
+  ccfg.num_nodes = cfg.nodes;
+  ccfg.recv_timeout_seconds = 30.0;
+
+  const std::uint64_t fallbacks_before = restore_fallbacks();
+  const auto run = gridapp::run_heat(cfg, ccfg, [&](cluster::Cluster& cl) {
+    const auto& store = cl.ckpt_store();
+    ASSERT_NE(store, nullptr);
+    const std::string victim = cl.snapshot_name(1);
+    // Let the victim finish at least two checkpoints so there is a
+    // previous complete manifest to fall back to.
+    for (int i = 0; i < 5000 && store->latest_seq(victim) < 2; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_GE(store->latest_seq(victim), 2u) << "victim never checkpointed";
+    cl.kill(1);
+    // Give the dying thread a moment to unwind past any in-flight put().
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    // Emulate the torn manifest the mid-checkpoint crash leaves behind:
+    // replace the newest one with garbage.
+    const auto manifests =
+        cl.storage().list(ckpt::CheckpointStore::kManifestDir);
+    std::string newest;
+    for (const auto& name : manifests) {
+      if (name.find("/" + victim + "@") != std::string::npos) newest = name;
+    }
+    ASSERT_FALSE(newest.empty());
+    const char garbage[] = "not a manifest";
+    cl.storage().write(
+        newest, std::as_bytes(std::span(garbage, std::strlen(garbage))));
+
+    ASSERT_TRUE(cl.resurrect(1)) << "no restorable checkpoint survived";
+  });
+
+  ASSERT_TRUE(run.all_clean) << [&] {
+    std::string s;
+    for (const auto& n : run.nodes) {
+      s += "rank " + std::to_string(n.rank) + ": " + n.error + "; ";
+    }
+    return s;
+  }();
+  const auto ref = gridapp::heat_reference_sums(cfg);
+  for (std::uint32_t r = 0; r < cfg.nodes; ++r) {
+    EXPECT_NEAR(run.sums[r], ref[r], 1e-9) << "rank " << r;
+  }
+  // The restore really did skip the torn manifest.
+  EXPECT_GT(restore_fallbacks(), fallbacks_before);
+}
 
 }  // namespace

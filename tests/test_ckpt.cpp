@@ -1,0 +1,452 @@
+// The incremental checkpoint store: chunking, the content-addressed
+// store (dedup, retention, GC, integrity fallback), shared-storage
+// hygiene, and the ckpt:// protocol end-to-end through the Migrator.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "ckpt/chunker.hpp"
+#include "ckpt/store.hpp"
+#include "cluster/storage.hpp"
+#include "fir/builder.hpp"
+#include "migrate/image.hpp"
+#include "migrate/migrator.hpp"
+#include "migrate/protocols.hpp"
+#include "migrate/server.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "vm/process.hpp"
+
+namespace {
+
+using namespace mojave;
+namespace fs = std::filesystem;
+
+std::vector<std::byte> random_bytes(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::byte> out(n);
+  for (auto& b : out) b = static_cast<std::byte>(rng.next() & 0xff);
+  return out;
+}
+
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+// ---------------------------------------------------------------- chunker
+
+TEST(Chunker, FixedModeSlicesAtTargetSize) {
+  ckpt::ChunkerConfig cfg;
+  cfg.mode = ckpt::ChunkerConfig::Mode::kFixed;
+  cfg.target_bytes = 1024;
+  const auto data = random_bytes(10 * 1024 + 17, 1);
+  const auto chunks = ckpt::split_chunks(data, cfg);
+  ASSERT_EQ(chunks.size(), 11u);
+  for (std::size_t i = 0; i + 1 < chunks.size(); ++i) {
+    EXPECT_EQ(chunks[i].size(), 1024u);
+  }
+  EXPECT_EQ(chunks.back().size(), 17u);
+}
+
+TEST(Chunker, ContentDefinedRespectsBoundsAndReassembles) {
+  ckpt::ChunkerConfig cfg;  // content-defined defaults
+  const auto data = random_bytes(200 * 1024, 2);
+  const auto chunks = ckpt::split_chunks(data, cfg);
+  ASSERT_GT(chunks.size(), 1u);
+
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    total += chunks[i].size();
+    EXPECT_LE(chunks[i].size(), cfg.max_bytes);
+    if (i + 1 < chunks.size()) {
+      EXPECT_GE(chunks[i].size(), cfg.min_bytes);
+    }
+  }
+  EXPECT_EQ(total, data.size());
+
+  // The spans alias the input in order: reassembly is the identity.
+  std::vector<std::byte> joined;
+  for (const auto& c : chunks) joined.insert(joined.end(), c.begin(), c.end());
+  EXPECT_EQ(joined, data);
+
+  // Deterministic.
+  const auto again = ckpt::split_chunks(data, cfg);
+  ASSERT_EQ(again.size(), chunks.size());
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    EXPECT_EQ(again[i].data(), chunks[i].data());
+  }
+}
+
+TEST(Chunker, LocalEditOnlyDisturbsNearbyChunks) {
+  ckpt::ChunkerConfig cfg;
+  auto data = random_bytes(256 * 1024, 3);
+  const auto keys_of = [&](std::span<const std::byte> img) {
+    std::set<std::string> keys;
+    for (const auto& c : ckpt::split_chunks(img, cfg)) {
+      keys.insert(ckpt::ChunkKey::of(c).hex());
+    }
+    return keys;
+  };
+  const auto before = keys_of(data);
+  for (std::size_t i = 0; i < 512; ++i) {
+    data[100 * 1024 + i] ^= std::byte{0x5a};
+  }
+  const auto after = keys_of(data);
+  std::size_t fresh = 0;
+  for (const auto& k : after) fresh += before.count(k) == 0 ? 1 : 0;
+  // A 512-byte edit must not re-key more than a handful of chunks — this
+  // is the boundary-resynchronisation property fixed-size chunking lacks.
+  EXPECT_LE(fresh, 4u);
+  EXPECT_GT(before.size(), 20u);
+}
+
+TEST(Chunker, RejectsBadConfig) {
+  ckpt::ChunkerConfig cfg;
+  cfg.target_bytes = 1000;  // not a power of two
+  EXPECT_THROW((void)ckpt::split_chunks(random_bytes(64, 4), cfg), Error);
+  cfg = {};
+  cfg.min_bytes = 1 << 16;  // min > max
+  cfg.max_bytes = 1 << 10;
+  EXPECT_THROW((void)ckpt::split_chunks(random_bytes(64, 4), cfg), Error);
+}
+
+// --------------------------------------------------------------- manifest
+
+TEST(Manifest, EncodeDecodeRoundTrip) {
+  ckpt::Manifest m;
+  m.snapshot = "rank_3";
+  m.seq = 42;
+  m.image_bytes = 7;
+  m.image_hash = 0xdeadbeef;
+  m.chunks = {{ckpt::ChunkKey{1, 2}, 3}, {ckpt::ChunkKey{4, 5}, 4}};
+  const auto bytes = m.encode();
+  const auto d = ckpt::Manifest::decode(bytes);
+  EXPECT_EQ(d.snapshot, m.snapshot);
+  EXPECT_EQ(d.seq, m.seq);
+  EXPECT_EQ(d.image_bytes, m.image_bytes);
+  EXPECT_EQ(d.image_hash, m.image_hash);
+  ASSERT_EQ(d.chunks.size(), 2u);
+  EXPECT_EQ(d.chunks[1].key, (ckpt::ChunkKey{4, 5}));
+  EXPECT_EQ(d.chunks[1].length, 4u);
+
+  // Any flipped byte breaks the trailing checksum.
+  auto bad = bytes;
+  bad[bytes.size() / 2] ^= std::byte{0x01};
+  EXPECT_THROW((void)ckpt::Manifest::decode(bad), ImageError);
+  auto truncated = bytes;
+  truncated.resize(truncated.size() - 3);
+  EXPECT_THROW((void)ckpt::Manifest::decode(truncated), ImageError);
+}
+
+// ------------------------------------------------------------------ store
+
+TEST(CheckpointStore, PutRestoreRoundTrip) {
+  ckpt::CheckpointStore store(fresh_dir("mj_ckpt_roundtrip"));
+  const auto img = random_bytes(100 * 1024, 10);
+  const auto put = store.put("rank_0", img);
+  EXPECT_EQ(put.seq, 1u);
+  EXPECT_TRUE(put.first_snapshot);
+  EXPECT_EQ(put.bytes_total, img.size());
+  EXPECT_EQ(put.chunks_written, put.chunks_total);
+
+  ckpt::RestoreStats rs;
+  const auto back = store.restore("rank_0", &rs);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, img);
+  EXPECT_EQ(rs.seq, 1u);
+  EXPECT_EQ(rs.manifests_skipped, 0u);
+  EXPECT_TRUE(store.has_snapshot("rank_0"));
+  EXPECT_FALSE(store.has_snapshot("rank_9"));
+  EXPECT_EQ(store.latest_seq("rank_0"), 1u);
+}
+
+TEST(CheckpointStore, IdenticalPutWritesNothing) {
+  ckpt::CheckpointStore store(fresh_dir("mj_ckpt_identical"));
+  const auto img = random_bytes(64 * 1024, 11);
+  (void)store.put("a", img);
+  const auto again = store.put("a", img);
+  EXPECT_EQ(again.seq, 2u);
+  EXPECT_FALSE(again.first_snapshot);
+  EXPECT_EQ(again.chunks_written, 0u);
+  EXPECT_EQ(again.bytes_written, 0u);
+  EXPECT_EQ(again.chunks_deduped, again.chunks_total);
+}
+
+TEST(CheckpointStore, SmallEditWritesSmallDelta) {
+  // The acceptance shape: a second checkpoint whose image differs in one
+  // small region uploads well under 25% of the full image.
+  ckpt::CheckpointStore store(fresh_dir("mj_ckpt_delta"));
+  auto img = random_bytes(256 * 1024, 12);
+  (void)store.put("a", img);
+  for (std::size_t i = 0; i < 1024; ++i) {
+    img[37 * 1024 + i] ^= std::byte{0xff};
+  }
+  const auto put = store.put("a", img);
+  EXPECT_GT(put.chunks_deduped, 0u);
+  EXPECT_LT(put.bytes_written, put.bytes_total / 4);
+
+  const auto back = store.restore("a");
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, img);
+}
+
+TEST(CheckpointStore, DedupesAcrossSnapshots) {
+  ckpt::CheckpointStore store(fresh_dir("mj_ckpt_cross"));
+  const auto img = random_bytes(64 * 1024, 13);
+  (void)store.put("rank_0", img);
+  const auto other = store.put("rank_1", img);
+  EXPECT_TRUE(other.first_snapshot);
+  EXPECT_EQ(other.chunks_written, 0u);
+  EXPECT_GE(store.stats().dedup_ratio(), 1.9);
+}
+
+TEST(CheckpointStore, CorruptChunkFallsBackToPreviousManifest) {
+  ckpt::CheckpointStore::Options opts;
+  opts.auto_gc = false;
+  ckpt::CheckpointStore store(fresh_dir("mj_ckpt_corrupt_chunk"), opts);
+  const auto v1 = random_bytes(64 * 1024, 14);
+  auto v2 = v1;
+  for (std::size_t i = 0; i < 4096; ++i) v2[20 * 1024 + i] = std::byte{0xab};
+  (void)store.put("a", v1);
+  (void)store.put("a", v2);
+
+  // Corrupt a chunk only the newest checkpoint references.
+  const auto manifests = store.manifests("a");
+  ASSERT_EQ(manifests.size(), 2u);
+  std::set<std::string> old_keys;
+  for (const auto& e : manifests[0].chunks) old_keys.insert(e.key.hex());
+  std::string fresh_key;
+  for (const auto& e : manifests[1].chunks) {
+    if (old_keys.count(e.key.hex()) == 0) fresh_key = e.key.hex();
+  }
+  ASSERT_FALSE(fresh_key.empty());
+  const char junk[] = "junk";
+  store.storage().write(
+      std::string(ckpt::CheckpointStore::kChunkDir) + "/" + fresh_key + ".ch",
+      std::as_bytes(std::span(junk, std::strlen(junk))));
+
+  // The checksum failure must not surface v2 (or garbage): restore falls
+  // back to the previous complete checkpoint.
+  ckpt::RestoreStats rs;
+  const auto back = store.restore("a", &rs);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, v1);
+  EXPECT_EQ(rs.seq, 1u);
+  EXPECT_EQ(rs.manifests_skipped, 1u);
+
+  // verify() sees the same corruption.
+  const auto report = store.verify();
+  EXPECT_FALSE(report.ok());
+  EXPECT_GE(report.chunks_corrupt, 1u);
+}
+
+TEST(CheckpointStore, CorruptOrMissingEverythingMeansNoRestore) {
+  ckpt::CheckpointStore::Options opts;
+  opts.auto_gc = false;
+  ckpt::CheckpointStore store(fresh_dir("mj_ckpt_all_bad"), opts);
+  (void)store.put("a", random_bytes(8 * 1024, 15));
+  const char junk[] = "x";
+  for (const auto& name : store.storage().list(
+           ckpt::CheckpointStore::kManifestDir)) {
+    store.storage().write(name,
+                          std::as_bytes(std::span(junk, std::size_t{1})));
+  }
+  EXPECT_FALSE(store.restore("a").has_value());
+}
+
+TEST(CheckpointStore, RetentionPrunesAndGcKeepsSharedChunks) {
+  ckpt::CheckpointStore::Options opts;
+  opts.keep_manifests = 2;
+  ckpt::CheckpointStore store(fresh_dir("mj_ckpt_gc"), opts);
+
+  // A stable prefix shared by every version + a churning suffix.
+  const auto stable = random_bytes(32 * 1024, 16);
+  for (int v = 0; v < 5; ++v) {
+    auto img = stable;
+    const auto churn = random_bytes(16 * 1024, 100 + v);
+    img.insert(img.end(), churn.begin(), churn.end());
+    (void)store.put("a", img);
+  }
+  // Retention kept only the newest two manifests…
+  EXPECT_EQ(store.manifests("a").size(), 2u);
+  EXPECT_EQ(store.latest_seq("a"), 5u);
+  // …and GC evicted the dropped versions' churn without touching the
+  // shared prefix: everything still restores bit-exact.
+  const auto report = store.verify();
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.chunks_orphaned, 0u);
+  const auto back = store.restore("a");
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(std::equal(stable.begin(), stable.end(), back->begin()));
+}
+
+TEST(CheckpointStore, ValidatesSnapshotNames) {
+  ckpt::CheckpointStore store(fresh_dir("mj_ckpt_names"));
+  const auto img = random_bytes(1024, 17);
+  EXPECT_THROW((void)store.put("", img), Error);
+  EXPECT_THROW((void)store.put("a/b", img), Error);
+  EXPECT_THROW((void)store.put("a@2", img), Error);
+  EXPECT_THROW((void)store.put("..", img), Error);
+  (void)store.put("ok-Name_1.x", img);
+  EXPECT_EQ(store.snapshots(), std::vector<std::string>{"ok-Name_1.x"});
+}
+
+// ---------------------------------------------------- storage hygiene
+
+TEST(SharedStorage, ListHidesInFlightAndSweepsStaleTempFiles) {
+  const auto dir = fresh_dir("mj_storage_tmp");
+  cluster::SharedStorage storage(dir);
+  const auto img = random_bytes(128, 18);
+  storage.write("sub/real.obj", img);
+
+  // A fresh temp file (in-flight write) is hidden but not deleted…
+  std::ofstream(dir / "sub" / "inflight.obj.1234.5.tmp") << "partial";
+  auto names = storage.list();
+  EXPECT_EQ(names, std::vector<std::string>{"sub/real.obj"});
+  EXPECT_TRUE(fs::exists(dir / "sub" / "inflight.obj.1234.5.tmp"));
+
+  // …until it is old enough to be crash debris, then list() sweeps it.
+  storage.set_stale_tmp_age(0.0);
+  names = storage.list("sub");
+  EXPECT_EQ(names, std::vector<std::string>{"sub/real.obj"});
+  EXPECT_FALSE(fs::exists(dir / "sub" / "inflight.obj.1234.5.tmp"));
+}
+
+// --------------------------------------------------------- ckpt:// wiring
+
+TEST(CkptProtocol, TargetParsing) {
+  const auto t = migrate::MigrateTarget::parse("ckpt:///var/store/rank_2");
+  EXPECT_EQ(t.protocol, migrate::Protocol::kCkpt);
+  EXPECT_EQ(t.path, "/var/store");
+  EXPECT_EQ(t.snapshot, "rank_2");
+  EXPECT_EQ(t.kind, migrate::ImageKind::kFir);
+  EXPECT_EQ(t.to_string(), "ckpt:///var/store/rank_2");
+
+  const auto b = migrate::MigrateTarget::parse("ckpt://store/name;binary");
+  EXPECT_EQ(b.kind, migrate::ImageKind::kBinary);
+  EXPECT_EQ(b.path, "store");
+  EXPECT_EQ(b.snapshot, "name");
+
+  EXPECT_THROW(migrate::MigrateTarget::parse("ckpt://nosnapshot"),
+               MigrateError);
+  EXPECT_THROW(migrate::MigrateTarget::parse("ckpt://trailing/"),
+               MigrateError);
+}
+
+/// Counts to 10 via `loop`, hitting `migrate [target]` every `interval`
+/// steps (same shape as the migrate tests). The accumulator lives in a
+/// deliberately oversized buffer — only slot 0 ever changes, so checkpoint
+/// images are nearly identical and the incremental store has real work to
+/// dedupe.
+fir::Program make_counter_program(const std::string& target, int interval) {
+  using fir::Atom;
+  using fir::Binop;
+  using fir::Type;
+  fir::ProgramBuilder pb("counter");
+  auto main_id = pb.declare("main", {});
+  auto loop_id = pb.declare(
+      "loop", {Type::integer(), Type::integer(), Type::ptr()});
+  {
+    auto fb = pb.define(main_id, {});
+    auto buf = fb.let_alloc("buf", Atom::integer(4096), Atom::integer(0));
+    fb.tail_call(Atom::fun_ref(loop_id),
+                 {Atom::integer(1), Atom::integer(10), fb.v(buf)});
+  }
+  {
+    auto fb = pb.define(loop_id, {"i", "total", "buf"});
+    auto done = fb.let_binop("done", Binop::kGt, fb.arg(0), fb.arg(1));
+    fb.branch(
+        fb.v(done),
+        [&](auto& t) {
+          auto x =
+              t.let_read("x", Type::integer(), t.arg(2), Atom::integer(0));
+          t.halt(t.v(x));
+        },
+        [&](auto& e) {
+          auto old =
+              e.let_read("old", Type::integer(), e.arg(2), Atom::integer(0));
+          auto acc = e.let_binop("acc", Binop::kAdd, e.v(old), e.arg(0));
+          e.write(e.arg(2), Atom::integer(0), e.v(acc));
+          auto i1 = e.let_binop("i1", Binop::kAdd, e.arg(0), Atom::integer(1));
+          auto m = e.let_binop("m", Binop::kMod, e.arg(0),
+                               Atom::integer(interval));
+          auto hit = e.let_unop("hit", fir::Unop::kNot, e.v(m));
+          e.branch(
+              e.v(hit),
+              [&](auto& t2) {
+                auto tgt = t2.let_atom("tgt", Type::ptr(), pb.str(target));
+                t2.migrate(7, t2.v(tgt), Atom::fun_ref(loop_id),
+                           {t2.v(i1), t2.arg(1), t2.arg(2)});
+              },
+              [&](auto& e2) {
+                e2.tail_call(Atom::fun_ref(loop_id),
+                             {e2.v(i1), e2.arg(1), e2.arg(2)});
+              });
+        });
+  }
+  return pb.take("main");
+}
+
+TEST(CkptProtocol, MigratorCheckpointsIncrementallyAndResumes) {
+  const auto dir = fresh_dir("mj_ckpt_proto_e2e");
+  const std::string uri = "ckpt://" + dir.string() + "/counter";
+
+  vm::Process p(make_counter_program(uri, 4));
+  migrate::Migrator mig(p);
+  const auto result = p.run();
+  // Like the checkpoint protocol, ckpt keeps running to completion.
+  EXPECT_EQ(result.kind, vm::RunResult::Kind::kHalted);
+  EXPECT_EQ(result.exit_code, 55);
+  ASSERT_GE(mig.events().size(), 2u);
+  EXPECT_TRUE(mig.events()[0].success);
+  // The first checkpoint wrote real bytes; the second, nearly-identical
+  // image wrote a strictly smaller delta.
+  EXPECT_GT(mig.events()[0].bytes_written, 0u);
+  EXPECT_LT(mig.events()[1].bytes_written, mig.events()[0].bytes_written);
+
+  auto store = ckpt::CheckpointStore::open_shared(dir);
+  EXPECT_GE(store->latest_seq("counter"), 2u);
+
+  // Resurrect from the URI: resumes past the last checkpoint and finishes
+  // with the same sum.
+  auto res = migrate::resurrect_from_uri(
+      uri, {.cfg = {}, .prepare = [](vm::Process& proc) {
+              proc.adopt_hook(std::make_unique<migrate::Migrator>(proc));
+            }});
+  EXPECT_EQ(res.run.kind, vm::RunResult::Kind::kHalted);
+  EXPECT_EQ(res.run.exit_code, 55);
+
+  // read_checkpoint_uri serves both plain paths and ckpt:// URIs.
+  EXPECT_THROW((void)migrate::read_checkpoint_uri(
+                   "ckpt://" + dir.string() + "/absent"),
+               MigrateError);
+}
+
+TEST(CkptProtocol, ServerJournalsInboundImages) {
+  const auto dir = fresh_dir("mj_ckpt_journal");
+  migrate::MigrationServer::Options opts;
+  opts.ckpt_journal_root = dir;
+  migrate::MigrationServer server(std::move(opts));
+
+  vm::Process p(make_counter_program(
+      "migrate://127.0.0.1:" + std::to_string(server.port()), 4));
+  migrate::Migrator mig(p);
+  EXPECT_EQ(p.run().kind, vm::RunResult::Kind::kMigratedAway);
+  (void)server.wait_for(1);
+
+  // The inbound image was journaled (durably, before the ack) and is
+  // restorable from the store under the sanitized program name.
+  auto store = ckpt::CheckpointStore::open_shared(dir);
+  ASSERT_TRUE(store->has_snapshot("inbound_counter"));
+  const auto img = store->restore("inbound_counter");
+  ASSERT_TRUE(img.has_value());
+  EXPECT_EQ(migrate::inspect_image(*img).program_name, "counter");
+}
+
+}  // namespace

@@ -258,11 +258,10 @@ TEST(Grid, SurvivesNodeFailureWithResurrection) {
         cl.enable_auto_resurrection(0.02);
         // Wait until the victim has written at least one checkpoint, so
         // resurrection has something to restore.
-        const std::string ckpt = cl.checkpoint_name(1);
-        for (int i = 0; i < 2000 && !cl.storage().exists(ckpt); ++i) {
+        for (int i = 0; i < 2000 && !cl.has_checkpoint(1); ++i) {
           std::this_thread::sleep_for(std::chrono::milliseconds(1));
         }
-        ASSERT_TRUE(cl.storage().exists(ckpt)) << "victim never checkpointed";
+        ASSERT_TRUE(cl.has_checkpoint(1)) << "victim never checkpointed";
         cl.kill(1);
       });
 
