@@ -20,13 +20,18 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <set>
 #include <thread>
 
 #include "bench/workloads.hpp"
 #include "migrate/image.hpp"
+#include "migrate/wire.hpp"
+#include "net/chaos.hpp"
+#include "net/retry.hpp"
 #include "net/sim.hpp"
 #include "net/tcp.hpp"
 #include "obs/metrics.hpp"
+#include "support/error.hpp"
 #include "support/stopwatch.hpp"
 
 namespace {
@@ -106,6 +111,99 @@ void run_migration(benchmark::State& state, migrate::ImageKind kind) {
       (recompile_s + typecheck_s) / n / total_s;
 }
 
+// E3 — resilient-transport latency under packet loss.
+//
+// The full idempotent handshake (offer/GO, image/ack — migrate/wire.hpp)
+// runs through a ChaosProxy that drops request and reply frames with the
+// given probability, and the client retries under the production
+// RetryPolicy. Measures what a lossy WAN costs a migration end to end:
+// each retry pays a reconnect plus a jittered backoff, and a retry after
+// a lost ack is answered DU from the dedup window instead of re-shipping.
+void BM_MigrationResilient(benchmark::State& state) {
+  const double drop = static_cast<double>(state.range(0)) / 100.0;
+  const std::size_t image_kb = 64;
+
+  // A v2-handshake sink with a dedup window, minus unpack/resume — so the
+  // numbers isolate the transport, not destination recompilation.
+  net::TcpListener sink(0);
+  std::thread sink_thread([&] {
+    std::set<std::uint64_t> committed;
+    while (auto stream = sink.accept()) {
+      try {
+        stream->set_io_deadline(2.0);
+        const auto offer = stream->recv_frame();
+        if (!offer.has_value()) continue;
+        const auto id = migrate::decode_offer(*offer);
+        if (!id.has_value()) continue;
+        if (committed.count(*id) != 0) {
+          stream->send_frame(migrate::make_reply(migrate::kReplyDup));
+          continue;
+        }
+        stream->send_frame(migrate::make_reply(migrate::kReplyGo));
+        const auto image = stream->recv_frame();
+        if (!image.has_value()) continue;
+        committed.insert(*id);
+        stream->send_frame(migrate::make_reply(migrate::kReplyOk));
+      } catch (const NetError&) {
+        // proxy cut the connection mid-exchange; the client will retry
+      }
+    }
+  });
+
+  net::ProxyFaults faults;
+  faults.seed = 1000 + state.range(0);
+  faults.drop_request = drop;
+  faults.drop_reply = drop;
+  net::ChaosProxy proxy("127.0.0.1", sink.port(), faults);
+
+  net::RetryPolicy policy;
+  policy.max_attempts = 16;
+  policy.initial_backoff_seconds = 0.0005;
+  policy.max_backoff_seconds = 0.004;
+  policy.overall_deadline_seconds = 10.0;
+  policy.connect_timeout_seconds = 2.0;
+  policy.io_timeout_seconds = 2.0;
+
+  const std::vector<std::byte> image(image_kb * 1024, std::byte{0x5a});
+  auto& hist = obs::MetricsRegistry::instance().histogram(
+      "bench.mig_drop" + std::to_string(state.range(0)) + "_us");
+  std::uint64_t retries = 0;
+
+  for (auto _ : state) {
+    Stopwatch total;
+    const std::uint64_t id = migrate::fresh_migration_id();
+    net::Backoff backoff(policy, id);
+    while (true) {
+      try {
+        auto stream = net::TcpStream::connect("127.0.0.1", proxy.port(),
+                                              policy.deadlines());
+        stream.send_frame(migrate::encode_offer(id));
+        const auto hello = stream.recv_frame();
+        if (!hello.has_value()) throw NetError("closed in handshake");
+        if (migrate::reply_is(*hello, migrate::kReplyDup)) break;
+        if (!migrate::reply_is(*hello, migrate::kReplyGo)) {
+          throw NetError("unexpected hello");
+        }
+        stream.send_frame(image);
+        const auto ack = stream.recv_frame();
+        if (!ack.has_value()) throw NetError("lost ack");
+        break;
+      } catch (const NetError&) {
+        if (!backoff.retry_after_failure()) break;  // out of budget
+        ++retries;
+      }
+    }
+    hist.record_seconds(total.seconds());
+  }
+  sink.shutdown();
+  proxy.stop();
+  sink_thread.join();
+
+  state.counters["drop_pct"] = static_cast<double>(state.range(0));
+  state.counters["retries"] = static_cast<double>(retries);
+  state.counters["image_kb"] = static_cast<double>(image_kb);
+}
+
 void BM_MigrationFir(benchmark::State& state) {
   run_migration(state, migrate::ImageKind::kFir);
 }
@@ -123,6 +221,10 @@ BENCHMARK(BM_MigrationFir)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_MigrationBinary)
     ->Args({200, 800})->Args({1024, 800})->Args({5120, 800})
+    ->Unit(benchmark::kMillisecond);
+// {drop percent}: packet loss injected on both directions of the proxy.
+BENCHMARK(BM_MigrationResilient)
+    ->Args({0})->Args({1})->Args({5})
     ->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
@@ -146,10 +248,14 @@ int main(int argc, char** argv) {
       "BENCH_JSON {\"bench\":\"migration\",\"images_packed\":%llu,"
       "\"image_bytes_packed\":%llu,\"pack_p50_us\":%.1f,\"pack_p99_us\":%.1f,"
       "\"unpack_p50_us\":%.1f,\"recompile_p50_us\":%.1f,"
-      "\"gc_pause_p50_us\":%.1f,\"gc_pause_p99_us\":%.1f}\n",
+      "\"gc_pause_p50_us\":%.1f,\"gc_pause_p99_us\":%.1f,"
+      "\"mig_drop0_p50_us\":%.1f,\"mig_drop1_p50_us\":%.1f,"
+      "\"mig_drop5_p50_us\":%.1f,\"mig_drop5_p99_us\":%.1f}\n",
       counter("migrate.images_packed"), counter("migrate.image_bytes_packed"),
       hist_q("migrate.pack_us", 0.5), hist_q("migrate.pack_us", 0.99),
       hist_q("migrate.unpack_us", 0.5), hist_q("migrate.recompile_us", 0.5),
-      hist_q("gc.pause_us", 0.5), hist_q("gc.pause_us", 0.99));
+      hist_q("gc.pause_us", 0.5), hist_q("gc.pause_us", 0.99),
+      hist_q("bench.mig_drop0_us", 0.5), hist_q("bench.mig_drop1_us", 0.5),
+      hist_q("bench.mig_drop5_us", 0.5), hist_q("bench.mig_drop5_us", 0.99));
   return 0;
 }

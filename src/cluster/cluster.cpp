@@ -4,6 +4,7 @@
 
 #include <chrono>
 
+#include "obs/metrics.hpp"
 #include "runtime/value_codec.hpp"
 #include "support/hash.hpp"
 #include "support/log.hpp"
@@ -17,6 +18,48 @@ namespace {
 /// Thrown out of a network external when this node has been killed; it
 /// unwinds the interpreter and terminates the node thread.
 struct NodeKilled {};
+
+struct ClusterMetrics {
+  obs::Counter& corrupt_frames;
+  obs::Counter& resurrections;
+
+  static ClusterMetrics& get() {
+    static ClusterMetrics m{
+        obs::MetricsRegistry::instance().counter("cluster.corrupt_frames"),
+        obs::MetricsRegistry::instance().counter("cluster.resurrections"),
+    };
+    return m;
+  }
+};
+
+/// Every cluster message carries a trailing fnv1a of its body so a frame
+/// mangled on the wire (the fault matrix flips bytes) is rejected instead
+/// of decoded into garbage values.
+constexpr std::size_t kChecksumBytes = 8;
+/// Spec-level u32 + count u32: the smallest well-formed body.
+constexpr std::size_t kMinBodyBytes = 8;
+
+void append_checksum(std::vector<std::byte>& frame) {
+  const std::uint64_t h = fnv1a(frame);
+  for (std::size_t i = 0; i < kChecksumBytes; ++i) {
+    frame.push_back(std::byte{static_cast<std::uint8_t>(h >> (8 * i))});
+  }
+}
+
+/// Verify and remove the trailing checksum. False = corrupt or truncated;
+/// the caller discards the frame and keeps polling (the sender's replay
+/// log still holds the clean bytes).
+[[nodiscard]] bool strip_verified_checksum(std::vector<std::byte>& frame) {
+  if (frame.size() < kMinBodyBytes + kChecksumBytes) return false;
+  const std::size_t body = frame.size() - kChecksumBytes;
+  std::uint64_t stored = 0;
+  for (std::size_t i = 0; i < kChecksumBytes; ++i) {
+    stored |= std::to_integer<std::uint64_t>(frame[body + i]) << (8 * i);
+  }
+  if (stored != fnv1a(std::span(frame).first(body))) return false;
+  frame.resize(body);
+  return true;
+}
 
 std::filesystem::path default_storage_dir() {
   static std::atomic<int> counter{0};
@@ -43,6 +86,9 @@ Cluster::Cluster(ClusterConfig cfg)
     slots_.push_back(std::make_unique<Slot>());
     slots_.back()->result.rank = i;
   }
+  obs::MetricsRegistry::instance()
+      .gauge("config.cluster.recv_timeout_ms")
+      .set(static_cast<std::int64_t>(cfg_.recv_timeout_seconds * 1e3));
 }
 
 Cluster::~Cluster() {
@@ -104,7 +150,9 @@ void Cluster::register_externals(vm::Process& proc, net::NodeId rank) {
         w.u32(duplicate ? 0 : proc.spec().current_level());
         w.u32(static_cast<std::uint32_t>(count));
         w.bytes(std::span(values).subspan(4));
-        const bool ok = net_.send(rank, dst, tag, w.take());
+        std::vector<std::byte> frame = w.take();
+        append_checksum(frame);
+        const bool ok = net_.send(rank, dst, tag, std::move(frame));
         if (!ok) {
           // Dead destination: back off so the rollback-retry loop does not
           // spin while the peer is resurrected.
@@ -132,7 +180,19 @@ void Cluster::register_externals(vm::Process& proc, net::NodeId rank) {
           if (tracker_.consume_poison(rank)) return Value::from_int(1);
           const net::RecvStatus status =
               net_.recv(rank, src, tag, payload, 0.005);
-          if (status == net::RecvStatus::kOk) break;
+          if (status == net::RecvStatus::kOk) {
+            if (!strip_verified_checksum(payload)) {
+              // Mangled on the wire: discard and keep polling — the
+              // sender's replay log (or a timeout + MSG_ROLL) re-delivers
+              // the clean bytes.
+              ClusterMetrics::get().corrupt_frames.inc();
+              MOJAVE_LOG(kDebug, "cluster")
+                  << "rank " << rank << " discarded corrupt frame from "
+                  << src << " tag " << tag;
+              continue;
+            }
+            break;
+          }
           if (status == net::RecvStatus::kPeerFailed) {
             // Back off briefly so the retry loop does not spin while the
             // peer is being resurrected.
@@ -294,11 +354,19 @@ std::optional<std::vector<std::byte>> Cluster::read_checkpoint(
 
 bool Cluster::resurrect(net::NodeId rank) {
   Slot& slot = *slots_.at(rank);
+  // At-most-one incarnation: never resurrect a rank that is still alive,
+  // and let exactly one of two racing callers claim the dead one.
+  if (net_.alive(rank)) return false;
+  if (slot.resurrecting.exchange(true)) return false;
   const auto image = read_checkpoint(rank);
-  if (!image.has_value()) return false;
+  if (!image.has_value()) {
+    slot.resurrecting.store(false);
+    return false;
+  }
   if (slot.thread.joinable()) slot.thread.join();  // the killed incarnation
   slot.finished.store(false);
   net_.revive(rank);
+  ClusterMetrics::get().resurrections.inc();
   MOJAVE_LOG(kInfo, "cluster") << "resurrecting node " << rank
                                << " from checkpoint";
   slot.thread = std::thread([this, rank, img = std::move(*image)] {
@@ -336,6 +404,8 @@ bool Cluster::resurrect(net::NodeId rank) {
     }
     s.finished.store(true);
   });
+  // The rank is alive again; the alive guard above now does the fencing.
+  slot.resurrecting.store(false);
   return true;
 }
 

@@ -40,6 +40,7 @@
 #include "cluster/tracker.hpp"
 #include "fir/ir.hpp"
 #include "migrate/migrator.hpp"
+#include "net/retry.hpp"
 #include "net/sim.hpp"
 #include "vm/process.hpp"
 
@@ -51,7 +52,9 @@ struct ClusterConfig {
   runtime::HeapConfig heap;
   std::filesystem::path storage_dir;      ///< empty = fresh temp directory
   std::uint64_t max_instructions = 0;     ///< per process; 0 = unlimited
-  double recv_timeout_seconds = 30.0;     ///< msg_recv safety net
+  /// msg_recv safety net; overridable with MOJAVE_RECV_TIMEOUT_S (and the
+  /// mojc --recv-timeout flag, which sets that variable for the run).
+  double recv_timeout_seconds = net::env_seconds("MOJAVE_RECV_TIMEOUT_S", 30.0);
   /// Checkpoint through the incremental content-addressed chunk store
   /// (ckpt:// targets, O(delta) writes). Off = legacy whole-image files.
   bool use_ckpt_store = true;
@@ -99,7 +102,8 @@ class Cluster {
   /// Revive the rank and resume it from its latest checkpoint in shared
   /// storage (the paper: "the computation thread is resurrected on a
   /// remote node from the last checkpoint"). Returns false when no
-  /// checkpoint exists.
+  /// checkpoint exists — or when the rank is still alive, so a racing
+  /// daemon and a manual call cannot start two incarnations.
   bool resurrect(net::NodeId rank);
 
   /// Start a daemon that resurrects dead ranks automatically.
@@ -134,6 +138,9 @@ class Cluster {
     NodeResult result;
     std::atomic<bool> finished{false};
     std::atomic<bool> launched{false};
+    /// Claimed by whichever caller (daemon or test) resurrects this rank,
+    /// so concurrent attempts cannot start two incarnations.
+    std::atomic<bool> resurrecting{false};
     /// Lazy cancellation (cf. TimeWarp [Jefferson 85], which the paper
     /// builds on): hash of the last payload sent per (dst, tag). A
     /// deterministic re-send after a rollback reproduces the original

@@ -17,9 +17,11 @@
 //   mojc ckpt <store-root> [list|stats|verify|gc]
 //       Inspect (or garbage-collect) an incremental checkpoint store:
 //       snapshots, manifests, chunk dedup ratio, integrity.
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -33,6 +35,7 @@
 #include "risc/lower.hpp"
 #include "vm/lowering.hpp"
 #include "migrate/image.hpp"
+#include "net/retry.hpp"
 #include "support/log.hpp"
 
 namespace {
@@ -52,7 +55,15 @@ int usage() {
       "  mojc dump <file.mjc> [--risc]\n"
       "telemetry (any command):\n"
       "  --stats[=json]        dump the metrics registry to stderr at exit\n"
-      "  --trace-out=<file>    record runtime events, write Chrome trace JSON\n";
+      "  --trace-out=<file>    record runtime events, write Chrome trace JSON\n"
+      "transport (any command; also settable via MOJAVE_* env vars):\n"
+      "  --migrate-attempts N  mcc:// / ckpt:// retry budget (default 3)\n"
+      "  --migrate-backoff-ms X  initial retry backoff, exponential + jitter\n"
+      "  --migrate-deadline S  overall deadline across all attempts\n"
+      "  --connect-timeout S   TCP connect (and DNS resolve) deadline\n"
+      "  --io-timeout S        per-syscall send/recv deadline\n"
+      "  --recv-timeout S      cluster msg_recv safety-net timeout\n"
+      "  active values appear as config.* gauges in --stats\n";
   return 2;
 }
 
@@ -65,6 +76,12 @@ struct Flags {
   std::uint64_t max_insns = 0;
   std::string trace_out;
   std::string output;
+  std::optional<std::uint32_t> migrate_attempts;
+  std::optional<double> migrate_backoff_ms;
+  std::optional<double> migrate_deadline_s;
+  std::optional<double> connect_timeout_s;
+  std::optional<double> io_timeout_s;
+  std::optional<double> recv_timeout_s;
   std::vector<std::string> positional;
 };
 
@@ -87,6 +104,18 @@ Flags parse_flags(int argc, char** argv, int first) {
       flags.trace_out = arg.substr(std::string("--trace-out=").size());
     } else if (arg == "--max-insns" && i + 1 < argc) {
       flags.max_insns = std::stoull(argv[++i]);
+    } else if (arg == "--migrate-attempts" && i + 1 < argc) {
+      flags.migrate_attempts = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+    } else if (arg == "--migrate-backoff-ms" && i + 1 < argc) {
+      flags.migrate_backoff_ms = std::stod(argv[++i]);
+    } else if (arg == "--migrate-deadline" && i + 1 < argc) {
+      flags.migrate_deadline_s = std::stod(argv[++i]);
+    } else if (arg == "--connect-timeout" && i + 1 < argc) {
+      flags.connect_timeout_s = std::stod(argv[++i]);
+    } else if (arg == "--io-timeout" && i + 1 < argc) {
+      flags.io_timeout_s = std::stod(argv[++i]);
+    } else if (arg == "--recv-timeout" && i + 1 < argc) {
+      flags.recv_timeout_s = std::stod(argv[++i]);
     } else if (arg == "-o" && i + 1 < argc) {
       flags.output = argv[++i];
     } else {
@@ -94,6 +123,33 @@ Flags parse_flags(int argc, char** argv, int first) {
     }
   }
   return flags;
+}
+
+/// Install transport overrides process-wide: retry-policy flags layer on
+/// top of the environment-derived defaults (and win), and --recv-timeout
+/// is exported as MOJAVE_RECV_TIMEOUT_S so every ClusterConfig built in
+/// this process picks it up. The resulting values are published as
+/// config.* gauges, so --stats shows what the run actually used.
+void apply_transport_flags(const Flags& flags) {
+  if (flags.recv_timeout_s.has_value()) {
+    ::setenv("MOJAVE_RECV_TIMEOUT_S",
+             std::to_string(*flags.recv_timeout_s).c_str(), 1);
+  }
+  const bool any = flags.migrate_attempts || flags.migrate_backoff_ms ||
+                   flags.migrate_deadline_s || flags.connect_timeout_s ||
+                   flags.io_timeout_s;
+  if (!any) return;
+  net::RetryPolicy p = net::RetryPolicy::process_defaults();
+  if (flags.migrate_attempts) p.max_attempts = *flags.migrate_attempts;
+  if (flags.migrate_backoff_ms) {
+    p.initial_backoff_seconds = *flags.migrate_backoff_ms / 1e3;
+  }
+  if (flags.migrate_deadline_s) {
+    p.overall_deadline_seconds = *flags.migrate_deadline_s;
+  }
+  if (flags.connect_timeout_s) p.connect_timeout_seconds = *flags.connect_timeout_s;
+  if (flags.io_timeout_s) p.io_timeout_seconds = *flags.io_timeout_s;
+  net::RetryPolicy::set_process_defaults(p);
 }
 
 /// End-of-process telemetry export: the Chrome trace file and/or the
@@ -309,6 +365,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   const Flags flags = parse_flags(argc, argv, 2);
+  apply_transport_flags(flags);
   if (!flags.trace_out.empty()) obs::Tracer::instance().enable();
   try {
     const int rc = dispatch(cmd, flags);

@@ -3,6 +3,7 @@
 #include <fstream>
 
 #include "ckpt/store.hpp"
+#include "migrate/wire.hpp"
 #include "net/tcp.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -17,6 +18,9 @@ struct MigrateMetrics {
   obs::Counter& attempts;
   obs::Counter& successes;
   obs::Counter& failures;
+  obs::Counter& retries;
+  obs::Counter& gave_up;
+  obs::Counter& dedup_acks;
   obs::Histogram& transfer_us;
 
   static MigrateMetrics& get() {
@@ -24,6 +28,9 @@ struct MigrateMetrics {
         obs::MetricsRegistry::instance().counter("migrate.attempts"),
         obs::MetricsRegistry::instance().counter("migrate.successes"),
         obs::MetricsRegistry::instance().counter("migrate.failures"),
+        obs::MetricsRegistry::instance().counter("migrate.retries"),
+        obs::MetricsRegistry::instance().counter("migrate.gave_up"),
+        obs::MetricsRegistry::instance().counter("migrate.dedup_acks"),
         obs::MetricsRegistry::instance().histogram("migrate.transfer_us"),
     };
     return m;
@@ -70,11 +77,27 @@ vm::MigrationHook::Action Migrator::on_migrate(
         break;
       case Protocol::kCkpt: {
         // Incremental checkpoint: unchanged chunks dedupe against what
-        // the store already holds, so only the delta hits storage.
-        const auto store = ckpt::CheckpointStore::open_shared(target.path);
-        const ckpt::PutStats put = store->put(target.snapshot, packed.bytes);
+        // the store already holds, so only the delta hits storage. Shared
+        // storage can hiccup (full NFS, transient EIO), so the put runs
+        // under the retry policy; chunk puts are idempotent by content
+        // address, so a repeated attempt is safe.
+        net::Backoff backoff(retry_policy_, label + 1);
+        while (true) {
+          try {
+            const auto store = ckpt::CheckpointStore::open_shared(target.path);
+            const ckpt::PutStats put =
+                store->put(target.snapshot, packed.bytes);
+            event.bytes_written = put.bytes_written;
+            break;
+          } catch (const Error& e) {
+            if (!backoff.retry_after_failure()) throw;
+            MigrateMetrics::get().retries.inc();
+            MOJAVE_LOG(kWarn, "migrate")
+                << "ckpt put retry " << backoff.attempts() << ": " << e.what();
+          }
+        }
+        event.attempts = backoff.attempts();
         event.success = true;
-        event.bytes_written = put.bytes_written;
         action = Action::kContinue;
         break;
       }
@@ -84,20 +107,12 @@ vm::MigrationHook::Action Migrator::on_migrate(
         event.bytes_written = packed.bytes.size();
         action = Action::kExit;  // terminate once the state is on disk
         break;
-      case Protocol::kMigrate: {
-        net::TcpStream stream = net::TcpStream::connect(target.host,
-                                                        target.port);
-        stream.send_frame(packed.bytes);
-        const auto ack = stream.recv_frame();
-        const bool ok = ack.has_value() && ack->size() == 2 &&
-                        static_cast<char>((*ack)[0]) == 'O' &&
-                        static_cast<char>((*ack)[1]) == 'K';
-        if (!ok) throw MigrateError("migration server rejected the image");
+      case Protocol::kMigrate:
+        transfer_mcc(target, packed.bytes, event);
         event.success = true;
         event.bytes_written = packed.bytes.size();
         action = Action::kExit;  // the process now runs at the destination
         break;
-      }
     }
   } catch (const Error& e) {
     // "If migration fails for any reason, the process will continue to
@@ -112,6 +127,65 @@ vm::MigrationHook::Action Migrator::on_migrate(
   (event.success ? m.successes : m.failures).inc();
   events_.push_back(std::move(event));
   return action;
+}
+
+void Migrator::transfer_mcc(const MigrateTarget& target,
+                            std::span<const std::byte> image, Event& event) {
+  MigrateMetrics& m = MigrateMetrics::get();
+  const std::uint64_t id = fresh_migration_id();
+  event.migration_id = id;
+  net::Backoff backoff(retry_policy_, id);
+  obs::ScopedSpan span("migrate", "mcc.transfer");
+  span.set_arg("migration_id", id);
+  while (true) {
+    try {
+      net::TcpStream stream = net::TcpStream::connect(
+          target.host, target.port, retry_policy_.deadlines());
+      stream.send_frame(encode_offer(id));
+      const auto hello = stream.recv_frame();
+      if (!hello.has_value()) {
+        throw NetError("server closed during handshake");
+      }
+      if (reply_is(*hello, kReplyDup)) {
+        // An earlier attempt committed; only its ack was lost. The process
+        // is already running at the destination — do not send it again.
+        m.dedup_acks.inc();
+        event.attempts = backoff.attempts();
+        return;
+      }
+      if (reply_is(*hello, kReplyBusy)) {
+        throw NetError("earlier attempt still in flight at the server");
+      }
+      if (!reply_is(*hello, kReplyGo)) {
+        throw MigrateError("migration server refused the offer");
+      }
+      stream.send_frame(image);
+      const auto ack = stream.recv_frame();
+      if (!ack.has_value()) throw NetError("connection lost awaiting ack");
+      if (reply_is(*ack, kReplyOk) || reply_is(*ack, kReplyDup)) {
+        event.attempts = backoff.attempts();
+        return;
+      }
+      // An explicit NAK is a policy refusal or unpack failure — retrying
+      // the same image cannot succeed.
+      throw MigrateError("migration server rejected the image");
+    } catch (const NetError& e) {
+      // Transient transport failure: refused, timed out, or cut mid-
+      // exchange. The idempotent handshake makes a retry safe.
+      event.attempts = backoff.attempts();
+      if (!backoff.retry_after_failure()) {
+        m.gave_up.inc();
+        throw MigrateError("gave up after " +
+                           std::to_string(backoff.attempts()) +
+                           " attempt(s): " + e.what());
+      }
+      m.retries.inc();
+      MOJAVE_LOG(kWarn, "migrate")
+          << "mcc attempt " << backoff.attempts() - 1 << " to "
+          << target.host << ":" << target.port << " failed (" << e.what()
+          << "); retrying";
+    }
+  }
 }
 
 void Migrator::write_image_file(const std::filesystem::path& path,

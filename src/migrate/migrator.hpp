@@ -18,6 +18,12 @@
 // Checkpoint files are written atomically (temp file + rename) so a
 // resurrection daemon never sees a torn image — the role NFS played for
 // the paper's cluster.
+//
+// The mcc:// transport runs under a RetryPolicy (deadlines, exponential
+// backoff with jitter) and the idempotent v2 handshake (migrate/wire.hpp),
+// so transient network failures are retried and a retry after a lost ack
+// cannot resurrect the process twice. An exhausted retry budget increments
+// migrate.gave_up and falls back to the keep-running-locally path.
 #pragma once
 
 #include <filesystem>
@@ -26,6 +32,7 @@
 
 #include "migrate/image.hpp"
 #include "migrate/protocols.hpp"
+#include "net/retry.hpp"
 #include "vm/interpreter.hpp"
 #include "vm/process.hpp"
 
@@ -45,12 +52,27 @@ class Migrator final : public vm::MigrationHook {
     std::size_t bytes_written = 0;
     double pack_seconds = 0;
     double transfer_seconds = 0;
+    /// Transport attempts this event consumed (1 = first try succeeded).
+    std::uint32_t attempts = 1;
+    /// The at-most-once handshake id (mcc:// protocol only).
+    std::uint64_t migration_id = 0;
   };
 
-  explicit Migrator(vm::Process& process) : process_(process) {
+  explicit Migrator(vm::Process& process)
+      : process_(process),
+        retry_policy_(net::RetryPolicy::process_defaults()) {
     process_.vm().set_migration_hook(this);
   }
   ~Migrator() override { process_.vm().set_migration_hook(nullptr); }
+
+  /// Override the transport retry policy (defaults to the process-wide
+  /// policy: compiled defaults + environment + mojc flags).
+  void set_retry_policy(const net::RetryPolicy& policy) {
+    retry_policy_ = policy;
+  }
+  [[nodiscard]] const net::RetryPolicy& retry_policy() const {
+    return retry_policy_;
+  }
 
   Migrator(const Migrator&) = delete;
   Migrator& operator=(const Migrator&) = delete;
@@ -70,7 +92,14 @@ class Migrator final : public vm::MigrationHook {
       const std::filesystem::path& path);
 
  private:
+  /// Drive the mcc:// handshake with retries. Returns normally on success
+  /// (the destination owns the process); throws MigrateError when the
+  /// retry budget is exhausted or the server refuses.
+  void transfer_mcc(const MigrateTarget& target,
+                    std::span<const std::byte> image, Event& event);
+
   vm::Process& process_;
+  net::RetryPolicy retry_policy_;
   std::vector<Event> events_;
 };
 

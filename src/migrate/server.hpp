@@ -9,16 +9,26 @@
 // type-checks and recompiles untrusted FIR images), acknowledges the
 // sender — only after which the sender terminates its copy — and runs the
 // reconstructed process on its own thread.
+//
+// Inbound connections may use the idempotent v2 handshake (wire.hpp): an
+// OFFER carrying a migration id reserves a slot, the image commits it, and
+// any retry of a committed id is answered "DU" without starting a second
+// copy — the at-most-once guarantee a lost ack would otherwise break. The
+// dedup window remembers the most recent kDedupWindow committed ids.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
+#include <deque>
 #include <filesystem>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "migrate/image.hpp"
@@ -45,7 +55,13 @@ class MigrationServer {
     /// Called after unpack, before resume: register host externals,
     /// attach a Migrator for onward migration, etc.
     std::function<void(vm::Process&)> prepare;
+    /// Per-syscall deadline on inbound connections so a stalled client
+    /// cannot pin a worker thread forever. <= 0 disables.
+    double io_timeout_seconds = 30.0;
   };
+
+  /// Committed migration ids remembered for duplicate suppression.
+  static constexpr std::size_t kDedupWindow = 1024;
 
   struct Completed {
     std::string program_name;
@@ -70,11 +86,30 @@ class MigrationServer {
 
   [[nodiscard]] std::size_t received() const { return received_.load(); }
 
+  // --- Process census (at-most-once verification for tests/monitoring) --
+  /// Processes ever started (resumed) on this server.
+  [[nodiscard]] std::size_t processes_started() const {
+    return started_.load();
+  }
+  /// Processes currently running.
+  [[nodiscard]] std::size_t live_processes() const { return live_.load(); }
+  /// Duplicate offers suppressed by the dedup window.
+  [[nodiscard]] std::size_t dedup_hits() const { return dedup_hits_.load(); }
+
   void stop();
 
  private:
+  /// Handshake reservation states for the at-most-once id window.
+  enum class IdState : std::uint8_t { kInFlight, kCommitted };
+
   void accept_loop();
   void handle(net::TcpStream stream);
+  /// Reserve `id` for this attempt. Returns the reply to send when the
+  /// image must NOT be accepted (DU/WT), or nullopt when reserved.
+  [[nodiscard]] std::optional<std::vector<std::byte>> reserve_id(
+      std::uint64_t id);
+  void commit_id(std::uint64_t id);
+  void release_id(std::uint64_t id);
 
   Options options_;
   net::TcpListener listener_;
@@ -84,6 +119,12 @@ class MigrationServer {
   std::condition_variable cv_;
   std::vector<Completed> completed_;
   std::atomic<std::size_t> received_{0};
+  std::atomic<std::size_t> started_{0};
+  std::atomic<std::size_t> live_{0};
+  std::atomic<std::size_t> dedup_hits_{0};
+  std::mutex dedup_mu_;
+  std::unordered_map<std::uint64_t, IdState> ids_;  // guarded by dedup_mu_
+  std::deque<std::uint64_t> committed_order_;       // guarded by dedup_mu_
   std::atomic<bool> stopping_{false};
 };
 

@@ -1,0 +1,89 @@
+// The idempotent migration handshake (wire format v2).
+//
+// The original protocol was one shot: client sends the image, server acks
+// "OK". A lost ack was fatal to at-most-once semantics — the client would
+// retry (or keep running locally) while the server had already resurrected
+// the process, yielding two live copies. v2 makes retries safe:
+//
+//   client                          server
+//   ------                          ------
+//   OFFER(migration_id)  ------->   id unknown   -> reserve, reply "GO"
+//                                   id in flight -> reply "WT" (retry later)
+//                                   id committed -> reply "DU" (dedup hit)
+//   <image frame>        ------->   unpack + journal; commit id; "OK"/"NO"
+//
+// The migration id is fixed for all retries of one migrate instruction, so
+// however many times the exchange is cut short, the server resurrects the
+// process at most once: a retry after a lost "OK" gets "DU", which the
+// client treats as success (terminate the local copy). A reservation whose
+// image never arrives (or fails to unpack) is released, so a genuinely
+// failed attempt can be retried with the same id.
+//
+// Servers still accept the legacy single-frame protocol: the first frame
+// of a connection is an offer iff it is exactly kOfferBytes long and
+// carries the magic; real images are far larger and have their own header.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <random>
+#include <span>
+#include <vector>
+
+namespace mojave::migrate {
+
+inline constexpr std::size_t kOfferBytes = 16;
+inline constexpr char kOfferMagic[4] = {'M', 'O', 'F', '1'};
+
+// Two-byte handshake replies.
+inline constexpr char kReplyGo[2] = {'G', 'O'};    ///< send the image
+inline constexpr char kReplyDup[2] = {'D', 'U'};   ///< already committed
+inline constexpr char kReplyBusy[2] = {'W', 'T'};  ///< attempt in flight
+inline constexpr char kReplyOk[2] = {'O', 'K'};    ///< committed, terminate
+inline constexpr char kReplyNo[2] = {'N', 'O'};    ///< refused / failed
+
+[[nodiscard]] inline std::vector<std::byte> encode_offer(std::uint64_t id) {
+  std::vector<std::byte> frame(kOfferBytes, std::byte{0});
+  std::memcpy(frame.data(), kOfferMagic, 4);
+  for (int i = 0; i < 8; ++i) {
+    frame[4 + i] = std::byte{static_cast<std::uint8_t>(id >> (8 * i))};
+  }
+  return frame;
+}
+
+[[nodiscard]] inline std::optional<std::uint64_t> decode_offer(
+    std::span<const std::byte> frame) {
+  if (frame.size() != kOfferBytes) return std::nullopt;
+  if (std::memcmp(frame.data(), kOfferMagic, 4) != 0) return std::nullopt;
+  std::uint64_t id = 0;
+  for (int i = 0; i < 8; ++i) {
+    id |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(frame[4 + i]))
+          << (8 * i);
+  }
+  return id;
+}
+
+[[nodiscard]] inline bool reply_is(std::span<const std::byte> frame,
+                                   const char code[2]) {
+  return frame.size() == 2 && static_cast<char>(frame[0]) == code[0] &&
+         static_cast<char>(frame[1]) == code[1];
+}
+
+[[nodiscard]] inline std::vector<std::byte> make_reply(const char code[2]) {
+  return {std::byte{static_cast<std::uint8_t>(code[0])},
+          std::byte{static_cast<std::uint8_t>(code[1])}};
+}
+
+/// Unique per migrate-instruction execution; stable across its retries.
+[[nodiscard]] inline std::uint64_t fresh_migration_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  static const std::uint64_t base = [] {
+    std::random_device rd;
+    return (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+  }();
+  return base ^ (counter.fetch_add(1, std::memory_order_relaxed) + 1);
+}
+
+}  // namespace mojave::migrate

@@ -1,0 +1,103 @@
+#include "net/chaos.hpp"
+
+#include <chrono>
+#include <memory>
+
+#include "support/error.hpp"
+#include "support/log.hpp"
+
+namespace mojave::net {
+
+ChaosProxy::ChaosProxy(std::string upstream_host, std::uint16_t upstream_port,
+                       ProxyFaults faults)
+    : upstream_host_(std::move(upstream_host)),
+      upstream_port_(upstream_port),
+      faults_(faults),
+      listener_(0),
+      rng_(faults.seed) {
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+ChaosProxy::~ChaosProxy() { stop(); }
+
+void ChaosProxy::stop() {
+  if (stopping_.exchange(true)) return;
+  listener_.shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+ProxyStats ChaosProxy::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void ChaosProxy::accept_loop() {
+  while (!stopping_.load()) {
+    auto client = listener_.accept();
+    if (!client.has_value()) break;
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.connections;
+    workers_.emplace_back(
+        [this, c = std::make_shared<TcpStream>(std::move(*client))]() mutable {
+          relay(std::move(*c));
+        });
+  }
+}
+
+void ChaosProxy::relay(TcpStream client) {
+  try {
+    TcpStream upstream = TcpStream::connect(upstream_host_, upstream_port_,
+                                            Deadlines{5.0, 30.0});
+    while (true) {
+      auto request = client.recv_frame();
+      if (!request.has_value()) return;  // client done
+      bool drop_req = false;
+      bool corrupt = false;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        drop_req = faults_.drop_request > 0 && rng_.chance(faults_.drop_request);
+        corrupt = !drop_req && !request->empty() && faults_.corrupt_request > 0 &&
+                  rng_.chance(faults_.corrupt_request);
+        if (drop_req) ++stats_.requests_dropped;
+        if (corrupt) {
+          ++stats_.requests_corrupted;
+          const std::size_t i = rng_.below(request->size());
+          (*request)[i] ^= std::byte{static_cast<std::uint8_t>(
+              1 + rng_.below(255))};
+        }
+      }
+      if (drop_req) return;  // cut the connection: the request is lost
+      if (faults_.delay_seconds > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(faults_.delay_seconds));
+      }
+      upstream.send_frame(*request);
+
+      auto reply = upstream.recv_frame();
+      if (!reply.has_value()) return;  // upstream cut us off
+      bool drop_rep = false;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++replies_seen_;
+        drop_rep = faults_.drop_reply_frames.count(replies_seen_) != 0 ||
+                   (faults_.drop_reply > 0 && rng_.chance(faults_.drop_reply));
+        if (drop_rep) {
+          ++stats_.replies_dropped;
+        } else {
+          stats_.frames_forwarded += 2;
+        }
+      }
+      // A dropped reply models the worst failure for exactly-once delivery:
+      // the server has already acted, only the acknowledgement is lost.
+      if (drop_rep) return;
+      client.send_frame(*reply);
+    }
+  } catch (const NetError& e) {
+    MOJAVE_LOG(kDebug, "chaos") << "relay ended: " << e.what();
+  }
+}
+
+}  // namespace mojave::net

@@ -1,0 +1,78 @@
+// ChaosProxy: a frame-level TCP fault injector for loopback tests.
+//
+// Sits between a migration client and a MigrationServer (or any
+// request/response protocol built on TcpStream frames) and injects the
+// faults a real WAN produces but loopback never does: swallowed requests,
+// lost acknowledgements (the connection dies *after* the server committed),
+// corrupted payloads, and added latency. All randomness comes from a
+// seeded PRNG; the deterministic `drop_reply_frames` list pins exact
+// lost-ACK scenarios for the idempotent-handshake tests.
+//
+// The relay assumes strict request/response alternation per connection —
+// exactly the rhythm of the migration handshake (offer/accept, image/ack).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/tcp.hpp"
+#include "support/rng.hpp"
+
+namespace mojave::net {
+
+struct ProxyFaults {
+  std::uint64_t seed = 1;
+  double drop_request = 0;  ///< swallow a client frame and cut the connection
+  double drop_reply = 0;    ///< forward the request, swallow the server reply
+  double corrupt_request = 0;  ///< flip one byte of a client frame
+  double delay_seconds = 0;    ///< added latency per forwarded frame
+  /// Deterministic lost-ACKs: the Nth server reply this proxy ever relays
+  /// (1-based, across connections) is swallowed and the connection cut.
+  std::set<std::uint64_t> drop_reply_frames;
+};
+
+struct ProxyStats {
+  std::uint64_t connections = 0;
+  std::uint64_t frames_forwarded = 0;
+  std::uint64_t requests_dropped = 0;
+  std::uint64_t replies_dropped = 0;
+  std::uint64_t requests_corrupted = 0;
+};
+
+class ChaosProxy {
+ public:
+  ChaosProxy(std::string upstream_host, std::uint16_t upstream_port,
+             ProxyFaults faults);
+  ~ChaosProxy();
+
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
+  [[nodiscard]] ProxyStats stats() const;
+
+  void stop();
+
+ private:
+  void accept_loop();
+  void relay(TcpStream client);
+
+  std::string upstream_host_;
+  std::uint16_t upstream_port_;
+  ProxyFaults faults_;
+  TcpListener listener_;
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  mutable std::mutex mu_;
+  ProxyStats stats_;                // guarded by mu_
+  Rng rng_;                         // guarded by mu_
+  std::uint64_t replies_seen_ = 0;  // guarded by mu_
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace mojave::net

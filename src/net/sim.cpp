@@ -1,5 +1,6 @@
 #include "net/sim.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "obs/metrics.hpp"
@@ -12,6 +13,11 @@ struct SimMetrics {
   obs::Counter& messages_sent;
   obs::Counter& bytes_sent;
   obs::Counter& messages_dropped;
+  obs::Counter& faults_dropped;
+  obs::Counter& faults_duplicated;
+  obs::Counter& faults_reordered;
+  obs::Counter& faults_corrupted;
+  obs::Counter& faults_partitioned;
   obs::Histogram& delivery_us;
 
   static SimMetrics& get() {
@@ -19,6 +25,11 @@ struct SimMetrics {
         obs::MetricsRegistry::instance().counter("net.sim.messages_sent"),
         obs::MetricsRegistry::instance().counter("net.sim.bytes_sent"),
         obs::MetricsRegistry::instance().counter("net.sim.messages_dropped"),
+        obs::MetricsRegistry::instance().counter("net.sim.faults_dropped"),
+        obs::MetricsRegistry::instance().counter("net.sim.faults_duplicated"),
+        obs::MetricsRegistry::instance().counter("net.sim.faults_reordered"),
+        obs::MetricsRegistry::instance().counter("net.sim.faults_corrupted"),
+        obs::MetricsRegistry::instance().counter("net.sim.faults_partitioned"),
         obs::MetricsRegistry::instance().histogram("net.sim.delivery_us"),
     };
     return m;
@@ -44,7 +55,37 @@ const char* recv_status_name(RecvStatus s) {
 }
 
 SimNetwork::SimNetwork(std::uint32_t num_nodes, SimConfig cfg)
-    : cfg_(cfg), boxes_(num_nodes), alive_(num_nodes, true) {}
+    : cfg_(cfg),
+      boxes_(num_nodes),
+      alive_(num_nodes, true),
+      fault_rng_(cfg.faults.seed) {}
+
+void SimNetwork::set_fault_plan(const FaultPlan& plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cfg_.faults = plan;
+  fault_rng_ = Rng(plan.seed);
+}
+
+void SimNetwork::partition(NodeId src, NodeId dst) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cfg_.faults.partitions.insert({src, dst});
+}
+
+void SimNetwork::heal_partition(NodeId src, NodeId dst) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cfg_.faults.partitions.erase({src, dst});
+  cv_.notify_all();
+}
+
+void SimNetwork::flush_deferred_locked(NodeId dst) {
+  Mailbox& box = boxes_[dst];
+  if (box.deferred.empty()) return;
+  for (auto& [key, payload] : box.deferred) {
+    box.queues[key].push_back(std::move(payload));
+  }
+  box.deferred.clear();
+  cv_.notify_all();
+}
 
 bool SimNetwork::send(NodeId src, NodeId dst, std::int32_t tag,
                       std::vector<std::byte> payload) {
@@ -63,13 +104,63 @@ bool SimNetwork::send(NodeId src, NodeId dst, std::int32_t tag,
   m.messages_sent.inc();
   m.bytes_sent.inc(payload.size());
   m.delivery_us.record_seconds(delivery_seconds);
+
+  // Fault injection sits between the sender and the wire, and every fault
+  // reports *success* to the sender — a lossy network does not confess.
+  //
+  // A partition models the link being down entirely: nothing crosses, not
+  // even the log-replay path (a re-request would cross the same dead
+  // link), so partitioned messages are not logged.
+  const FaultPlan& plan = cfg_.faults;
+  if (plan.partitions.count({src, dst}) != 0) {
+    ++stats_.faults_partitioned;
+    m.faults_partitioned.inc();
+    return true;
+  }
+
   const Key key{src, tag};
-  // Sender-based logging happens at *send* time, not delivery time: a
-  // message that is still queued when the receiver is killed (and whose
-  // queue revive() then wipes) must remain replayable, or the resurrected
-  // incarnation waits forever for a message the sender will never repeat.
+  // Sender-based logging happens at *send* time, not delivery time, and
+  // the log is fault-immune: it records the bytes as the sender produced
+  // them, before any drop or corruption touches the in-flight copy. This
+  // is the MPICH-V contract — a lost or mangled packet never erases the
+  // sender's retransmission buffer. Without it, a message dropped after
+  // its sender commits past the send would be unrecoverable: the receiver
+  // would roll back and re-request forever while the sender, already
+  // committed, never re-sends.
   if (cfg_.replay_logging) boxes_[dst].delivered[key] = payload;
-  boxes_[dst].queues[key].push_back(std::move(payload));
+
+  const LinkFaults& f = plan.for_link(src, dst);
+  if (f.drop > 0 && fault_rng_.chance(f.drop)) {
+    ++stats_.faults_dropped;
+    m.faults_dropped.inc();
+    return true;
+  }
+
+  if (f.corrupt > 0 && !payload.empty() && fault_rng_.chance(f.corrupt)) {
+    const std::size_t i = fault_rng_.below(payload.size());
+    payload[i] ^= std::byte{static_cast<std::uint8_t>(
+        1 + fault_rng_.below(255))};
+    ++stats_.faults_corrupted;
+    m.faults_corrupted.inc();
+  }
+  const bool duplicate =
+      f.duplicate > 0 && fault_rng_.chance(f.duplicate);
+  if (duplicate) {
+    ++stats_.faults_duplicated;
+    m.faults_duplicated.inc();
+  }
+  if (f.reorder > 0 && fault_rng_.chance(f.reorder)) {
+    // Hold the message back; it is released behind the next delivery to
+    // this node (or on demand when the receiver asks for it).
+    ++stats_.faults_reordered;
+    m.faults_reordered.inc();
+    if (duplicate) boxes_[dst].queues[key].push_back(payload);
+    boxes_[dst].deferred.emplace_back(key, std::move(payload));
+  } else {
+    if (duplicate) boxes_[dst].queues[key].push_back(payload);
+    boxes_[dst].queues[key].push_back(std::move(payload));
+    flush_deferred_locked(dst);
+  }
   cv_.notify_all();
   return true;
 }
@@ -95,6 +186,21 @@ RecvStatus SimNetwork::recv(NodeId self, NodeId from, std::int32_t tag,
       out = std::move(q.front());
       q.pop_front();
       return RecvStatus::kOk;
+    }
+    // A receiver explicitly waiting on a reordered (deferred) message
+    // forces its late arrival — by then any interleaved traffic has
+    // already been delivered ahead of it, which is the reorder.
+    {
+      auto& deferred = boxes_[self].deferred;
+      const auto it = std::find_if(
+          deferred.begin(), deferred.end(), [&](const auto& p) {
+            return p.first.from == key.from && p.first.tag == key.tag;
+          });
+      if (it != deferred.end()) {
+        boxes_[self].queues[it->first].push_back(std::move(it->second));
+        deferred.erase(it);
+        continue;
+      }
     }
     if (cfg_.replay_logging) {
       const auto d = boxes_[self].delivered.find(key);
@@ -125,6 +231,7 @@ void SimNetwork::revive(NodeId node) {
     // A revived node starts from a clean mailbox: messages addressed to
     // the dead incarnation are stale state.
     boxes_[node].queues.clear();
+    boxes_[node].deferred.clear();
   }
   cv_.notify_all();
 }

@@ -4,8 +4,10 @@
 // between dual-700MHz nodes). Nodes exchange tagged messages through
 // in-memory mailboxes; a configurable bandwidth/latency model assigns each
 // transfer a *virtual* duration so benches can report deterministic
-// network costs, and a fault injector kills nodes so receivers observe
-// peer failure — the MSG_ROLL condition of the paper's grid application.
+// network costs, and a fault injector (node kills plus a seeded per-link
+// drop/duplicate/reorder/corrupt/partition matrix — see FaultPlan) lets
+// chaos tests exercise every partial-failure mode the MSG_ROLL recovery
+// of the paper's grid application must survive.
 //
 // The "customized message passing interface" of Section 2 (rank/tag
 // send-recv between neighbours) is exactly this API.
@@ -16,13 +18,42 @@
 #include <deque>
 #include <map>
 #include <mutex>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "support/common.hpp"
+#include "support/rng.hpp"
 
 namespace mojave::net {
 
 using NodeId = std::uint32_t;
+
+/// Per-link fault probabilities, all Bernoulli per message.
+struct LinkFaults {
+  double drop = 0;       ///< lost on the wire; the sender still sees success
+  double duplicate = 0;  ///< delivered twice
+  double reorder = 0;    ///< deferred past later traffic on the link
+  double corrupt = 0;    ///< one payload byte flipped in the delivered copy
+  [[nodiscard]] bool any() const {
+    return drop > 0 || duplicate > 0 || reorder > 0 || corrupt > 0;
+  }
+};
+
+/// A reproducible fault schedule for the whole network: a seeded PRNG, a
+/// default per-link fault mix, per-link overrides, and one-way partitions.
+/// Chaos tests sweep FaultPlans and assert the grid app still converges.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  LinkFaults all_links;
+  std::map<std::pair<NodeId, NodeId>, LinkFaults> links;  ///< (src,dst)
+  std::set<std::pair<NodeId, NodeId>> partitions;  ///< blocked src -> dst
+
+  [[nodiscard]] const LinkFaults& for_link(NodeId src, NodeId dst) const {
+    const auto it = links.find({src, dst});
+    return it == links.end() ? all_links : it->second;
+  }
+};
 
 struct SimConfig {
   double bandwidth_bytes_per_sec = 100e6 / 8.0;  ///< the paper's 100 Mbps
@@ -35,6 +66,8 @@ struct SimConfig {
   /// died with it still queued — the standard message-logging companion
   /// of checkpoint/rollback recovery (cf. MPICH-V).
   bool replay_logging = true;
+  /// Fault-injection schedule (drop/duplicate/reorder/corrupt/partition).
+  FaultPlan faults;
 };
 
 enum class RecvStatus : std::uint8_t {
@@ -52,6 +85,13 @@ struct SimStats {
   std::uint64_t bytes_sent = 0;
   std::uint64_t messages_dropped = 0;
   double virtual_transfer_seconds = 0;  ///< sum over all sent messages
+  // Injected faults, by class (messages_dropped counts dead-endpoint
+  // drops; these count the FaultPlan's doing).
+  std::uint64_t faults_dropped = 0;
+  std::uint64_t faults_duplicated = 0;
+  std::uint64_t faults_reordered = 0;
+  std::uint64_t faults_corrupted = 0;
+  std::uint64_t faults_partitioned = 0;
 };
 
 class SimNetwork {
@@ -80,6 +120,12 @@ class SimNetwork {
   void revive(NodeId node);
   [[nodiscard]] bool alive(NodeId node) const;
 
+  /// Replace the fault schedule mid-run (resets the fault PRNG to the
+  /// plan's seed). One-way partition helpers edit the active plan.
+  void set_fault_plan(const FaultPlan& plan);
+  void partition(NodeId src, NodeId dst);
+  void heal_partition(NodeId src, NodeId dst);
+
   /// Wake all waiters permanently (cluster teardown).
   void shutdown();
 
@@ -106,7 +152,13 @@ class SimNetwork {
     /// resurrected incarnation can still re-request any border message its
     /// predecessor was owed.
     std::map<Key, std::vector<std::byte>> delivered;
+    /// Reorder limbo: messages the fault injector is holding back. They
+    /// are released behind the next normal delivery to this node, or when
+    /// the receiver explicitly asks for that (source, tag).
+    std::vector<std::pair<Key, std::vector<std::byte>>> deferred;
   };
+
+  void flush_deferred_locked(NodeId dst);
 
   SimConfig cfg_;
   mutable std::mutex mu_;
@@ -114,6 +166,7 @@ class SimNetwork {
   std::vector<Mailbox> boxes_;
   std::vector<bool> alive_;
   SimStats stats_;
+  Rng fault_rng_;
   bool shutdown_ = false;
 };
 

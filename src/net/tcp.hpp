@@ -2,8 +2,16 @@
 // and client. Messages are framed as a u32 little-endian length prefix
 // followed by the payload, with a hard cap so a hostile peer cannot make
 // the server allocate unbounded memory.
+//
+// Every blocking operation can carry a deadline: connect() resolves the
+// host through getaddrinfo on a helper thread (bounded wait) and completes
+// the three-way handshake through a non-blocking connect + poll, and
+// send/recv honour per-call timeouts via SO_SNDTIMEO/SO_RCVTIMEO. Deadline
+// expiry surfaces as NetTimeout (a NetError subclass) so retry policies
+// can distinguish "slow" from "refused".
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -13,6 +21,13 @@
 namespace mojave::net {
 
 inline constexpr std::size_t kMaxFrameBytes = 256u << 20;  // 256 MiB
+
+/// Per-stream deadlines in seconds; <= 0 means block forever (legacy
+/// behaviour, still the default for callers that manage their own pacing).
+struct Deadlines {
+  double connect_seconds = 0;  ///< resolve + TCP handshake budget
+  double io_seconds = 0;       ///< per send/recv syscall budget
+};
 
 class TcpStream {
  public:
@@ -25,11 +40,17 @@ class TcpStream {
   TcpStream(const TcpStream&) = delete;
   TcpStream& operator=(const TcpStream&) = delete;
 
-  /// Connect to host:port. Throws NetError on failure.
+  /// Connect to host:port (numeric or resolvable name). Throws NetError on
+  /// failure and NetTimeout when a positive connect deadline expires; the
+  /// socket fd is closed on every error path.
   [[nodiscard]] static TcpStream connect(const std::string& host,
-                                         std::uint16_t port);
+                                         std::uint16_t port,
+                                         const Deadlines& deadlines = {});
 
   [[nodiscard]] bool valid() const { return fd_ >= 0; }
+
+  /// Bound every subsequent send/recv syscall; <= 0 restores blocking.
+  void set_io_deadline(double seconds);
 
   /// Send one length-prefixed frame.
   void send_frame(std::span<const std::byte> payload);
@@ -59,11 +80,15 @@ class TcpListener {
   /// Accept one connection; empty optional if the listener was shut down.
   [[nodiscard]] std::optional<TcpStream> accept();
 
-  /// Unblock any accept() and close the socket.
+  /// Unblock any accept() and stop taking connections. The fd itself is
+  /// closed by the destructor, after the owner has joined its accept
+  /// thread — closing here could recycle the fd number under a thread
+  /// still blocked in ::accept on it.
   void shutdown();
 
  private:
-  int fd_ = -1;
+  std::atomic<int> fd_{-1};
+  std::atomic<bool> shut_{false};
   std::uint16_t port_ = 0;
 };
 

@@ -59,4 +59,11 @@ class NetError : public Error {
   explicit NetError(const std::string& what) : Error("net: " + what) {}
 };
 
+/// A network operation exceeded its deadline (connect, send, or recv).
+/// Distinct from NetError so retry loops can tell "slow" from "refused".
+class NetTimeout : public NetError {
+ public:
+  explicit NetTimeout(const std::string& what) : NetError("timeout: " + what) {}
+};
+
 }  // namespace mojave

@@ -9,6 +9,9 @@
 #include "migrate/migrator.hpp"
 #include "migrate/protocols.hpp"
 #include "migrate/server.hpp"
+#include "net/chaos.hpp"
+#include "net/retry.hpp"
+#include "obs/metrics.hpp"
 #include "vm/process.hpp"
 
 namespace {
@@ -295,6 +298,92 @@ TEST(Migrate, ForgedResumeLabelRejected) {
                             unpacked.resume_fun, unpacked.resume_args,
                             migrate::ImageKind::kFir);
   EXPECT_THROW((void)migrate::unpack_process(forged.bytes), SafetyError);
+}
+
+TEST(MigrateResilience, ExhaustedRetriesFallBackToLocalExecution) {
+  auto& gave_up = obs::MetricsRegistry::instance().counter("migrate.gave_up");
+  const std::uint64_t gave_up_before = gave_up.value();
+
+  // Nothing listens on this port: every connect is refused.
+  std::uint16_t port;
+  {
+    net::TcpListener probe(0);
+    port = probe.port();
+    probe.shutdown();
+  }
+  vm::Process p(make_counter_program(
+      "migrate://127.0.0.1:" + std::to_string(port), 4));
+  migrate::Migrator mig(p);
+  net::RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.initial_backoff_seconds = 0.002;
+  policy.max_backoff_seconds = 0.004;
+  policy.connect_timeout_seconds = 1.0;
+  mig.set_retry_policy(policy);
+
+  // "If migration fails for any reason, the process will continue to
+  // execute on the original machine" — to completion, with the right sum.
+  const auto result = p.run();
+  EXPECT_EQ(result.kind, vm::RunResult::Kind::kHalted);
+  EXPECT_EQ(result.exit_code, kSum1To10);
+
+  // Migrates at i=4 and i=8 both exhausted their budget.
+  ASSERT_EQ(mig.events().size(), 2u);
+  for (const auto& e : mig.events()) {
+    EXPECT_FALSE(e.success);
+    EXPECT_EQ(e.attempts, policy.max_attempts);
+  }
+  EXPECT_EQ(gave_up.value(), gave_up_before + 2);
+}
+
+TEST(MigrateResilience, LostAckRetryDoesNotDuplicateTheProcess) {
+  auto& dedup_acks =
+      obs::MetricsRegistry::instance().counter("migrate.dedup_acks");
+  const std::uint64_t dedup_acks_before = dedup_acks.value();
+
+  migrate::MigrationServer::Options opts;
+  opts.prepare = [](vm::Process& proc) {
+    proc.adopt_hook(std::make_unique<migrate::Migrator>(proc));
+  };
+  migrate::MigrationServer server(std::move(opts));
+
+  // Swallow the 2nd reply the proxy ever relays: reply 1 is the GO, reply
+  // 2 is the OK *after* the server committed — the classic lost ack.
+  net::ProxyFaults faults;
+  faults.drop_reply_frames = {2};
+  net::ChaosProxy proxy("127.0.0.1", server.port(), faults);
+
+  // interval 7 → exactly one migrate (at i=7); the resumed copy then runs
+  // to completion on the server with no further hops.
+  vm::Process p(make_counter_program(
+      "migrate://127.0.0.1:" + std::to_string(proxy.port()), 7));
+  migrate::Migrator mig(p);
+  net::RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff_seconds = 0.01;
+  policy.connect_timeout_seconds = 2.0;
+  policy.io_timeout_seconds = 2.0;
+  mig.set_retry_policy(policy);
+
+  // The retry after the lost ack is answered DU — the client treats the
+  // migration as successful and the local copy terminates.
+  EXPECT_EQ(p.run().kind, vm::RunResult::Kind::kMigratedAway);
+  ASSERT_EQ(mig.events().size(), 1u);
+  EXPECT_TRUE(mig.events()[0].success);
+  EXPECT_EQ(mig.events()[0].attempts, 2u);
+
+  const auto completed = server.wait_for(1);
+  ASSERT_EQ(completed.size(), 1u);
+  EXPECT_TRUE(completed[0].error.empty()) << completed[0].error;
+  EXPECT_EQ(completed[0].result.kind, vm::RunResult::Kind::kHalted);
+  EXPECT_EQ(completed[0].result.exit_code, kSum1To10);
+
+  // At-most-once: the duplicate offer was answered from the dedup window,
+  // and the server's census shows exactly one process ever started.
+  EXPECT_EQ(server.processes_started(), 1u);
+  EXPECT_GE(server.dedup_hits(), 1u);
+  EXPECT_EQ(dedup_acks.value(), dedup_acks_before + 1);
+  EXPECT_EQ(proxy.stats().replies_dropped, 1u);
 }
 
 }  // namespace
