@@ -68,9 +68,10 @@ EngineResult Engine::finish(vm::Process& process, vm::RunResult run) const {
   return result;
 }
 
-std::uint16_t Engine::serve(std::uint16_t port) {
+std::uint16_t Engine::serve(std::uint16_t port, const std::string& bind) {
   migrate::MigrationServer::Options opts;
   opts.port = port;
+  opts.bind_address = bind;
   opts.cfg = options_.process;
   const bool enable_migration = options_.enable_migration;
   opts.prepare = [enable_migration](vm::Process& proc) {

@@ -65,8 +65,10 @@ class Engine {
   EngineResult resume_file(const std::filesystem::path& image_path);
 
   /// Serve inbound migrations forever (blocks until stop_server()).
-  /// Returns the bound port.
-  std::uint16_t serve(std::uint16_t port);
+  /// Returns the bound port. `bind` selects the listen interface;
+  /// the default keeps the server loopback-only.
+  std::uint16_t serve(std::uint16_t port,
+                      const std::string& bind = "127.0.0.1");
   void stop_server();
 
   [[nodiscard]] const EngineOptions& options() const { return options_; }

@@ -9,9 +9,16 @@
 //   mojc resume <checkpoint.img>
 //       Reconstruct and resume a process from a checkpoint/suspend image
 //       (the resurrection entry point daemons use).
-//   mojc serve [port]
+//   mojc serve [port] [--bind ADDR]
 //       Run a migration server: accept inbound processes, verify,
 //       recompile, and execute them.
+//   mojc node --storage ROOT [--bind ADDR] [--port P] [--throttle-ms X]
+//       Run a node agent: host ranks of a distributed cluster, route
+//       messages between agents, checkpoint into the shared store.
+//   mojc cluster --nodes host:port,... run <file.mjc>
+//       Coordinate a distributed run across node agents: place ranks,
+//       detect failures, resurrect from checkpoints, arbitrate the
+//       speculation join protocol.
 //   mojc inspect <image>
 //       Print what an image contains without running it.
 //   mojc ckpt <store-root> [list|stats|verify|gc]
@@ -22,11 +29,14 @@
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "ckpt/store.hpp"
 #include "core/engine.hpp"
+#include "dnode/agent.hpp"
+#include "dnode/coord.hpp"
 #include "fir/serialize.hpp"
 #include "fir/printer.hpp"
 #include "obs/metrics.hpp"
@@ -49,7 +59,11 @@ int usage() {
       "  mojc compile <file.mjc> [-o out.fir]\n"
       "  mojc exec <file.fir>\n"
       "  mojc resume <checkpoint.img | ckpt://root/name>\n"
-      "  mojc serve [port]\n"
+      "  mojc serve [port] [--bind ADDR]\n"
+      "  mojc node --storage ROOT [--bind ADDR] [--port P] [--throttle-ms X]\n"
+      "  mojc cluster --nodes host:port,... [--ranks N] [--storage ROOT]\n"
+      "       [--balance-interval S] [--balance-threshold X] [--timeout S]\n"
+      "       run <file.mjc>\n"
       "  mojc inspect <image>\n"
       "  mojc ckpt <store-root> [list|stats|verify|gc]\n"
       "  mojc dump <file.mjc> [--risc]\n"
@@ -82,6 +96,16 @@ struct Flags {
   std::optional<double> connect_timeout_s;
   std::optional<double> io_timeout_s;
   std::optional<double> recv_timeout_s;
+  // Distributed runtime (mojc node / mojc cluster / mojc serve --bind).
+  std::string bind = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string storage;
+  std::string nodes;
+  double throttle_ms = 0;
+  std::uint32_t ranks = 4;
+  double balance_interval_s = 0;
+  double balance_threshold = 1.5;
+  double cluster_timeout_s = 300;
   std::vector<std::string> positional;
 };
 
@@ -116,6 +140,24 @@ Flags parse_flags(int argc, char** argv, int first) {
       flags.io_timeout_s = std::stod(argv[++i]);
     } else if (arg == "--recv-timeout" && i + 1 < argc) {
       flags.recv_timeout_s = std::stod(argv[++i]);
+    } else if (arg == "--bind" && i + 1 < argc) {
+      flags.bind = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      flags.port = static_cast<std::uint16_t>(std::stoi(argv[++i]));
+    } else if (arg == "--storage" && i + 1 < argc) {
+      flags.storage = argv[++i];
+    } else if (arg == "--nodes" && i + 1 < argc) {
+      flags.nodes = argv[++i];
+    } else if (arg == "--throttle-ms" && i + 1 < argc) {
+      flags.throttle_ms = std::stod(argv[++i]);
+    } else if (arg == "--ranks" && i + 1 < argc) {
+      flags.ranks = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+    } else if (arg == "--balance-interval" && i + 1 < argc) {
+      flags.balance_interval_s = std::stod(argv[++i]);
+    } else if (arg == "--balance-threshold" && i + 1 < argc) {
+      flags.balance_threshold = std::stod(argv[++i]);
+    } else if (arg == "--timeout" && i + 1 < argc) {
+      flags.cluster_timeout_s = std::stod(argv[++i]);
     } else if (arg == "-o" && i + 1 < argc) {
       flags.output = argv[++i];
     } else {
@@ -240,17 +282,96 @@ int cmd_resume(const Flags& flags) {
 }
 
 int cmd_serve(const Flags& flags) {
-  std::uint16_t port = 0;
+  std::uint16_t port = flags.port;
   if (!flags.positional.empty()) {
     port = static_cast<std::uint16_t>(std::stoi(flags.positional[0]));
   }
   Logger::instance().set_level(LogLevel::kInfo);
   Engine engine = make_engine(flags);
-  const std::uint16_t bound = engine.serve(port);
-  std::cerr << "[mojc] migration server listening on 127.0.0.1:" << bound
+  const std::uint16_t bound = engine.serve(port, flags.bind);
+  std::cerr << "[mojc] migration server listening on " << flags.bind << ":"
+            << bound
             << " — inbound processes are verified, recompiled, and run\n";
   // Serve until killed.
   while (true) std::this_thread::sleep_for(std::chrono::seconds(3600));
+}
+
+int cmd_node(const Flags& flags) {
+  if (flags.storage.empty()) {
+    std::cerr << "mojc node: --storage ROOT is required (the checkpoint "
+                 "store shared with every other agent)\n";
+    return usage();
+  }
+  Logger::instance().set_level(LogLevel::kInfo);
+  dnode::AgentConfig cfg;
+  cfg.bind = flags.bind;
+  cfg.port = flags.port;
+  cfg.storage_root = flags.storage;
+  cfg.throttle_ms = flags.throttle_ms;
+  if (flags.recv_timeout_s) cfg.recv_timeout_seconds = *flags.recv_timeout_s;
+  dnode::NodeAgent agent(cfg);
+  // The ready line is the launch protocol: a parent (test harness or
+  // operator script) reads the chosen port from stdout.
+  std::cout << "DNODE_READY port=" << agent.port() << std::endl;
+  std::cerr << "[mojc] node agent listening on " << flags.bind << ":"
+            << agent.port() << ", storage " << flags.storage << "\n";
+  agent.wait();
+  agent.stop();
+  return 0;
+}
+
+int cmd_cluster(const Flags& flags) {
+  if (flags.nodes.empty() || flags.positional.size() != 2 ||
+      flags.positional[0] != "run") {
+    return usage();
+  }
+  dnode::CoordinatorConfig cfg;
+  std::stringstream nodes(flags.nodes);
+  std::string entry;
+  while (std::getline(nodes, entry, ',')) {
+    const auto colon = entry.rfind(':');
+    if (colon == std::string::npos) {
+      std::cerr << "mojc cluster: bad --nodes entry '" << entry
+                << "' (want host:port)\n";
+      return usage();
+    }
+    dnode::AgentAddr addr;
+    addr.host = entry.substr(0, colon);
+    addr.port = static_cast<std::uint16_t>(std::stoi(entry.substr(colon + 1)));
+    cfg.agents.push_back(std::move(addr));
+  }
+  cfg.num_ranks = flags.ranks;
+  cfg.max_instructions = flags.max_insns;
+  cfg.balance_interval_seconds = flags.balance_interval_s;
+  cfg.balance_threshold = flags.balance_threshold;
+  if (flags.recv_timeout_s) cfg.recv_timeout_seconds = *flags.recv_timeout_s;
+
+  Engine engine = make_engine(flags);
+  const fir::Program program = engine.compile_file(flags.positional[1]);
+
+  dnode::Coordinator coord(cfg);
+  coord.launch_spmd(program);
+  const bool all_done = coord.wait_all(flags.cluster_timeout_s);
+
+  int rc = all_done ? 0 : 1;
+  for (const dnode::RankOutcome& r : coord.results()) {
+    if (!r.output.empty()) std::cout << r.output;
+    if (!r.done) {
+      std::cerr << "[mojc] rank " << r.rank << " did not finish\n";
+    } else if (r.result_kind == 2) {
+      std::cerr << "[mojc] rank " << r.rank << " failed: " << r.error << "\n";
+      rc = 1;
+    } else {
+      std::cerr << "[mojc] rank " << r.rank << " exited " << r.exit_code
+                << " (" << r.instructions << " instructions, " << r.rollbacks
+                << " rollbacks, " << r.restarts << " restarts)\n";
+      if (r.exit_code != 0 && rc == 0) rc = static_cast<int>(r.exit_code);
+    }
+  }
+  std::cerr << "[mojc] cluster: " << coord.resurrections()
+            << " resurrection(s), " << coord.migrations() << " migration(s)\n";
+  coord.shutdown_agents();
+  return rc;
 }
 
 int cmd_dump(const Flags& flags, bool risc_backend) {
@@ -345,6 +466,8 @@ int dispatch(const std::string& cmd, const Flags& flags) {
   if (cmd == "exec") return cmd_exec(flags);
   if (cmd == "resume") return cmd_resume(flags);
   if (cmd == "serve") return cmd_serve(flags);
+  if (cmd == "node") return cmd_node(flags);
+  if (cmd == "cluster") return cmd_cluster(flags);
   if (cmd == "inspect") return cmd_inspect(flags);
   if (cmd == "ckpt") return cmd_ckpt(flags);
   if (cmd == "dump") {

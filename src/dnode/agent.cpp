@@ -1,0 +1,780 @@
+#include "dnode/agent.hpp"
+
+#include <chrono>
+
+#include "fir/serialize.hpp"
+#include "migrate/image.hpp"
+#include "migrate/migrator.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "runtime/value_codec.hpp"
+#include "support/hash.hpp"
+#include "support/log.hpp"
+
+namespace mojave::dnode {
+
+using runtime::Value;
+
+namespace {
+
+/// Thrown out of a network external when the agent is shutting down; it
+/// unwinds the interpreter and terminates the rank thread (the dnode twin
+/// of the simulated cluster's NodeKilled).
+struct AgentStopping {};
+
+struct AgentMetrics {
+  obs::Counter& launches;
+  obs::Counter& resurrections;
+  obs::Counter& yields;
+  obs::Counter& data_in;
+  obs::Counter& data_out;
+  obs::Counter& forwards;
+  obs::Counter& replay_requests;
+  obs::Counter& replays_served;
+  obs::Counter& poisons;
+  obs::Counter& dep_records;
+  obs::Counter& corrupt_frames;
+  obs::Counter& heartbeats;
+  obs::Counter& link_failures;
+
+  static AgentMetrics& get() {
+    auto& r = obs::MetricsRegistry::instance();
+    static AgentMetrics m{
+        r.counter("node.launches"),       r.counter("node.resurrections"),
+        r.counter("node.yields"),         r.counter("node.data_frames_in"),
+        r.counter("node.data_frames_out"), r.counter("node.data_forwards"),
+        r.counter("dspec.replay_requests"), r.counter("dspec.replays_served"),
+        r.counter("dspec.poisons_received"), r.counter("dspec.dep_records"),
+        r.counter("node.corrupt_frames"), r.counter("node.heartbeats"),
+        r.counter("node.link_failures"),
+    };
+    return m;
+  }
+};
+
+/// Wraps the per-rank Migrator so the coordinator can turn the rank's
+/// *next successful checkpoint* into a yield: the process exits here with
+/// kMigratedAway and is resurrected from that checkpoint on the target
+/// agent. Checkpoints happen at commit points (Figure 2's loop), so a
+/// yield never strands an active speculation.
+class YieldHook final : public vm::MigrationHook {
+ public:
+  YieldHook(vm::Process& proc, migrate::Migrator& inner,
+            std::atomic<bool>& yield_requested)
+      : proc_(proc), inner_(inner), yield_(yield_requested) {
+    proc_.vm().set_migration_hook(this);
+  }
+  ~YieldHook() override { proc_.vm().set_migration_hook(&inner_); }
+
+  Action on_migrate(vm::Interpreter& vm, MigrateLabel label,
+                    const std::string& target, FunIndex resume_fun,
+                    std::span<const Value> resume_args) override {
+    const Action a = inner_.on_migrate(vm, label, target, resume_fun,
+                                       resume_args);
+    if (a == Action::kExit) return a;
+    if (yield_.load() && !inner_.events().empty() &&
+        inner_.events().back().success) {
+      yielded_ = true;
+      return Action::kExit;
+    }
+    return a;
+  }
+
+  [[nodiscard]] bool yielded() const { return yielded_; }
+
+ private:
+  vm::Process& proc_;
+  migrate::Migrator& inner_;
+  std::atomic<bool>& yield_;
+  bool yielded_ = false;
+};
+
+}  // namespace
+
+struct NodeAgent::Conn {
+  explicit Conn(net::TcpStream s) : stream(std::move(s)) {}
+  net::TcpStream stream;
+  std::mutex write_mu;
+  PeerKind kind = PeerKind::kAgent;
+};
+
+struct NodeAgent::PeerLink {
+  std::mutex mu;
+  net::TcpStream stream;  ///< invalid until dialed (and after a failure)
+};
+
+struct NodeAgent::RankSlot {
+  std::uint32_t rank = 0;
+  std::thread thread;
+  std::ostringstream output;
+  /// The distributed poison flag: set by POISON/FORCE_ROLL frames, drained
+  /// by msg_recv as MSG_ROLL (the agent-side half of consume_poison()).
+  std::atomic<bool> poisoned{false};
+  std::atomic<bool> yield_requested{false};
+  std::atomic<bool> done{false};
+  /// Rollback epoch: bumped on every rollback and stamped into outgoing
+  /// DATA, so the coordinator can fence dependency records that raced a
+  /// ROLL_POISON (see docs/SPECULATION.md).
+  std::atomic<std::uint64_t> epoch{0};
+  std::atomic<bool> has_reported{false};
+  std::atomic<double> reported{0};
+
+  std::mutex sent_mu;
+  /// Lazy cancellation (TimeWarp): hash of the last payload per (dst,
+  /// tag); a byte-identical re-send after a rollback goes out at level 0.
+  std::map<std::pair<std::uint32_t, std::int32_t>, std::uint64_t> sent_hashes;
+  /// Sender-side replay log answering REPLAY_REQ: a receiver resurrected
+  /// on another agent re-requests border messages already sent (the
+  /// paper's Figure 2 "re-request border information" arrow).
+  std::map<std::pair<std::uint32_t, std::int32_t>, std::vector<std::byte>>
+      sent_log;
+};
+
+NodeAgent::NodeAgent(AgentConfig cfg)
+    : cfg_(std::move(cfg)),
+      listener_(cfg_.bind, cfg_.port),
+      retry_(net::RetryPolicy::process_defaults()),
+      store_(ckpt::CheckpointStore::open_shared(cfg_.storage_root,
+                                                cfg_.ckpt)) {
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  heartbeat_thread_ = std::thread([this] { heartbeat_loop(); });
+}
+
+NodeAgent::~NodeAgent() { stop(); }
+
+void NodeAgent::wait() {
+  {
+    std::unique_lock<std::mutex> lock(wait_mu_);
+    wait_cv_.wait(lock, [this] { return shutdown_requested_; });
+  }
+  stop();
+}
+
+void NodeAgent::stop() {
+  if (stopping_.exchange(true)) return;
+  listener_.shutdown();
+  mail_cv_.notify_all();
+  {
+    // Half-close every connection so readers blocked in recv_frame()
+    // observe an orderly close and exit; fds stay reserved until the
+    // Conn objects die after the join below.
+    std::lock_guard<std::mutex> lock(readers_mu_);
+    for (auto& conn : conns_) conn->stream.shutdown();
+  }
+  {
+    // Collect under the lock, join outside it: a rank thread unwinding
+    // through a network external takes mu_ on its way out.
+    std::vector<std::thread*> rank_threads;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto& [rank, slot] : slots_) rank_threads.push_back(&slot->thread);
+    }
+    for (std::thread* t : rank_threads) {
+      if (t->joinable()) t->join();
+    }
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(readers_mu_);
+    for (auto& t : readers_) {
+      if (t.joinable()) t.join();
+    }
+    readers_.clear();
+    conns_.clear();
+  }
+  std::lock_guard<std::mutex> lock(links_mu_);
+  links_.clear();
+}
+
+std::vector<std::uint32_t> NodeAgent::hosted_ranks() const {
+  std::vector<std::uint32_t> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [rank, slot] : slots_) {
+    if (!slot->done.load()) out.push_back(rank);
+  }
+  return out;
+}
+
+void NodeAgent::accept_loop() {
+  while (auto stream = listener_.accept()) {
+    auto conn = std::make_shared<Conn>(std::move(*stream));
+    std::lock_guard<std::mutex> lock(readers_mu_);
+    if (stopping_.load()) break;
+    conns_.push_back(conn);
+    readers_.emplace_back([this, conn] { reader_loop(conn); });
+  }
+}
+
+void NodeAgent::reader_loop(std::shared_ptr<Conn> conn) {
+  bool is_coordinator = false;
+  try {
+    while (!stopping_.load()) {
+      auto frame = conn->stream.recv_frame();
+      if (!frame.has_value()) break;  // peer closed
+      auto m = decode(*frame);
+      if (!m.has_value()) {
+        AgentMetrics::get().corrupt_frames.inc();
+        continue;
+      }
+      if (m->type == MsgType::kHello &&
+          m->peer_kind == PeerKind::kCoordinator) {
+        is_coordinator = true;
+      }
+      handle_frame(*m, conn);
+    }
+  } catch (const std::exception& e) {
+    if (!stopping_.load()) {
+      MOJAVE_LOG(kWarn, "dnode") << "agent reader error: " << e.what();
+    }
+  }
+  if (is_coordinator && !stopping_.load()) {
+    // Coordinator gone: nothing can place, poison, or collect us anymore.
+    MOJAVE_LOG(kInfo, "dnode") << "coordinator connection lost; shutting down";
+    std::lock_guard<std::mutex> lock(wait_mu_);
+    shutdown_requested_ = true;
+    wait_cv_.notify_all();
+  }
+}
+
+void NodeAgent::handle_frame(const Msg& m, const std::shared_ptr<Conn>& conn) {
+  switch (m.type) {
+    case MsgType::kHello: {
+      std::lock_guard<std::mutex> lock(mu_);
+      conn->kind = m.peer_kind;
+      if (m.peer_kind == PeerKind::kCoordinator) coordinator_ = conn;
+      break;
+    }
+    case MsgType::kConfig: {
+      std::lock_guard<std::mutex> lock(mu_);
+      my_agent_ = m.agent;
+      num_ranks_ = m.num_ranks;
+      agents_ = m.agents;
+      max_instructions_ = m.max_instructions;
+      if (m.recv_timeout_seconds > 0) {
+        cfg_.recv_timeout_seconds = m.recv_timeout_seconds;
+      }
+      placement_.assign(num_ranks_, Placement{});
+      break;
+    }
+    case MsgType::kPlacement: {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (const PlacementEntry& e : m.placement) {
+          if (e.rank < placement_.size()) {
+            placement_[e.rank] = Placement{e.agent, e.alive};
+          }
+        }
+      }
+      // Receives blocked on a now-dead peer must wake to report MSG_ROLL.
+      mail_cv_.notify_all();
+      break;
+    }
+    case MsgType::kLaunch:
+      launch_rank(m.rank, m.payload);
+      break;
+    case MsgType::kData:
+      handle_data(m);
+      break;
+    case MsgType::kReplayReq:
+      handle_replay_req(m);
+      break;
+    case MsgType::kPoison:
+    case MsgType::kForceRoll: {
+      AgentMetrics::get().poisons.inc();
+      std::lock_guard<std::mutex> lock(mu_);
+      if (RankSlot* slot = find_slot(m.rank)) {
+        slot->poisoned.store(true);
+        mail_cv_.notify_all();
+      }
+      break;
+    }
+    case MsgType::kResurrect:
+      resurrect_rank(m.rank);
+      break;
+    case MsgType::kYieldRank: {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (RankSlot* slot = find_slot(m.rank)) {
+        slot->yield_requested.store(true);
+      }
+      break;
+    }
+    case MsgType::kShutdown: {
+      std::lock_guard<std::mutex> lock(wait_mu_);
+      shutdown_requested_ = true;
+      wait_cv_.notify_all();
+      break;
+    }
+    default:
+      break;  // coordinator-bound frames are not ours to handle
+  }
+}
+
+NodeAgent::RankSlot* NodeAgent::find_slot(std::uint32_t rank) {
+  const auto it = slots_.find(rank);
+  return it == slots_.end() ? nullptr : it->second.get();
+}
+
+void NodeAgent::handle_data(const Msg& m) {
+  AgentMetrics::get().data_in.inc();
+  std::uint32_t agent = 0;
+  bool known = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (m.dst < placement_.size()) {
+      agent = placement_[m.dst].agent;
+      known = true;
+    }
+  }
+  if (known && agent != my_agent_) {
+    // The sender routed on a stale placement; forward once on ours.
+    AgentMetrics::get().forwards.inc();
+    send_to_agent(agent, encode_data(m.src, m.dst, m.tag, m.payload));
+    return;
+  }
+  deliver_local(m.src, m.dst, m.tag, m.payload);
+}
+
+void NodeAgent::handle_replay_req(const Msg& m) {
+  std::vector<std::byte> payload;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    RankSlot* slot = find_slot(m.owner);
+    if (slot == nullptr) return;  // owner moved on; its new host will serve
+    std::lock_guard<std::mutex> sent_lock(slot->sent_mu);
+    const auto it = slot->sent_log.find({m.requester, m.tag});
+    if (it == slot->sent_log.end()) return;  // never sent: requester waits
+    payload = it->second;
+  }
+  AgentMetrics::get().replays_served.inc();
+  route_payload(m.owner, m.requester, m.tag, std::move(payload));
+}
+
+void NodeAgent::deliver_local(std::uint32_t src, std::uint32_t dst,
+                              std::int32_t tag,
+                              std::vector<std::byte> payload) {
+  {
+    std::lock_guard<std::mutex> lock(mail_mu_);
+    mail_[dst].q[{src, tag}].push_back(std::move(payload));
+  }
+  mail_cv_.notify_all();
+}
+
+bool NodeAgent::route_payload(std::uint32_t src, std::uint32_t dst,
+                              std::int32_t tag,
+                              std::vector<std::byte> payload) {
+  std::uint32_t agent = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (dst >= placement_.size()) return false;
+    if (!placement_[dst].alive) return false;
+    agent = placement_[dst].agent;
+  }
+  if (agent == my_agent_) {
+    deliver_local(src, dst, tag, std::move(payload));
+    return true;
+  }
+  AgentMetrics::get().data_out.inc();
+  return send_to_agent(agent, encode_data(src, dst, tag, payload));
+}
+
+void NodeAgent::request_replay(std::uint32_t src, std::uint32_t requester,
+                               std::int32_t tag) {
+  std::uint32_t agent = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (src >= placement_.size() || !placement_[src].alive) return;
+    agent = placement_[src].agent;
+  }
+  AgentMetrics::get().replay_requests.inc();
+  const auto frame = encode_replay_req(src, requester, tag);
+  if (agent == my_agent_) {
+    if (auto m = decode(frame)) handle_replay_req(*m);
+  } else {
+    send_to_agent(agent, frame);
+  }
+}
+
+bool NodeAgent::send_to_agent(std::uint32_t agent,
+                              std::span<const std::byte> frame) {
+  std::shared_ptr<PeerLink> link;
+  AgentAddr addr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (agent >= agents_.size()) return false;
+    addr = agents_[agent];
+  }
+  {
+    std::lock_guard<std::mutex> lock(links_mu_);
+    auto& slot = links_[agent];
+    if (!slot) slot = std::make_shared<PeerLink>();
+    link = slot;
+  }
+  std::lock_guard<std::mutex> lock(link->mu);
+  try {
+    if (!link->stream.valid()) {
+      link->stream =
+          net::TcpStream::connect(addr.host, addr.port, retry_.deadlines());
+      link->stream.send_frame(encode_hello(PeerKind::kAgent, my_agent_));
+    }
+    link->stream.send_frame(frame);
+    return true;
+  } catch (const std::exception& e) {
+    // Drop the link so the next send redials; the caller treats this as a
+    // dropped message, which the rollback-retry loop and replay recover.
+    AgentMetrics::get().link_failures.inc();
+    MOJAVE_LOG(kDebug, "dnode")
+        << "link to agent " << agent << " failed: " << e.what();
+    link->stream.close();
+    return false;
+  }
+}
+
+void NodeAgent::send_to_coordinator(std::span<const std::byte> frame) {
+  std::shared_ptr<Conn> conn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    conn = coordinator_;
+  }
+  if (!conn) return;
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  try {
+    conn->stream.send_frame(frame);
+  } catch (const std::exception&) {
+    // Coordinator gone; the reader's EOF path shuts the agent down.
+  }
+}
+
+void NodeAgent::heartbeat_loop() {
+  while (!stopping_.load()) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(cfg_.heartbeat_seconds));
+    if (stopping_.load()) return;
+    std::uint32_t live = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!coordinator_) continue;
+      for (const auto& [rank, slot] : slots_) {
+        if (!slot->done.load()) ++live;
+      }
+    }
+    // Load model: ranks hosted, inflated by the deliberate throttle — a
+    // slowed agent looks (and is) more expensive per rank, which is what
+    // the coordinator's balancer keys off.
+    const double load = static_cast<double>(live) * (1.0 + cfg_.throttle_ms);
+    AgentMetrics::get().heartbeats.inc();
+    send_to_coordinator(encode_heartbeat(my_agent_, load, live));
+  }
+}
+
+void NodeAgent::register_externals(vm::Process& proc, RankSlot& slot) {
+  vm::Interpreter& vm = proc.vm();
+  const std::uint32_t rank = slot.rank;
+  vm.set_output(&slot.output);
+
+  vm.register_external("node_id",
+                       [rank](vm::Interpreter&, std::span<const Value>) {
+                         return Value::from_int(rank);
+                       });
+  vm.register_external(
+      "num_nodes", [this](vm::Interpreter&, std::span<const Value>) {
+        return Value::from_int(static_cast<std::int64_t>(num_ranks_));
+      });
+
+  vm.register_external(
+      "msg_send",
+      [this, rank, &proc, &slot](vm::Interpreter& it,
+                                 std::span<const Value> args) -> Value {
+        if (args.size() != 4) throw SafetyError("msg_send arity");
+        if (stopping_.load()) throw AgentStopping{};
+        const auto dst = static_cast<std::uint32_t>(args[0].as_int());
+        const auto tag = static_cast<std::int32_t>(args[1].as_int());
+        const runtime::PtrValue buf = args[2].as_ptr();
+        const std::int64_t count = args[3].as_int();
+        if (count < 0) throw SafetyError("msg_send negative count");
+        Writer vw;
+        for (std::int64_t i = 0; i < count; ++i) {
+          runtime::write_value(
+              vw, it.heap().read_slot(
+                      buf.index, buf.offset + static_cast<std::uint32_t>(i)));
+        }
+        const auto values = vw.take();
+        // Lazy cancellation: a byte-identical re-send (deterministic
+        // re-execution after a rollback) is not speculative — its
+        // consumers already hold exactly this data.
+        const std::uint64_t h = fnv1a(values);
+        bool duplicate = false;
+        {
+          std::lock_guard<std::mutex> lock(slot.sent_mu);
+          auto& prev = slot.sent_hashes[{dst, tag}];
+          duplicate = prev == h;
+          prev = h;
+        }
+        const std::uint32_t level =
+            duplicate ? 0 : proc.spec().current_level();
+        std::vector<std::byte> payload = encode_data_payload(
+            level, slot.epoch.load(), static_cast<std::uint32_t>(count),
+            values);
+        {
+          std::lock_guard<std::mutex> lock(slot.sent_mu);
+          slot.sent_log[{dst, tag}] = payload;
+        }
+        if (cfg_.throttle_ms > 0) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(cfg_.throttle_ms * 1e-3));
+        }
+        const bool ok = route_payload(rank, dst, tag, std::move(payload));
+        if (!ok) {
+          // Dead destination or broken link: back off so the rollback-
+          // retry loop does not spin while the peer is resurrected.
+          std::this_thread::sleep_for(std::chrono::microseconds(500));
+        }
+        return Value::from_int(ok ? 0 : 1);
+      });
+
+  vm.register_external(
+      "msg_recv",
+      [this, rank, &proc, &slot](vm::Interpreter& it,
+                                 std::span<const Value> args) -> Value {
+        if (args.size() != 4) throw SafetyError("msg_recv arity");
+        const auto src = static_cast<std::uint32_t>(args[0].as_int());
+        const auto tag = static_cast<std::int32_t>(args[1].as_int());
+        const runtime::PtrValue buf = args[2].as_ptr();
+        const std::int64_t count = args[3].as_int();
+        if (count < 0) throw SafetyError("msg_recv negative count");
+
+        // Poll in short slices so a poison frame (an upstream rollback),
+        // a placement change, or shutdown can interrupt a blocked receive.
+        std::vector<std::byte> payload;
+        double waited = 0;
+        double since_replay_req = 0;
+        while (true) {
+          if (stopping_.load()) throw AgentStopping{};
+          if (slot.poisoned.exchange(false)) return Value::from_int(1);
+          bool got = false;
+          {
+            std::unique_lock<std::mutex> lock(mail_mu_);
+            Mailbox& mb = mail_[rank];
+            const auto key = std::make_pair(src, tag);
+            if (auto qi = mb.q.find(key);
+                qi != mb.q.end() && !qi->second.empty()) {
+              payload = std::move(qi->second.front());
+              qi->second.pop_front();
+              mb.delivered[key] = payload;
+              got = true;
+            } else if (auto di = mb.delivered.find(key);
+                       di != mb.delivered.end()) {
+              // Receiver-side replay: a re-execution after rollback reads
+              // the message it already consumed.
+              payload = di->second;
+              got = true;
+            } else {
+              mail_cv_.wait_for(lock, std::chrono::milliseconds(5));
+            }
+          }
+          if (got) break;
+          bool peer_down = false;
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            peer_down = src < placement_.size() && !placement_[src].alive;
+          }
+          if (peer_down) {
+            std::this_thread::sleep_for(std::chrono::microseconds(500));
+            return Value::from_int(1);  // MSG_ROLL
+          }
+          waited += 0.005;
+          since_replay_req += 0.005;
+          if (waited >= cfg_.recv_timeout_seconds) {
+            MOJAVE_LOG(kDebug, "dnode") << "rank " << rank
+                                        << " recv timeout from " << src
+                                        << " tag " << tag;
+            return Value::from_int(2);
+          }
+          if (since_replay_req >= cfg_.replay_request_seconds) {
+            // The message may have been lost with a dead agent or our own
+            // previous incarnation's mailbox — re-request it from the
+            // sender's replay log.
+            since_replay_req = 0;
+            request_replay(src, rank, tag);
+          }
+        }
+        // A rollback poisons dependents before the rolled-back sender can
+        // send anything new; re-checking here keeps MSG_ROLL delivery
+        // deterministic even when a fresh message raced in.
+        if (slot.poisoned.exchange(false)) return Value::from_int(1);
+        Reader r(payload);
+        const std::uint32_t sender_level = r.u32();
+        const std::uint64_t sender_epoch = r.u64();
+        const std::uint32_t n = r.u32();
+        if (sender_level > 0) {
+          // Speculative data: join the sender's speculation (the
+          // distributed record() of the join protocol).
+          AgentMetrics::get().dep_records.inc();
+          send_to_coordinator(encode_dep_record(src, sender_level, rank,
+                                                proc.spec().current_level(),
+                                                sender_epoch));
+        }
+        const std::uint32_t to_copy =
+            std::min(n, static_cast<std::uint32_t>(count));
+        for (std::uint32_t i = 0; i < to_copy; ++i) {
+          it.heap().write_slot(buf.index, buf.offset + i,
+                               runtime::read_value(r));
+        }
+        return Value::from_int(0);
+      });
+
+  vm.register_external(
+      "checkpoint_target",
+      [this, rank](vm::Interpreter& it, std::span<const Value>) -> Value {
+        const std::string target = "ckpt://" + cfg_.storage_root.string() +
+                                   "/rank_" + std::to_string(rank);
+        return Value::from_ptr(it.heap().alloc_string(target), 0);
+      });
+
+  vm.register_external(
+      "report_result",
+      [&slot](vm::Interpreter&, std::span<const Value> args) -> Value {
+        if (args.size() != 1) throw SafetyError("report_result arity");
+        slot.reported.store(args[0].as_float());
+        slot.has_reported.store(true);
+        return Value::unit();
+      });
+
+  vm.register_external("sleep_ms",
+                       [](vm::Interpreter&, std::span<const Value> args) {
+                         std::this_thread::sleep_for(std::chrono::milliseconds(
+                             args.empty() ? 0 : args[0].as_int()));
+                         return Value::unit();
+                       });
+
+  // Join protocol, reported over the wire: this rank's rollbacks bump its
+  // epoch and emit ROLL_POISON; its durable commits emit COMMIT_DISCHARGE.
+  proc.spec().set_rollback_observer([this, rank, &slot](SpecLevel level,
+                                                        bool) {
+    const std::uint64_t e = slot.epoch.fetch_add(1) + 1;
+    send_to_coordinator(encode_roll_poison(rank, level, e));
+  });
+  proc.spec().set_commit_observer([this, rank] {
+    send_to_coordinator(encode_commit_discharge(rank));
+  });
+}
+
+void NodeAgent::run_rank(RankSlot& slot, vm::Process& proc, bool resumed,
+                         FunIndex resume_fun,
+                         std::vector<Value> resume_args) {
+  obs::ScopedSpan span("dnode", resumed ? "agent.resume_rank"
+                                        : "agent.run_rank");
+  span.set_arg("rank", slot.rank);
+  Msg res;
+  res.type = MsgType::kResult;
+  res.rank = slot.rank;
+  bool yielded = false;
+  try {
+    migrate::Migrator migrator(proc);
+    YieldHook hook(proc, migrator, slot.yield_requested);
+    const vm::RunResult run =
+        resumed ? proc.resume(resume_fun, std::move(resume_args))
+                : proc.run();
+    yielded = hook.yielded();
+    res.result_kind = run.kind == vm::RunResult::Kind::kMigratedAway ? 1 : 0;
+    res.exit_code = run.exit_code;
+  } catch (const AgentStopping&) {
+    res.result_kind = 2;
+    res.error = "stopped";
+  } catch (const std::exception& e) {
+    res.result_kind = 2;
+    res.error = e.what();
+  }
+  res.output = slot.output.str();
+  res.instructions = proc.vm().stats().instructions;
+  const spec::SpecStats& st = proc.spec().stats();
+  res.speculates = st.speculates;
+  res.commits = st.commits;
+  res.rollbacks = st.rollbacks;
+  res.has_reported = slot.has_reported.load();
+  res.reported = slot.reported.load();
+  // Send before marking done: a reader thread replacing a done slot joins
+  // this thread under mu_, which send_to_coordinator also takes.
+  if (yielded) {
+    AgentMetrics::get().yields.inc();
+    MOJAVE_LOG(kInfo, "dnode") << "rank " << slot.rank << " yielded";
+    send_to_coordinator(encode_rank_yielded(slot.rank, true));
+  } else if (!stopping_.load()) {
+    send_to_coordinator(encode_result(res));
+  }
+  slot.done.store(true);
+}
+
+void NodeAgent::launch_rank(std::uint32_t rank, std::vector<std::byte> image) {
+  AgentMetrics::get().launches.inc();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (RankSlot* existing = find_slot(rank)) {
+    if (!existing->done.load()) return;  // already running here
+    if (existing->thread.joinable()) existing->thread.join();
+    slots_.erase(rank);
+  }
+  auto slot = std::make_unique<RankSlot>();
+  slot->rank = rank;
+  RankSlot* sp = slot.get();
+  slots_[rank] = std::move(slot);
+  sp->thread = std::thread([this, rank, sp, img = std::move(image)] {
+    try {
+      fir::Program prog = fir::decode_program(img);
+      vm::ProcessConfig pcfg;
+      pcfg.heap = cfg_.heap;
+      pcfg.max_instructions = max_instructions_;
+      vm::Process proc(std::move(prog), pcfg);
+      register_externals(proc, *sp);
+      run_rank(*sp, proc, false, 0, {});
+    } catch (const std::exception& e) {
+      Msg res;
+      res.type = MsgType::kResult;
+      res.rank = rank;
+      res.result_kind = 2;
+      res.error = e.what();
+      send_to_coordinator(encode_result(res));
+      sp->done.store(true);
+    }
+  });
+}
+
+void NodeAgent::resurrect_rank(std::uint32_t rank) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (RankSlot* existing = find_slot(rank)) {
+    if (!existing->done.load()) return;  // at-most-one incarnation here
+    if (existing->thread.joinable()) existing->thread.join();
+    slots_.erase(rank);
+  }
+  auto slot = std::make_unique<RankSlot>();
+  slot->rank = rank;
+  RankSlot* sp = slot.get();
+  slots_[rank] = std::move(slot);
+  sp->thread = std::thread([this, rank, sp] {
+    try {
+      const auto image = store_->restore("rank_" + std::to_string(rank));
+      if (!image.has_value()) {
+        send_to_coordinator(encode_rank_up(rank, false));
+        sp->done.store(true);
+        return;
+      }
+      vm::ProcessConfig pcfg;
+      pcfg.heap = cfg_.heap;
+      pcfg.max_instructions = max_instructions_;
+      migrate::UnpackResult unpacked = migrate::unpack_process(*image, pcfg);
+      register_externals(*unpacked.process, *sp);
+      AgentMetrics::get().resurrections.inc();
+      MOJAVE_LOG(kInfo, "dnode")
+          << "resurrecting rank " << rank << " from checkpoint";
+      send_to_coordinator(encode_rank_up(rank, true));
+      run_rank(*sp, *unpacked.process, true, unpacked.resume_fun,
+               std::move(unpacked.resume_args));
+    } catch (const std::exception& e) {
+      MOJAVE_LOG(kWarn, "dnode")
+          << "resurrect rank " << rank << " failed: " << e.what();
+      send_to_coordinator(encode_rank_up(rank, false));
+      sp->done.store(true);
+    }
+  });
+}
+
+}  // namespace mojave::dnode

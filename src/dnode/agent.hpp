@@ -1,0 +1,178 @@
+// NodeAgent: one OS process's worth of the distributed cluster.
+//
+// The paper's test bed runs an MCC daemon on every machine; the node agent
+// is that daemon grown into a full rank host. It listens on a real TCP
+// port (`mojc node --bind ADDR --port P --storage ROOT`), accepts one
+// control connection from the coordinator and data connections from peer
+// agents, and hosts managed processes (ranks) on threads:
+//
+//  * msg_send / msg_recv between ranks route through per-rank mailboxes —
+//    locally when both ranks live here, over a framed + checksummed TCP
+//    link to the peer's agent otherwise. Outbound links are dialed lazily
+//    under the process RetryPolicy's deadlines.
+//  * Sender-based replay logs (the MPICH-V companion of rollback
+//    recovery, same contract as SimNetwork's) answer REPLAY_REQ frames so
+//    a rolled-back or resurrected receiver can re-request border messages
+//    its peers will never send again.
+//  * Ranks checkpoint into the content-addressed chunk store under
+//    --storage ROOT (shared across agents, the role NFS played in the
+//    paper); RESURRECT restores any rank from that store, which is how
+//    both failure recovery and load-aware migration move ranks here.
+//  * The speculation join is a protocol: sends carry the sender's level
+//    and rollback epoch, speculative receives emit DEP_RECORD to the
+//    coordinator, rollbacks report ROLL_POISON, and inbound POISON frames
+//    make the rank's next receive report MSG_ROLL.
+//
+// A deliberately `throttle_ms`-slowed agent both runs slower and reports
+// an inflated load in its heartbeats — the knob the load-aware migration
+// experiment (and the paper's loaded-node evaluation) turns.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ckpt/store.hpp"
+#include "dnode/wire.hpp"
+#include "net/retry.hpp"
+#include "net/tcp.hpp"
+#include "vm/process.hpp"
+
+namespace mojave::dnode {
+
+struct AgentConfig {
+  std::string bind = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = pick a free port
+  /// Checkpoint store root. Must be shared (same filesystem) across every
+  /// agent in the cluster for resurrection and migration to work — the
+  /// paper used NFS; tests use one local directory.
+  std::filesystem::path storage_root;
+  /// Deliberate slowdown per send (ms) + load inflation in heartbeats.
+  double throttle_ms = 0;
+  double heartbeat_seconds = 0.05;
+  /// msg_recv safety net (overridden by the coordinator's CONFIG).
+  double recv_timeout_seconds = 30.0;
+  /// How long a receive waits before re-requesting a missing message from
+  /// the sender's replay log (and between repeat requests).
+  double replay_request_seconds = 0.1;
+  runtime::HeapConfig heap;
+  ckpt::CheckpointStore::Options ckpt;
+};
+
+class NodeAgent {
+ public:
+  explicit NodeAgent(AgentConfig cfg);
+  ~NodeAgent();
+
+  NodeAgent(const NodeAgent&) = delete;
+  NodeAgent& operator=(const NodeAgent&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
+
+  /// Block until the coordinator sends SHUTDOWN (or drops the control
+  /// connection) — the `mojc node` main loop.
+  void wait();
+
+  /// Stop everything: ranks, readers, heartbeats, listener.
+  void stop();
+
+  /// Ranks currently hosted and running here (tests/monitoring).
+  [[nodiscard]] std::vector<std::uint32_t> hosted_ranks() const;
+
+ private:
+  struct Conn;       // one accepted or dialed connection + write lock
+  struct RankSlot;   // one hosted rank: process thread + mailbox + logs
+  struct Placement {
+    std::uint32_t agent = 0;
+    bool alive = true;
+  };
+
+  /// One rank's inbox. Keyed by the rank, not the slot, so frames that
+  /// arrive before LAUNCH/RESURRECT (or between incarnations on this
+  /// agent) are not lost. `delivered` is the receiver-side replay log: a
+  /// rank re-executing after a rollback re-reads the message it already
+  /// consumed, exactly as SimNetwork replays for the simulated cluster.
+  struct Mailbox {
+    std::map<std::pair<std::uint32_t, std::int32_t>,
+             std::deque<std::vector<std::byte>>>
+        q;
+    std::map<std::pair<std::uint32_t, std::int32_t>, std::vector<std::byte>>
+        delivered;
+  };
+
+  void accept_loop();
+  void reader_loop(std::shared_ptr<Conn> conn);
+  void heartbeat_loop();
+
+  void handle_frame(const Msg& m, const std::shared_ptr<Conn>& conn);
+  void handle_data(const Msg& m);
+  void handle_replay_req(const Msg& m);
+
+  void launch_rank(std::uint32_t rank, std::vector<std::byte> image);
+  void resurrect_rank(std::uint32_t rank);
+  void run_rank(RankSlot& slot, vm::Process& proc, bool resumed,
+                FunIndex resume_fun, std::vector<runtime::Value> resume_args);
+  void register_externals(vm::Process& proc, RankSlot& slot);
+  RankSlot* find_slot(std::uint32_t rank);
+
+  /// Enqueue a payload into rank `dst`'s local mailbox.
+  void deliver_local(std::uint32_t src, std::uint32_t dst, std::int32_t tag,
+                     std::vector<std::byte> payload);
+  /// Deliver locally or frame-and-forward to the agent hosting `dst`.
+  /// False when the rank is marked down or the link failed (= dropped;
+  /// the sender's rollback-retry loop and the replay log recover).
+  bool route_payload(std::uint32_t src, std::uint32_t dst, std::int32_t tag,
+                     std::vector<std::byte> payload);
+  /// Ask the agent hosting `src` to replay its last (requester, tag) send.
+  void request_replay(std::uint32_t src, std::uint32_t requester,
+                      std::int32_t tag);
+  bool send_to_agent(std::uint32_t agent, std::span<const std::byte> frame);
+  void send_to_coordinator(std::span<const std::byte> frame);
+
+  AgentConfig cfg_;
+  net::TcpListener listener_;
+  net::RetryPolicy retry_;
+  std::shared_ptr<ckpt::CheckpointStore> store_;
+
+  std::thread accept_thread_;
+  std::thread heartbeat_thread_;
+  std::vector<std::thread> readers_;
+  std::mutex readers_mu_;
+  std::vector<std::shared_ptr<Conn>> conns_;  // guarded by readers_mu_
+
+  // Session state installed by CONFIG/PLACEMENT.
+  mutable std::mutex mu_;
+  std::uint32_t my_agent_ = 0;
+  std::uint32_t num_ranks_ = 0;
+  std::uint64_t max_instructions_ = 0;
+  std::vector<AgentAddr> agents_;
+  std::vector<Placement> placement_;
+  std::shared_ptr<Conn> coordinator_;
+  std::map<std::uint32_t, std::unique_ptr<RankSlot>> slots_;
+
+  // Outbound data-plane links, dialed lazily.
+  struct PeerLink;
+  std::map<std::uint32_t, std::shared_ptr<PeerLink>> links_;
+  std::mutex links_mu_;
+
+  // Inboxes for every rank this agent hosts (or is about to host).
+  mutable std::mutex mail_mu_;
+  std::condition_variable mail_cv_;
+  std::map<std::uint32_t, Mailbox> mail_;  // guarded by mail_mu_
+
+  std::atomic<bool> stopping_{false};
+  std::mutex wait_mu_;
+  std::condition_variable wait_cv_;
+  bool shutdown_requested_ = false;
+};
+
+}  // namespace mojave::dnode

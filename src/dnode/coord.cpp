@@ -1,0 +1,438 @@
+#include "dnode/coord.hpp"
+
+#include <chrono>
+
+#include "fir/serialize.hpp"
+#include "obs/metrics.hpp"
+#include "support/error.hpp"
+#include "support/log.hpp"
+
+namespace mojave::dnode {
+
+namespace {
+
+constexpr std::size_t kRollbackRingCap = 64;
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct CoordMetrics {
+  obs::Counter& dep_records;
+  obs::Counter& stale_deps;
+  obs::Counter& roll_poisons;
+  obs::Counter& poisons_sent;
+  obs::Counter& discharges;
+  obs::Counter& agent_failures;
+  obs::Counter& resurrect_requests;
+  obs::Counter& yield_requests;
+  obs::Gauge& live_agents;
+
+  static CoordMetrics& get() {
+    auto& r = obs::MetricsRegistry::instance();
+    static CoordMetrics m{
+        r.counter("dspec.coord_dep_records"),
+        r.counter("dspec.stale_deps"),
+        r.counter("dspec.roll_poisons"),
+        r.counter("dspec.poisons_sent"),
+        r.counter("dspec.commit_discharges"),
+        r.counter("node.agent_failures"),
+        r.counter("node.resurrect_requests"),
+        r.counter("node.yield_requests"),
+        r.gauge("node.live_agents"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
+Coordinator::Coordinator(CoordinatorConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.agents.empty()) throw NetError("coordinator needs agents");
+  placement_.resize(cfg_.num_ranks);
+  outcomes_.resize(cfg_.num_ranks);
+  for (std::uint32_t r = 0; r < cfg_.num_ranks; ++r) {
+    placement_[r] = PlacementEntry{
+        r, r % static_cast<std::uint32_t>(cfg_.agents.size()), true};
+    outcomes_[r].rank = r;
+  }
+  const auto config_frame = [&](std::uint32_t agent) {
+    return encode_config(agent, cfg_.num_ranks, cfg_.agents,
+                         cfg_.max_instructions, cfg_.recv_timeout_seconds);
+  };
+  for (std::uint32_t a = 0; a < cfg_.agents.size(); ++a) {
+    auto conn = std::make_unique<AgentConn>();
+    net::Backoff backoff(cfg_.retry);
+    while (true) {
+      try {
+        conn->stream = net::TcpStream::connect(
+            cfg_.agents[a].host, cfg_.agents[a].port, cfg_.retry.deadlines());
+        break;
+      } catch (const NetError&) {
+        if (!backoff.retry_after_failure()) throw;
+      }
+    }
+    conn->stream.send_frame(encode_hello(PeerKind::kCoordinator, a));
+    conn->stream.send_frame(config_frame(a));
+    conn->last_heartbeat = now_seconds();
+    conns_.push_back(std::move(conn));
+  }
+  CoordMetrics::get().live_agents.set(
+      static_cast<std::int64_t>(conns_.size()));
+  for (std::uint32_t a = 0; a < conns_.size(); ++a) {
+    conns_[a]->reader = std::thread([this, a] { reader_loop(a); });
+  }
+  monitor_ = std::thread([this] { monitor_loop(); });
+}
+
+Coordinator::~Coordinator() {
+  shutdown_agents();
+  if (monitor_.joinable()) monitor_.join();
+  for (auto& conn : conns_) {
+    if (conn->reader.joinable()) conn->reader.join();
+  }
+}
+
+void Coordinator::launch_spmd(const fir::Program& program) {
+  const std::vector<std::byte> image = fir::encode_program(program);
+  std::lock_guard<std::mutex> lock(mu_);
+  broadcast_placement_locked();
+  for (const PlacementEntry& e : placement_) {
+    send_to_agent(e.agent, encode_launch(e.rank, image));
+  }
+}
+
+bool Coordinator::wait_all(double timeout_seconds) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return done_cv_.wait_for(
+      lock, std::chrono::duration<double>(timeout_seconds), [this] {
+        for (const RankOutcome& o : outcomes_) {
+          if (!o.done) return false;
+        }
+        return true;
+      });
+}
+
+std::vector<RankOutcome> Coordinator::results() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return outcomes_;
+}
+
+void Coordinator::force_rollback(std::uint32_t rank) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (rank >= placement_.size()) return;
+  send_to_agent(placement_[rank].agent, encode_force_roll(rank));
+}
+
+void Coordinator::shutdown_agents() {
+  if (stopping_.exchange(true)) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::uint32_t a = 0; a < conns_.size(); ++a) {
+      if (conns_[a]->alive.load()) send_to_agent(a, encode_shutdown());
+    }
+  }
+  done_cv_.notify_all();
+  for (auto& conn : conns_) conn->stream.shutdown();
+}
+
+std::uint32_t Coordinator::agent_of(std::uint32_t rank) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rank < placement_.size() ? placement_[rank].agent : kNoAgent;
+}
+
+bool Coordinator::agent_alive(std::uint32_t agent) const {
+  return agent < conns_.size() && conns_[agent]->alive.load();
+}
+
+void Coordinator::send_to_agent(std::uint32_t agent,
+                                std::span<const std::byte> frame) {
+  if (agent >= conns_.size() || !conns_[agent]->alive.load()) return;
+  AgentConn& conn = *conns_[agent];
+  std::lock_guard<std::mutex> lock(conn.write_mu);
+  try {
+    conn.stream.send_frame(frame);
+  } catch (const std::exception&) {
+    // The reader's EOF (or the heartbeat timeout) handles the failure.
+  }
+}
+
+void Coordinator::reader_loop(std::uint32_t agent) {
+  AgentConn& conn = *conns_[agent];
+  try {
+    while (!stopping_.load()) {
+      auto frame = conn.stream.recv_frame();
+      if (!frame.has_value()) break;
+      auto m = decode(*frame);
+      if (!m.has_value()) {
+        obs::MetricsRegistry::instance()
+            .counter("node.corrupt_frames")
+            .inc();
+        continue;
+      }
+      handle_frame(agent, *m);
+    }
+  } catch (const std::exception& e) {
+    if (!stopping_.load()) {
+      MOJAVE_LOG(kWarn, "dnode")
+          << "coordinator reader for agent " << agent << ": " << e.what();
+    }
+  }
+  conn.reader_done.store(true);
+  if (!stopping_.load()) {
+    // A SIGKILLed agent closes its sockets instantly; EOF here is the
+    // fast failure-detection path (heartbeat timeout is the slow one).
+    std::lock_guard<std::mutex> lock(mu_);
+    agent_down_locked(agent);
+  }
+}
+
+void Coordinator::handle_frame(std::uint32_t agent, const Msg& m) {
+  switch (m.type) {
+    case MsgType::kHeartbeat: {
+      std::lock_guard<std::mutex> lock(mu_);
+      conns_[agent]->last_heartbeat = now_seconds();
+      conns_[agent]->load = m.load;
+      break;
+    }
+    case MsgType::kDepRecord:
+      handle_dep_record(m);
+      break;
+    case MsgType::kRollPoison:
+      handle_roll_poison(m);
+      break;
+    case MsgType::kCommitDischarge: {
+      CoordMetrics::get().discharges.inc();
+      tracker_.on_commit_to_zero(m.rank);
+      std::lock_guard<std::mutex> lock(mu_);
+      rollback_ring_.erase(m.rank);
+      break;
+    }
+    case MsgType::kRankYielded:
+      handle_rank_yielded(m.rank);
+      break;
+    case MsgType::kRankUp:
+      handle_rank_up(m);
+      break;
+    case MsgType::kResult: {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (m.rank < outcomes_.size()) {
+        RankOutcome& o = outcomes_[m.rank];
+        o.done = true;
+        o.result_kind = m.result_kind;
+        o.exit_code = m.exit_code;
+        o.error = m.error;
+        o.output += m.output;
+        o.has_reported = m.has_reported;
+        o.reported = m.reported;
+        o.instructions += m.instructions;
+        o.speculates += m.speculates;
+        o.commits += m.commits;
+        o.rollbacks += m.rollbacks;
+        migrating_.erase(m.rank);
+      }
+      done_cv_.notify_all();
+      break;
+    }
+    default:
+      break;  // agent-bound frames are not ours to handle
+  }
+}
+
+void Coordinator::handle_dep_record(const Msg& m) {
+  CoordMetrics::get().dep_records.inc();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto ring = rollback_ring_.find(m.sender);
+    if (ring != rollback_ring_.end()) {
+      for (const auto& [epoch, level] : ring->second) {
+        if (epoch > m.epoch && level <= m.sender_level) {
+          // Epoch fence: the data was sent before a rollback that already
+          // reverted sender_level — the speculation this record would
+          // join no longer exists. Poison the receiver directly.
+          CoordMetrics::get().stale_deps.inc();
+          poison_rank_locked(m.receiver);
+          return;
+        }
+      }
+    }
+  }
+  tracker_.record(m.sender, m.sender_level, m.receiver, m.receiver_level);
+}
+
+void Coordinator::handle_roll_poison(const Msg& m) {
+  CoordMetrics::get().roll_poisons.inc();
+  const std::vector<std::uint32_t> poisoned =
+      tracker_.on_rollback(m.rank, m.level);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& ring = rollback_ring_[m.rank];
+  ring.emplace_back(m.epoch, m.level);
+  if (ring.size() > kRollbackRingCap) ring.pop_front();
+  for (const std::uint32_t p : poisoned) {
+    tracker_.consume_poison(p);  // delivered as a POISON frame instead
+    poison_rank_locked(p);
+  }
+}
+
+void Coordinator::poison_rank_locked(std::uint32_t rank) {
+  if (rank >= placement_.size()) return;
+  CoordMetrics::get().poisons_sent.inc();
+  send_to_agent(placement_[rank].agent, encode_poison(rank));
+}
+
+void Coordinator::handle_rank_yielded(std::uint32_t rank) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (rank >= placement_.size()) return;
+  placement_[rank].alive = false;
+  const std::uint32_t target = pick_target_locked(placement_[rank].agent);
+  if (target == kNoAgent) {
+    // Nowhere to go: resurrect where it was (still counts as a restart).
+    pending_resurrect_[rank] = PendingResurrect{};
+    broadcast_placement_locked();
+    return;
+  }
+  migrations_.fetch_add(1);
+  placement_[rank].agent = target;
+  broadcast_placement_locked();
+  CoordMetrics::get().resurrect_requests.inc();
+  send_to_agent(target, encode_resurrect(rank));
+}
+
+void Coordinator::handle_rank_up(const Msg& m) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (m.rank >= placement_.size()) return;
+  if (!m.ok) {
+    // Usually "no checkpoint yet" — retry after a beat, anywhere live.
+    pending_resurrect_[m.rank] =
+        PendingResurrect{now_seconds() + 0.1, kNoAgent};
+    return;
+  }
+  resurrections_.fetch_add(1);
+  placement_[m.rank].alive = true;
+  pending_resurrect_.erase(m.rank);
+  migrating_.erase(m.rank);
+  rollback_ring_.erase(m.rank);  // fresh incarnation, fresh epochs
+  outcomes_[m.rank].restarts += 1;
+  broadcast_placement_locked();
+}
+
+void Coordinator::agent_down_locked(std::uint32_t agent) {
+  if (!conns_[agent]->alive.exchange(false)) return;
+  CoordMetrics::get().agent_failures.inc();
+  CoordMetrics::get().live_agents.add(-1);
+  MOJAVE_LOG(kInfo, "dnode") << "agent " << agent << " is down";
+  for (PlacementEntry& e : placement_) {
+    if (e.agent != agent || !e.alive) continue;
+    e.alive = false;
+    // The rank died with uncommitted speculation: everyone who consumed
+    // its speculative sends must roll back, and any DEP_RECORD still in
+    // flight for it is stale at every level.
+    for (const std::uint32_t p : tracker_.on_rollback(e.rank, 1)) {
+      tracker_.consume_poison(p);
+      poison_rank_locked(p);
+    }
+    auto& ring = rollback_ring_[e.rank];
+    ring.emplace_back(~std::uint64_t{0}, 1);
+    if (ring.size() > kRollbackRingCap) ring.pop_front();
+    if (!outcomes_[e.rank].done) {
+      pending_resurrect_[e.rank] = PendingResurrect{};
+    }
+  }
+  broadcast_placement_locked();
+}
+
+std::uint32_t Coordinator::pick_target_locked(std::uint32_t except) const {
+  std::uint32_t best = kNoAgent;
+  double best_load = 0;
+  for (std::uint32_t a = 0; a < conns_.size(); ++a) {
+    if (a == except || !conns_[a]->alive.load()) continue;
+    if (best == kNoAgent || conns_[a]->load < best_load) {
+      best = a;
+      best_load = conns_[a]->load;
+    }
+  }
+  if (best == kNoAgent && except < conns_.size() &&
+      conns_[except]->alive.load()) {
+    return except;  // the only live agent is the one we hoped to avoid
+  }
+  return best;
+}
+
+void Coordinator::broadcast_placement_locked() {
+  const auto frame = encode_placement(placement_);
+  for (std::uint32_t a = 0; a < conns_.size(); ++a) {
+    if (conns_[a]->alive.load()) send_to_agent(a, frame);
+  }
+}
+
+void Coordinator::balance_locked(double now) {
+  if (cfg_.balance_interval_seconds <= 0) return;
+  if (now - last_balance_ < cfg_.balance_interval_seconds) return;
+  last_balance_ = now;
+  std::uint32_t max_agent = kNoAgent, min_agent = kNoAgent;
+  for (std::uint32_t a = 0; a < conns_.size(); ++a) {
+    if (!conns_[a]->alive.load()) continue;
+    if (max_agent == kNoAgent || conns_[a]->load > conns_[max_agent]->load) {
+      max_agent = a;
+    }
+    if (min_agent == kNoAgent || conns_[a]->load < conns_[min_agent]->load) {
+      min_agent = a;
+    }
+  }
+  if (max_agent == kNoAgent || max_agent == min_agent) return;
+  if (conns_[max_agent]->load - conns_[min_agent]->load <
+      cfg_.balance_threshold) {
+    return;
+  }
+  for (const PlacementEntry& e : placement_) {
+    if (e.agent != max_agent || !e.alive) continue;
+    if (outcomes_[e.rank].done || migrating_.count(e.rank) != 0) continue;
+    MOJAVE_LOG(kInfo, "dnode")
+        << "balancer: yielding rank " << e.rank << " off agent " << max_agent
+        << " (load " << conns_[max_agent]->load << " vs "
+        << conns_[min_agent]->load << ")";
+    CoordMetrics::get().yield_requests.inc();
+    migrating_.insert(e.rank);
+    send_to_agent(max_agent, encode_yield_rank(e.rank));
+    return;  // one rank per balancing round
+  }
+}
+
+void Coordinator::monitor_loop() {
+  while (!stopping_.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const double now = now_seconds();
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::uint32_t a = 0; a < conns_.size(); ++a) {
+      if (!conns_[a]->alive.load()) continue;
+      if (conns_[a]->reader_done.load() ||
+          now - conns_[a]->last_heartbeat > cfg_.heartbeat_timeout_seconds) {
+        agent_down_locked(a);
+      }
+    }
+    for (auto it = pending_resurrect_.begin();
+         it != pending_resurrect_.end(); ++it) {
+      const std::uint32_t rank = it->first;
+      PendingResurrect& pr = it->second;
+      if (now < pr.not_before) continue;
+      // Re-issue to the pinned target while it lives (the agent's own
+      // at-most-one-incarnation guard makes the repeat idempotent); only
+      // pick a new home when there is none.
+      if (pr.target == kNoAgent || !conns_[pr.target]->alive.load()) {
+        pr.target = pick_target_locked(kNoAgent);
+      }
+      if (pr.target == kNoAgent) break;  // no live agents; keep pending
+      placement_[rank].agent = pr.target;
+      CoordMetrics::get().resurrect_requests.inc();
+      send_to_agent(pr.target, encode_resurrect(rank));
+      // Re-arm far enough out that a slow restore is not double-issued;
+      // RANK_UP erases the entry.
+      pr.not_before = now + 1.0;
+    }
+    balance_locked(now);
+  }
+}
+
+}  // namespace mojave::dnode

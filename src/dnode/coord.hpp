@@ -1,0 +1,178 @@
+// Coordinator: the control plane of the distributed node runtime.
+//
+// Owns what the single-process cluster::Cluster kept as shared memory:
+//
+//  * the rank → agent placement map, broadcast to every agent so the data
+//    plane routes without asking;
+//  * failure detection (heartbeat timeouts + control-connection EOF) and
+//    resurrection of a dead agent's ranks from the shared `ckpt://` store
+//    onto surviving agents — the paper's "resurrected on a remote node
+//    from the last checkpoint";
+//  * the speculation join, as the server side of a protocol: DEP_RECORD
+//    frames feed the same `cluster::DependencyTracker` state machine the
+//    simulated cluster uses (its unit tests still pin the semantics),
+//    ROLL_POISON triggers the avalanche, poisoned ranks get POISON frames,
+//    COMMIT_DISCHARGE discharges. An epoch fence closes the race the wire
+//    adds: a DEP_RECORD describing data sent *before* a rollback the
+//    coordinator has already processed is stale — the speculation it
+//    would join no longer exists — so the receiver is poisoned instead
+//    (docs/SPECULATION.md, "epoch fencing");
+//  * the load-aware migration policy (the paper's loaded-node
+//    experiment): when heartbeat loads diverge past a threshold, a rank
+//    on the most-loaded agent is told to YIELD_RANK at its next
+//    checkpoint and is resurrected on the least-loaded one.
+//
+// `mojc cluster --nodes host:port,... run prog.mjc` drives this class;
+// tests drive it in-process against `mojc node` child processes.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/tracker.hpp"
+#include "dnode/wire.hpp"
+#include "fir/ir.hpp"
+#include "net/retry.hpp"
+#include "net/tcp.hpp"
+
+namespace mojave::dnode {
+
+struct CoordinatorConfig {
+  std::vector<AgentAddr> agents;
+  std::uint32_t num_ranks = 4;
+  /// Agent declared dead after this long without a heartbeat. EOF on the
+  /// control connection (a killed process) is detected immediately.
+  double heartbeat_timeout_seconds = 2.0;
+  /// 0 = load balancer off.
+  double balance_interval_seconds = 0;
+  /// Minimum (max_load - min_load) spread before a rank is moved.
+  double balance_threshold = 1.5;
+  std::uint64_t max_instructions = 0;
+  double recv_timeout_seconds = 30.0;
+  net::RetryPolicy retry = net::RetryPolicy::process_defaults();
+};
+
+/// Final state of one rank, aggregated across incarnations.
+struct RankOutcome {
+  std::uint32_t rank = 0;
+  bool done = false;
+  std::uint8_t result_kind = 0;  ///< 0 halted, 2 error
+  std::int64_t exit_code = 0;
+  std::string error;
+  std::string output;
+  bool has_reported = false;
+  double reported = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t speculates = 0, commits = 0, rollbacks = 0;
+  std::uint64_t restarts = 0;  ///< resurrections (failure or migration)
+};
+
+class Coordinator {
+ public:
+  /// Connects to every agent and configures the session. Throws NetError
+  /// when an agent is unreachable within the retry policy's budget.
+  explicit Coordinator(CoordinatorConfig cfg);
+  ~Coordinator();
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Start a copy of `program` on every rank, round-robin over agents
+  /// (SPMD, as in Figure 2).
+  void launch_spmd(const fir::Program& program);
+
+  /// Block until every rank reports a terminal RESULT or `timeout_seconds`
+  /// elapses. Returns true when all ranks finished.
+  bool wait_all(double timeout_seconds);
+
+  [[nodiscard]] std::vector<RankOutcome> results() const;
+
+  /// Inject a rollback: the rank's next receive reports MSG_ROLL (tests
+  /// use this to force a cross-agent poison avalanche).
+  void force_rollback(std::uint32_t rank);
+
+  /// Send SHUTDOWN to every live agent and stop the control plane.
+  void shutdown_agents();
+
+  [[nodiscard]] std::uint32_t agent_of(std::uint32_t rank) const;
+  [[nodiscard]] bool agent_alive(std::uint32_t agent) const;
+  [[nodiscard]] std::uint64_t migrations() const { return migrations_.load(); }
+  [[nodiscard]] std::uint64_t resurrections() const {
+    return resurrections_.load();
+  }
+  /// The join-protocol state machine (shared with the simulated cluster).
+  [[nodiscard]] cluster::DependencyTracker& tracker() { return tracker_; }
+
+ private:
+  struct AgentConn {
+    net::TcpStream stream;
+    std::mutex write_mu;
+    std::thread reader;
+    std::atomic<bool> alive{true};
+    std::atomic<bool> reader_done{false};
+    double last_heartbeat = 0;  ///< guarded by mu_
+    double load = 0;            ///< guarded by mu_
+  };
+
+  void reader_loop(std::uint32_t agent);
+  void monitor_loop();
+
+  void handle_frame(std::uint32_t agent, const Msg& m);
+  void handle_dep_record(const Msg& m);
+  void handle_roll_poison(const Msg& m);
+  void handle_rank_yielded(std::uint32_t rank);
+  void handle_rank_up(const Msg& m);
+
+  /// Mark the agent dead, poison dependents of its ranks, and schedule
+  /// their resurrection on surviving agents. Requires mu_.
+  void agent_down_locked(std::uint32_t agent);
+  void broadcast_placement_locked();
+  void send_to_agent(std::uint32_t agent, std::span<const std::byte> frame);
+  void poison_rank_locked(std::uint32_t rank);
+  /// Least-loaded live agent (excluding `except`; kNoAgent = none).
+  [[nodiscard]] std::uint32_t pick_target_locked(std::uint32_t except) const;
+  void balance_locked(double now);
+
+  static constexpr std::uint32_t kNoAgent = ~std::uint32_t{0};
+
+  CoordinatorConfig cfg_;
+  cluster::DependencyTracker tracker_;
+  std::vector<std::unique_ptr<AgentConn>> conns_;
+  std::thread monitor_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> migrations_{0};
+  std::atomic<std::uint64_t> resurrections_{0};
+
+  mutable std::mutex mu_;
+  std::condition_variable done_cv_;
+  std::vector<PlacementEntry> placement_;
+  std::vector<RankOutcome> outcomes_;
+  /// Epoch fence: recent rollbacks per rank as (epoch, level) pairs; a
+  /// DEP_RECORD whose (epoch, sender_level) predates one of these joins a
+  /// speculation that no longer exists. Cleared on commit-to-zero and on
+  /// resurrection (both reset the rank's speculation state).
+  std::map<std::uint32_t, std::deque<std::pair<std::uint64_t, std::uint32_t>>>
+      rollback_ring_;
+  /// Ranks awaiting a (re)try of RESURRECT. `target` pins the agent a
+  /// request was issued to, so a retry cannot start a second incarnation
+  /// somewhere else while the first is still restoring.
+  struct PendingResurrect {
+    double not_before = 0;
+    std::uint32_t target = kNoAgent;
+  };
+  std::map<std::uint32_t, PendingResurrect> pending_resurrect_;
+  /// Ranks with a YIELD_RANK in flight (suppresses repeat balancing).
+  std::set<std::uint32_t> migrating_;
+  double last_balance_ = 0;
+};
+
+}  // namespace mojave::dnode

@@ -1,0 +1,176 @@
+// The distributed node runtime's wire protocol (control + data plane).
+//
+// Every frame moving between a coordinator and a node agent, or between
+// two node agents, is one TcpStream frame (u32 length prefix) whose body
+// is:
+//
+//   u32 magic 'DNO1' | u8 type | type-specific fields | u64 fnv1a
+//
+// The trailing fnv1a covers everything before it, so a frame mangled in
+// transit is rejected (node.corrupt_frames) instead of decoded into
+// garbage — the same contract the simulated cluster enforces per message.
+//
+// Control plane (agent <-> coordinator, one long-lived connection):
+//   HELLO/CONFIG/LAUNCH/PLACEMENT       session setup and rank placement
+//   HEARTBEAT                           liveness + load report
+//   DEP_RECORD/ROLL_POISON/POISON/
+//   COMMIT_DISCHARGE/FORCE_ROLL         the distributed speculation join
+//   RESURRECT/YIELD_RANK/RANK_YIELDED/
+//   RANK_UP                             failure recovery and migration
+//   RESULT/SHUTDOWN                     completion
+//
+// Data plane (agent -> agent, dialed lazily):
+//   DATA                                one msg_send payload
+//   REPLAY_REQ                          re-request from the sender's log
+//
+// DATA payloads carry {spec_level, rollback_epoch, count, values}: the
+// sender's speculation level joins the receiver to its speculation
+// (DEP_RECORD at consume time), and the epoch lets the coordinator fence
+// dependency records that arrive after the speculation they depend on has
+// already rolled back (see docs/SPECULATION.md, "epoch fencing").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/serialize.hpp"
+
+namespace mojave::dnode {
+
+inline constexpr std::uint32_t kWireMagic = 0x314f4e44;  // "DNO1"
+
+enum class MsgType : std::uint8_t {
+  kHello = 1,
+  kConfig,
+  kLaunch,
+  kPlacement,
+  kData,
+  kReplayReq,
+  kDepRecord,
+  kRollPoison,
+  kPoison,
+  kCommitDischarge,
+  kHeartbeat,
+  kResurrect,
+  kYieldRank,
+  kRankYielded,
+  kRankUp,
+  kResult,
+  kForceRoll,
+  kShutdown,
+};
+
+[[nodiscard]] const char* msg_type_name(MsgType t);
+
+/// Who is on the other end of a freshly accepted connection.
+enum class PeerKind : std::uint8_t { kCoordinator = 0, kAgent = 1 };
+
+struct AgentAddr {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+struct PlacementEntry {
+  std::uint32_t rank = 0;
+  std::uint32_t agent = 0;
+  bool alive = true;
+};
+
+/// Decoded frame: a tagged superset of every message's fields (internal
+/// protocol, not a public API — a flat struct beats a 18-way variant).
+struct Msg {
+  MsgType type = MsgType::kShutdown;
+  PeerKind peer_kind = PeerKind::kAgent;  // HELLO
+  std::uint32_t agent = 0;                // HELLO/CONFIG/HEARTBEAT
+  std::uint32_t rank = 0;       // LAUNCH/POISON/RESURRECT/YIELD/RESULT/...
+  std::uint32_t num_ranks = 0;  // CONFIG
+  std::vector<AgentAddr> agents;           // CONFIG
+  std::uint64_t max_instructions = 0;      // CONFIG
+  double recv_timeout_seconds = 0;         // CONFIG
+  std::vector<PlacementEntry> placement;   // PLACEMENT
+  std::vector<std::byte> payload;          // LAUNCH (image) / DATA (message)
+  std::uint32_t src = 0, dst = 0;          // DATA
+  std::int32_t tag = 0;                    // DATA/REPLAY_REQ
+  std::uint32_t owner = 0, requester = 0;  // REPLAY_REQ
+  std::uint32_t sender = 0, receiver = 0;            // DEP_RECORD
+  std::uint32_t sender_level = 0, receiver_level = 0;  // DEP_RECORD
+  std::uint64_t epoch = 0;                 // DEP_RECORD/ROLL_POISON
+  std::uint32_t level = 0;                 // ROLL_POISON
+  double load = 0;                         // HEARTBEAT
+  std::uint32_t live_ranks = 0;            // HEARTBEAT
+  bool ok = false;                         // RANK_YIELDED/RANK_UP
+  // RESULT
+  std::uint8_t result_kind = 0;  ///< 0 halted, 1 migrated away, 2 error
+  std::int64_t exit_code = 0;
+  bool has_reported = false;
+  double reported = 0;
+  std::string error;
+  std::string output;
+  std::uint64_t instructions = 0;
+  std::uint64_t speculates = 0, commits = 0, rollbacks = 0;
+};
+
+// --- Encoders (one per message type) ---------------------------------
+
+[[nodiscard]] std::vector<std::byte> encode_hello(PeerKind kind,
+                                                  std::uint32_t agent);
+[[nodiscard]] std::vector<std::byte> encode_config(
+    std::uint32_t your_agent, std::uint32_t num_ranks,
+    const std::vector<AgentAddr>& agents, std::uint64_t max_instructions,
+    double recv_timeout_seconds);
+[[nodiscard]] std::vector<std::byte> encode_launch(
+    std::uint32_t rank, std::span<const std::byte> program_image);
+[[nodiscard]] std::vector<std::byte> encode_placement(
+    const std::vector<PlacementEntry>& entries);
+[[nodiscard]] std::vector<std::byte> encode_data(
+    std::uint32_t src, std::uint32_t dst, std::int32_t tag,
+    std::span<const std::byte> payload);
+[[nodiscard]] std::vector<std::byte> encode_replay_req(std::uint32_t owner,
+                                                       std::uint32_t requester,
+                                                       std::int32_t tag);
+[[nodiscard]] std::vector<std::byte> encode_dep_record(
+    std::uint32_t sender, std::uint32_t sender_level, std::uint32_t receiver,
+    std::uint32_t receiver_level, std::uint64_t epoch);
+[[nodiscard]] std::vector<std::byte> encode_roll_poison(std::uint32_t rank,
+                                                        std::uint32_t level,
+                                                        std::uint64_t epoch);
+[[nodiscard]] std::vector<std::byte> encode_poison(std::uint32_t rank);
+[[nodiscard]] std::vector<std::byte> encode_commit_discharge(
+    std::uint32_t rank);
+[[nodiscard]] std::vector<std::byte> encode_heartbeat(std::uint32_t agent,
+                                                      double load,
+                                                      std::uint32_t live_ranks);
+[[nodiscard]] std::vector<std::byte> encode_resurrect(std::uint32_t rank);
+[[nodiscard]] std::vector<std::byte> encode_yield_rank(std::uint32_t rank);
+[[nodiscard]] std::vector<std::byte> encode_rank_yielded(std::uint32_t rank,
+                                                         bool ok);
+[[nodiscard]] std::vector<std::byte> encode_rank_up(std::uint32_t rank,
+                                                    bool ok);
+[[nodiscard]] std::vector<std::byte> encode_result(const Msg& result);
+[[nodiscard]] std::vector<std::byte> encode_force_roll(std::uint32_t rank);
+[[nodiscard]] std::vector<std::byte> encode_shutdown();
+
+/// Verify magic + checksum and parse. nullopt = corrupt or unknown frame
+/// (the caller counts it and drops it; TCP gives no re-delivery, but every
+/// dnode exchange is either idempotent or re-requested at a higher layer).
+[[nodiscard]] std::optional<Msg> decode(std::span<const std::byte> frame);
+
+// --- DATA payload (the body routed between ranks) --------------------
+//
+// {u32 spec_level, u64 rollback_epoch, u32 count, values...} — values are
+// runtime::write_value encodings, exactly count of them.
+
+struct DataHeader {
+  std::uint32_t spec_level = 0;
+  std::uint64_t epoch = 0;
+  std::uint32_t count = 0;
+};
+
+[[nodiscard]] std::vector<std::byte> encode_data_payload(
+    std::uint32_t spec_level, std::uint64_t epoch, std::uint32_t count,
+    std::span<const std::byte> values);
+
+}  // namespace mojave::dnode

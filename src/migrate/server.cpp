@@ -43,7 +43,8 @@ std::string journal_snapshot_name(const std::string& program) {
 }  // namespace
 
 MigrationServer::MigrationServer(Options options)
-    : options_(std::move(options)), listener_(options_.port) {
+    : options_(std::move(options)),
+      listener_(options_.bind_address, options_.port) {
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
 

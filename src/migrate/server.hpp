@@ -40,6 +40,10 @@ class MigrationServer {
  public:
   struct Options {
     std::uint16_t port = 0;  ///< 0 = pick a free port
+    /// Address to bind the listener to. The long-standing default keeps
+    /// the server loopback-only; pass "0.0.0.0" (or a specific interface)
+    /// to accept migrations from other machines.
+    std::string bind_address = "127.0.0.1";
     vm::ProcessConfig cfg;
     /// Reject untrusted-kind images (a server for trusted clusters only).
     bool accept_fir = true;
@@ -78,7 +82,12 @@ class MigrationServer {
 
   [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
   [[nodiscard]] std::string address() const {
-    return "migrate://127.0.0.1:" + std::to_string(port());
+    // A wildcard bind is reachable via loopback; advertise an address a
+    // local client can actually dial.
+    const std::string host = options_.bind_address == "0.0.0.0"
+                                 ? "127.0.0.1"
+                                 : options_.bind_address;
+    return "migrate://" + host + ":" + std::to_string(port());
   }
 
   /// Block until `n` processes have finished (or failed) since startup.

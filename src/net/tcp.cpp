@@ -155,6 +155,10 @@ void TcpStream::close() {
   }
 }
 
+void TcpStream::shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
 void TcpStream::set_io_deadline(double seconds) {
   if (!valid()) return;
   set_socket_timeout(fd_, SO_RCVTIMEO, seconds);
@@ -296,7 +300,13 @@ std::optional<std::vector<std::byte>> TcpStream::recv_frame() {
   return payload;
 }
 
-TcpListener::TcpListener(std::uint16_t port) {
+TcpListener::TcpListener(std::uint16_t port)
+    : TcpListener("127.0.0.1", port) {}
+
+TcpListener::TcpListener(const std::string& bind_host, std::uint16_t port) {
+  // Resolve synchronously: binds happen at startup, where a hung resolver
+  // should fail loudly rather than be raced against a deadline.
+  const in_addr bound = resolve_host(bind_host, 0);
   FdGuard fd(::socket(AF_INET, SOCK_STREAM, 0));
   if (fd.get() < 0) fail("socket");
   const int one = 1;
@@ -304,9 +314,9 @@ TcpListener::TcpListener(std::uint16_t port) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_addr = bound;
   if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    fail("bind");
+    fail("bind " + bind_host);
   }
   if (::listen(fd.get(), 16) != 0) fail("listen");
   socklen_t len = sizeof(addr);

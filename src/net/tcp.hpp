@@ -57,6 +57,13 @@ class TcpStream {
   /// Receive one frame; empty optional on orderly peer close.
   [[nodiscard]] std::optional<std::vector<std::byte>> recv_frame();
 
+  /// Half-close both directions without releasing the fd: a reader blocked
+  /// in recv_frame() on another thread observes an orderly close and
+  /// returns. close() would recycle the fd number under that thread;
+  /// shutdown() keeps it reserved until the owner joins and destroys the
+  /// stream (mirrors TcpListener::shutdown()).
+  void shutdown();
+
   void close();
 
  private:
@@ -70,6 +77,10 @@ class TcpListener {
  public:
   /// Bind and listen on 127.0.0.1:port; port 0 picks a free port.
   explicit TcpListener(std::uint16_t port);
+  /// Bind a specific address: a numeric IPv4 address, a resolvable name,
+  /// or "0.0.0.0" for all interfaces (required for multi-host operation —
+  /// the loopback-only ctor above cannot accept remote peers).
+  TcpListener(const std::string& bind_host, std::uint16_t port);
   ~TcpListener();
 
   TcpListener(const TcpListener&) = delete;

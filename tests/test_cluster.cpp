@@ -6,12 +6,15 @@
 
 #include <chrono>
 #include <cmath>
+#include <deque>
 #include <thread>
 
 #include "cluster/cluster.hpp"
+#include "cluster/tracker.hpp"
 #include "frontend/compile.hpp"
 #include "gridapp/heat.hpp"
 #include "net/sim.hpp"
+#include "support/rng.hpp"
 
 namespace {
 
@@ -208,6 +211,147 @@ TEST(Cluster, SpeculativeSenderAbortPoisonsReceiver) {
   EXPECT_EQ(results[0].run.exit_code, 0) << results[0].error;
   EXPECT_EQ(results[1].run.exit_code, 99) << results[1].error;
   EXPECT_GE(cl.tracker().poisons_issued(), 1u);
+}
+
+// --- DependencyTracker property tests ---------------------------------
+//
+// Seeded random interleavings of record / rollback / commit across 4+
+// nodes. Two properties the wire protocol leans on:
+//
+//  * every abort avalanche terminates — each poison consumes a recorded
+//    dependency and rollbacks only erase records, so the cascade runs out
+//    of fuel instead of ping-ponging between neighbours forever;
+//  * commit-to-zero discharges level-1 dependencies — a later rollback of
+//    the (new) speculation must not poison consumers of data that was
+//    already durable ("no stale poison after commit").
+
+/// Drive one poison avalanche to completion: every poisoned node consumes
+/// its poison and rolls back at level 1 (what a real poisoned rank does),
+/// possibly poisoning others. Returns how many rollbacks it took; fails
+/// the test if the cascade exceeds `bound` steps.
+std::size_t drain_avalanche(cluster::DependencyTracker& t,
+                            std::vector<net::NodeId> poisoned,
+                            std::size_t bound) {
+  std::deque<net::NodeId> work(poisoned.begin(), poisoned.end());
+  std::size_t steps = 0;
+  while (!work.empty()) {
+    EXPECT_LT(steps, bound) << "avalanche did not terminate";
+    if (steps >= bound) return steps;
+    const net::NodeId n = work.front();
+    work.pop_front();
+    if (!t.consume_poison(n)) continue;  // duplicate hit, already handled
+    ++steps;
+    for (const net::NodeId next : t.on_rollback(n, 1)) work.push_back(next);
+  }
+  return steps;
+}
+
+TEST(ClusterTrackerProps, RandomInterleavingsAvalancheAlwaysTerminates) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    Rng rng(seed);
+    cluster::DependencyTracker t;
+    const std::uint32_t nodes = 4 + static_cast<std::uint32_t>(rng.below(3));
+    for (int op = 0; op < 400; ++op) {
+      const double dice = rng.uniform();
+      if (dice < 0.6) {
+        const auto s = static_cast<net::NodeId>(rng.below(nodes));
+        auto r = static_cast<net::NodeId>(rng.below(nodes));
+        if (r == s) r = (r + 1) % nodes;
+        t.record(s, static_cast<SpecLevel>(1 + rng.below(3)), r,
+                 static_cast<SpecLevel>(rng.below(4)));
+      } else if (dice < 0.85) {
+        // A rollback can poison at most the recorded dependencies, and
+        // every cascade step erases records — bound the whole avalanche
+        // by the dependency count at its start (plus the initial hit).
+        const std::size_t fuel = t.dependency_count();
+        auto hit = t.on_rollback(static_cast<net::NodeId>(rng.below(nodes)),
+                                 static_cast<SpecLevel>(1 + rng.below(3)));
+        drain_avalanche(t, std::move(hit), fuel + nodes + 1);
+      } else {
+        t.on_commit_to_zero(static_cast<net::NodeId>(rng.below(nodes)));
+      }
+      if (::testing::Test::HasFailure()) {
+        FAIL() << "seed " << seed << ", op " << op;
+      }
+    }
+    // Quiesce: roll everything back; no poison may survive its consumer.
+    for (net::NodeId n = 0; n < nodes; ++n) {
+      drain_avalanche(t, t.on_rollback(n, 1), t.dependency_count() + nodes);
+    }
+    for (net::NodeId n = 0; n < nodes; ++n) {
+      EXPECT_FALSE(t.consume_poison(n)) << "stale poison, seed " << seed;
+    }
+    EXPECT_EQ(t.dependency_count(), 0u) << "seed " << seed;
+  }
+}
+
+TEST(ClusterTrackerProps, CommitToZeroLeavesNoStalePoison) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    Rng rng(seed);
+    cluster::DependencyTracker t;
+    const std::uint32_t nodes = 4;
+    // A batch of level-1 sends from node 0, randomly interleaved with
+    // deeper ones that commit-to-zero must *keep* (shifted down a level).
+    int deep = 0;
+    for (int i = 0; i < 40; ++i) {
+      const auto r = static_cast<net::NodeId>(1 + rng.below(nodes - 1));
+      if (rng.chance(0.3)) {
+        t.record(0, 2, r, static_cast<SpecLevel>(rng.below(3)));
+        ++deep;
+      } else {
+        t.record(0, 1, r, static_cast<SpecLevel>(rng.below(3)));
+      }
+    }
+    t.on_commit_to_zero(0);
+    // Level-1 records were discharged; the level-2 ones shifted to 1.
+    EXPECT_EQ(t.dependency_count(), static_cast<std::size_t>(deep))
+        << "seed " << seed;
+    // Rolling back the *new* level 1 may only hit the shifted survivors —
+    // and after that, nothing: committed data can never poison anyone.
+    const auto hit = t.on_rollback(0, 1);
+    EXPECT_LE(hit.size(), static_cast<std::size_t>(deep)) << "seed " << seed;
+    drain_avalanche(t, hit, static_cast<std::size_t>(deep) + nodes);
+    EXPECT_TRUE(t.on_rollback(0, 1).empty()) << "seed " << seed;
+    for (net::NodeId n = 0; n < nodes; ++n) {
+      EXPECT_FALSE(t.consume_poison(n)) << "stale poison, seed " << seed;
+    }
+  }
+}
+
+TEST(ClusterTrackerProps, ConcurrentRecordRollbackCommitIsRaceFree) {
+  // The coordinator's reader threads hit the tracker concurrently; this
+  // exists so the TSan job sweeps its locking. Assertions are minimal —
+  // the single-thread property tests pin the semantics.
+  cluster::DependencyTracker t;
+  constexpr std::uint32_t kNodes = 6;
+  std::vector<std::thread> threads;
+  for (std::uint64_t ti = 0; ti < 4; ++ti) {
+    threads.emplace_back([&t, ti] {
+      Rng rng(0xC0FFEE + ti);
+      for (int op = 0; op < 2000; ++op) {
+        const double dice = rng.uniform();
+        const auto a = static_cast<net::NodeId>(rng.below(kNodes));
+        auto b = static_cast<net::NodeId>(rng.below(kNodes));
+        if (b == a) b = (b + 1) % kNodes;
+        if (dice < 0.6) {
+          t.record(a, static_cast<SpecLevel>(1 + rng.below(3)), b,
+                   static_cast<SpecLevel>(rng.below(4)));
+        } else if (dice < 0.85) {
+          for (const net::NodeId p :
+               t.on_rollback(a, static_cast<SpecLevel>(1 + rng.below(3)))) {
+            t.consume_poison(p);
+          }
+        } else {
+          t.on_commit_to_zero(a);
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (net::NodeId n = 0; n < kNodes; ++n) {
+    drain_avalanche(t, t.on_rollback(n, 1), t.dependency_count() + kNodes);
+  }
+  EXPECT_EQ(t.dependency_count(), 0u);
 }
 
 TEST(Grid, MatchesReferenceWithoutFaults) {

@@ -1,0 +1,286 @@
+// Distributed node runtime tests (src/dnode).
+//
+// The DnodeE2E suite is the acceptance scenario of the distributed
+// runtime: real `mojc node` OS processes on real TCP ports, an in-process
+// Coordinator, the Figure-2 heat grid split across agents, an agent
+// SIGKILLed mid-run (its ranks resurrect from the shared ckpt:// store on
+// the survivor), a forced cross-agent speculation rollback — and the final
+// sums still bit-match the sequential reference, exactly as the
+// single-process cluster::Cluster tests demand of the simulated cluster.
+//
+// The DnodeCluster suite runs agents in-process (same code, no fork) so
+// the TSan job exercises the agent/coordinator locking.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "ckpt/store.hpp"
+#include "cluster/cluster.hpp"
+#include "dnode/agent.hpp"
+#include "dnode/coord.hpp"
+#include "gridapp/heat.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace mojave;
+
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// One `mojc node` child process. The ready line on its stdout carries
+/// the port the agent actually bound (it asks the OS for a free one).
+struct AgentProc {
+  pid_t pid = -1;
+  int out_fd = -1;
+  std::uint16_t port = 0;
+
+  void start(const fs::path& storage, double throttle_ms = 0) {
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      ::dup2(fds[1], STDOUT_FILENO);
+      ::close(fds[0]);
+      ::close(fds[1]);
+      const std::string throttle = std::to_string(throttle_ms);
+      ::execl(MOJC_BIN, "mojc", "node", "--storage", storage.c_str(),
+              "--port", "0", "--throttle-ms", throttle.c_str(),
+              static_cast<char*>(nullptr));
+      ::_exit(127);  // exec failed
+    }
+    ::close(fds[1]);
+    out_fd = fds[0];
+    // Read "DNODE_READY port=N\n".
+    std::string line;
+    char c = 0;
+    while (::read(out_fd, &c, 1) == 1 && c != '\n') line.push_back(c);
+    const auto eq = line.rfind('=');
+    ASSERT_NE(eq, std::string::npos) << "no ready line, got: " << line;
+    port = static_cast<std::uint16_t>(std::stoi(line.substr(eq + 1)));
+    ASSERT_GT(port, 0);
+  }
+
+  /// The failure under test: SIGKILL, as abrupt as a machine loss gets
+  /// short of pulling cables. No flush, no goodbye frame.
+  void kill_hard() {
+    if (pid > 0) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, nullptr, 0);
+      pid = -1;
+    }
+  }
+
+  /// Graceful exit after the coordinator's SHUTDOWN frame.
+  int reap() {
+    int status = 0;
+    if (pid > 0) {
+      ::waitpid(pid, &status, 0);
+      pid = -1;
+    }
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+
+  ~AgentProc() {
+    if (pid > 0) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, nullptr, 0);
+    }
+    if (out_fd >= 0) ::close(out_fd);
+  }
+};
+
+dnode::CoordinatorConfig coord_config(
+    const std::vector<std::uint16_t>& ports, std::uint32_t ranks) {
+  dnode::CoordinatorConfig cfg;
+  for (const std::uint16_t p : ports) {
+    cfg.agents.push_back({"127.0.0.1", p});
+  }
+  cfg.num_ranks = ranks;
+  cfg.recv_timeout_seconds = 60.0;
+  return cfg;
+}
+
+void expect_sums_match(const dnode::Coordinator& coord,
+                       const gridapp::HeatConfig& cfg) {
+  const auto ref = gridapp::heat_reference_sums(cfg);
+  const auto results = coord.results();
+  ASSERT_EQ(results.size(), cfg.nodes);
+  for (const dnode::RankOutcome& r : results) {
+    EXPECT_TRUE(r.done) << "rank " << r.rank;
+    EXPECT_EQ(r.result_kind, 0) << "rank " << r.rank << ": " << r.error;
+    ASSERT_TRUE(r.has_reported) << "rank " << r.rank << " never reported";
+    EXPECT_NEAR(r.reported, ref[r.rank], 1e-9) << "rank " << r.rank;
+  }
+}
+
+TEST(DnodeE2E, HeatAcrossTwoAgentsMatchesSingleProcessCluster) {
+  const fs::path storage = fresh_dir("mojave_dnode_e2e_plain");
+
+  gridapp::HeatConfig hcfg;
+  hcfg.nodes = 4;
+  hcfg.rows = 16;
+  hcfg.cols = 12;
+  hcfg.steps = 20;
+  hcfg.checkpoint_interval = 0;
+
+  AgentProc a0, a1;
+  a0.start(storage);
+  a1.start(storage);
+
+  dnode::Coordinator coord(coord_config({a0.port, a1.port}, hcfg.nodes));
+  coord.launch_spmd(gridapp::heat_program(hcfg));
+  ASSERT_TRUE(coord.wait_all(120.0)) << "distributed run timed out";
+  expect_sums_match(coord, hcfg);
+
+  // Same program, single-process simulated cluster: identical answers.
+  // (The reference sums pin both, but this is the equivalence the
+  // distributed runtime promises: same primitives, same results.)
+  cluster::ClusterConfig ccfg;
+  ccfg.num_nodes = hcfg.nodes;
+  const auto local = gridapp::run_heat(hcfg, ccfg);
+  ASSERT_TRUE(local.all_clean);
+  const auto dist = coord.results();
+  for (std::uint32_t r = 0; r < hcfg.nodes; ++r) {
+    EXPECT_NEAR(dist[r].reported, local.sums[r], 1e-9) << "rank " << r;
+  }
+
+  coord.shutdown_agents();
+  EXPECT_EQ(a0.reap(), 0);
+  EXPECT_EQ(a1.reap(), 0);
+}
+
+TEST(DnodeE2E, AgentDeathResurrectsRanksAndPoisonCrossesAgents) {
+  const fs::path storage = fresh_dir("mojave_dnode_e2e_kill");
+
+  gridapp::HeatConfig hcfg;
+  hcfg.nodes = 4;
+  hcfg.rows = 16;
+  hcfg.cols = 8;
+  hcfg.steps = 48;
+  hcfg.checkpoint_interval = 8;
+
+  AgentProc a0, a1;
+  a0.start(storage);
+  a1.start(storage);
+
+  dnode::Coordinator coord(coord_config({a0.port, a1.port}, hcfg.nodes));
+  coord.launch_spmd(gridapp::heat_program(hcfg));
+
+  // Force one cross-agent rollback early: rank 2 (agent 0) reports
+  // MSG_ROLL at its next receive, rolls back, and its ROLL_POISON must
+  // avalanche over TCP to dependents on the other agent.
+  coord.force_rollback(2);
+
+  // Round-robin placement put ranks 1 and 3 on agent 1. Resurrection can
+  // only restore what was checkpointed, so wait for both of the victim's
+  // ranks to reach the shared store before pulling the plug.
+  const auto store = ckpt::CheckpointStore::open_shared(storage);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while ((!store->has_snapshot("rank_1") || !store->has_snapshot("rank_3")) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(store->has_snapshot("rank_1")) << "rank 1 never checkpointed";
+  ASSERT_TRUE(store->has_snapshot("rank_3")) << "rank 3 never checkpointed";
+
+  a1.kill_hard();
+
+  ASSERT_TRUE(coord.wait_all(120.0)) << "run did not recover from the kill";
+  expect_sums_match(coord, hcfg);
+
+  // Both of the dead agent's ranks came back on the survivor...
+  EXPECT_GE(coord.resurrections(), 2u);
+  EXPECT_EQ(coord.agent_of(1), 0u);
+  EXPECT_EQ(coord.agent_of(3), 0u);
+  EXPECT_FALSE(coord.agent_alive(1));
+  // ...the forced rollback poisoned at least one dependent across the
+  // wire, and the avalanche terminated (wait_all returned).
+  EXPECT_GE(coord.tracker().poisons_issued(), 1u);
+  const auto results = coord.results();
+  std::uint64_t restarts = 0, rollbacks = 0;
+  for (const auto& r : results) {
+    restarts += r.restarts;
+    rollbacks += r.rollbacks;
+  }
+  EXPECT_GE(restarts, 2u);
+  EXPECT_GE(rollbacks, 1u);
+
+  coord.shutdown_agents();
+  EXPECT_EQ(a0.reap(), 0);
+}
+
+TEST(DnodeCluster, InProcessAgentsRunHeatGrid) {
+  const fs::path storage = fresh_dir("mojave_dnode_inproc");
+
+  gridapp::HeatConfig hcfg;
+  hcfg.nodes = 2;
+  hcfg.rows = 8;
+  hcfg.cols = 8;
+  hcfg.steps = 16;
+  hcfg.checkpoint_interval = 4;
+
+  dnode::AgentConfig acfg;
+  acfg.storage_root = storage;
+  dnode::NodeAgent a0(acfg), a1(acfg);
+
+  dnode::Coordinator coord(coord_config({a0.port(), a1.port()}, hcfg.nodes));
+  coord.launch_spmd(gridapp::heat_program(hcfg));
+  ASSERT_TRUE(coord.wait_all(120.0));
+  expect_sums_match(coord, hcfg);
+  // Round-robin placement, undisturbed (no faults, no balancing).
+  EXPECT_EQ(coord.agent_of(0), 0u);
+  EXPECT_EQ(coord.agent_of(1), 1u);
+  coord.shutdown_agents();
+}
+
+TEST(DnodeCluster, BalancerMovesRankOffThrottledAgent) {
+  const fs::path storage = fresh_dir("mojave_dnode_balance");
+
+  gridapp::HeatConfig hcfg;
+  hcfg.nodes = 2;
+  hcfg.rows = 8;
+  hcfg.cols = 8;
+  hcfg.steps = 40;
+  hcfg.checkpoint_interval = 4;
+
+  dnode::AgentConfig fast;
+  fast.storage_root = storage;
+  dnode::AgentConfig slow = fast;
+  slow.throttle_ms = 30;  // inflates heartbeat load and really slows sends
+  dnode::NodeAgent a0(fast), a1(slow);
+
+  auto ccfg = coord_config({a0.port(), a1.port()}, hcfg.nodes);
+  ccfg.balance_interval_seconds = 0.2;
+  ccfg.balance_threshold = 1.5;
+  dnode::Coordinator coord(std::move(ccfg));
+  coord.launch_spmd(gridapp::heat_program(hcfg));
+  ASSERT_TRUE(coord.wait_all(120.0));
+  expect_sums_match(coord, hcfg);
+
+  // The load gap (throttled agent reports ~31x) forces at least one
+  // checkpoint-yield migration onto the fast agent; both agents stay
+  // alive throughout (this is migration, not failure recovery).
+  EXPECT_GE(coord.migrations(), 1u);
+  EXPECT_EQ(coord.agent_of(1), 0u);
+  EXPECT_TRUE(coord.agent_alive(0));
+  EXPECT_TRUE(coord.agent_alive(1));
+  coord.shutdown_agents();
+}
+
+}  // namespace
