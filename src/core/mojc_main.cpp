@@ -39,6 +39,8 @@
 #include "dnode/coord.hpp"
 #include "fir/serialize.hpp"
 #include "fir/printer.hpp"
+#include "native/arch.hpp"
+#include "native/options.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "risc/disasm.hpp"
@@ -67,6 +69,11 @@ int usage() {
       "  mojc inspect <image>\n"
       "  mojc ckpt <store-root> [list|stats|verify|gc]\n"
       "  mojc dump <file.mjc> [--risc]\n"
+      "execution (run/exec/resume/serve/node/cluster):\n"
+      "  --jit=on|off|threshold=N  native-tier policy (comma-combinable,\n"
+      "                        e.g. --jit=on,threshold=16; MOJAVE_JIT env\n"
+      "                        var sets the default). Unsupported hosts\n"
+      "                        fall back to the interpreter either way.\n"
       "telemetry (any command):\n"
       "  --stats[=json]        dump the metrics registry to stderr at exit\n"
       "  --trace-out=<file>    record runtime events, write Chrome trace JSON\n"
@@ -88,6 +95,9 @@ struct Flags {
   bool stats = false;
   bool stats_json = false;
   std::uint64_t max_insns = 0;
+  native::JitOptions jit = native::jit_options_from_env();
+  bool jit_flag_given = false;
+  bool bad_jit = false;
   std::string trace_out;
   std::string output;
   std::optional<std::uint32_t> migrate_attempts;
@@ -124,6 +134,15 @@ Flags parse_flags(int argc, char** argv, int first) {
     } else if (arg == "--stats=json") {
       flags.stats = true;
       flags.stats_json = true;
+    } else if (arg.rfind("--jit=", 0) == 0) {
+      const std::string spec = arg.substr(std::string("--jit=").size());
+      if (native::parse_jit_spec(spec, flags.jit)) {
+        flags.jit_flag_given = true;
+      } else {
+        std::cerr << "mojc: bad --jit spec '" << spec
+                  << "' (want on|off|threshold=N)\n";
+        flags.bad_jit = true;
+      }
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       flags.trace_out = arg.substr(std::string("--trace-out=").size());
     } else if (arg == "--max-insns" && i + 1 < argc) {
@@ -177,6 +196,15 @@ void apply_transport_flags(const Flags& flags) {
     ::setenv("MOJAVE_RECV_TIMEOUT_S",
              std::to_string(*flags.recv_timeout_s).c_str(), 1);
   }
+  if (flags.jit_flag_given) {
+    // Re-export so ProcessConfig instances built from env defaults (node
+    // agents, unpacked migrations) honour the flag too.
+    const std::string spec =
+        flags.jit.enabled
+            ? "on,threshold=" + std::to_string(flags.jit.threshold)
+            : "off";
+    ::setenv("MOJAVE_JIT", spec.c_str(), 1);
+  }
   const bool any = flags.migrate_attempts || flags.migrate_backoff_ms ||
                    flags.migrate_deadline_s || flags.connect_timeout_s ||
                    flags.io_timeout_s;
@@ -213,10 +241,21 @@ void export_telemetry(const Flags& flags) {
   }
 }
 
+/// Publish the native-tier policy the run actually uses: 1 when the tier
+/// is both requested and available on this host, 0 otherwise.
+void publish_jit_gauges(const native::JitOptions& jit) {
+  auto& reg = obs::MetricsRegistry::instance();
+  reg.gauge("config.jit").set(
+      (jit.enabled && native::jit_supported()) ? 1 : 0);
+  reg.gauge("config.jit.threshold")
+      .set(static_cast<std::int64_t>(jit.threshold));
+}
+
 Engine make_engine(const Flags& flags) {
   EngineOptions opts;
   opts.process.trap_to_speculation = flags.trap_spec;
   opts.process.max_instructions = flags.max_insns;
+  opts.process.jit = flags.jit;
   opts.optimize = !flags.no_opt;
   if (flags.dump_fir) opts.dump_fir = &std::cerr;
   return Engine(std::move(opts));
@@ -488,7 +527,9 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   const Flags flags = parse_flags(argc, argv, 2);
+  if (flags.bad_jit) return usage();
   apply_transport_flags(flags);
+  publish_jit_gauges(flags.jit);
   if (!flags.trace_out.empty()) obs::Tracer::instance().enable();
   try {
     const int rc = dispatch(cmd, flags);

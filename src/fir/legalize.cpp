@@ -1,0 +1,87 @@
+#include "fir/legalize.hpp"
+
+#include <utility>
+
+namespace mojave::fir {
+
+namespace {
+
+bool is_const(const Atom& a) {
+  switch (a.kind) {
+    case Atom::Kind::kInt:
+    case Atom::Kind::kFloat:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool commutative(Binop op) {
+  switch (op) {
+    case Binop::kAdd:
+    case Binop::kMul:
+    case Binop::kAnd:
+    case Binop::kOr:
+    case Binop::kXor:
+    case Binop::kEq:
+    case Binop::kNe:
+    case Binop::kFAdd:
+    case Binop::kFMul:
+    case Binop::kFEq:
+    case Binop::kFNe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// The comparison that computes the same result with operands exchanged,
+/// or the operator itself when no mirror applies.
+Binop mirrored(Binop op) {
+  switch (op) {
+    case Binop::kLt: return Binop::kGt;
+    case Binop::kGt: return Binop::kLt;
+    case Binop::kLe: return Binop::kGe;
+    case Binop::kGe: return Binop::kLe;
+    case Binop::kFLt: return Binop::kFGt;
+    case Binop::kFGt: return Binop::kFLt;
+    case Binop::kFLe: return Binop::kFGe;
+    case Binop::kFGe: return Binop::kFLe;
+    default: return op;
+  }
+}
+
+std::size_t legalize_expr(Expr* e) {
+  std::size_t rewrites = 0;
+  // The `next` chain is a loop, not recursion: bodies are long let chains
+  // and only kIf branches actually fork.
+  while (e != nullptr) {
+    if (e->kind == ExprKind::kLetBinop && is_const(e->a) && !is_const(e->b)) {
+      if (commutative(e->binop)) {
+        std::swap(e->a, e->b);
+        ++rewrites;
+      } else if (mirrored(e->binop) != e->binop) {
+        std::swap(e->a, e->b);
+        e->binop = mirrored(e->binop);
+        ++rewrites;
+      }
+    }
+    if (e->kind == ExprKind::kIf) rewrites += legalize_expr(e->els.get());
+    e = e->next.get();
+  }
+  return rewrites;
+}
+
+}  // namespace
+
+std::size_t legalize_function(Function& f) {
+  return legalize_expr(f.body.get());
+}
+
+std::size_t legalize(Program& p) {
+  std::size_t total = 0;
+  for (Function& f : p.functions) total += legalize_function(f);
+  return total;
+}
+
+}  // namespace mojave::fir

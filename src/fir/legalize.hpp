@@ -1,0 +1,29 @@
+// Pre-lowering legalization: canonicalize FIR so every backend sees the
+// same operand shapes.
+//
+// The single rule today is operand canonicalization for binops: a constant
+// left operand of a commutative operator is swapped to the right, and a
+// comparison with a constant left operand is mirrored (5 < x becomes
+// x > 5). Frontends and generated code are free to put literals wherever
+// they like; after legalization the lowerer and the native tier's pattern
+// matching only ever see the canonical form. The rewrite is trivially
+// semantics-preserving and runs before typechecking, so every consumer of
+// the program — interpreter, RISC simulator, native compiler, serializer —
+// executes the same legalized FIR.
+#pragma once
+
+#include <cstddef>
+
+#include "fir/ir.hpp"
+
+namespace mojave::fir {
+
+/// Legalize one function body in place. Returns the number of rewritten
+/// expressions.
+std::size_t legalize_function(Function& f);
+
+/// Legalize every function of `p` in place. Returns the total number of
+/// rewritten expressions.
+std::size_t legalize(Program& p);
+
+}  // namespace mojave::fir

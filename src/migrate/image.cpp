@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "fir/legalize.hpp"
 #include "fir/serialize.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -171,6 +172,9 @@ UnpackResult unpack_process(std::span<const std::byte> image,
       sw.reset();
       {
         obs::ScopedSpan verify_span("migrate", "typecheck");
+        // Senders legalize before packing; re-legalizing is idempotent and
+        // keeps recompilation canonical for images from older senders.
+        fir::legalize(program);
         fir::typecheck(program);
       }
       out.breakdown.typecheck_seconds = sw.seconds();

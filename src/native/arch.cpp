@@ -1,0 +1,61 @@
+#include "native/arch.hpp"
+
+#include <cstring>
+#include <mutex>
+
+#if defined(__x86_64__) && (defined(__linux__) || defined(__APPLE__))
+#define MOJAVE_NATIVE_X64 1
+#include <sys/mman.h>
+#include <unistd.h>
+#else
+#define MOJAVE_NATIVE_X64 0
+#endif
+
+namespace mojave::native {
+
+namespace {
+
+struct ProbeResult {
+  bool supported = false;
+  std::string reason;
+};
+
+ProbeResult run_probe() {
+#if !MOJAVE_NATIVE_X64
+  return {false, "host is not x86-64 (or not a POSIX mmap platform)"};
+#else
+  // mov eax, 42; ret
+  static const unsigned char kStub[] = {0xb8, 0x2a, 0x00, 0x00, 0x00, 0xc3};
+  const long page = sysconf(_SC_PAGESIZE);
+  const std::size_t len = page > 0 ? static_cast<std::size_t>(page) : 4096;
+  void* mem = ::mmap(nullptr, len, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (mem == MAP_FAILED) {
+    return {false, "mmap(PROT_READ|PROT_WRITE) failed"};
+  }
+  std::memcpy(mem, kStub, sizeof(kStub));
+  if (::mprotect(mem, len, PROT_READ | PROT_EXEC) != 0) {
+    ::munmap(mem, len);
+    return {false, "mprotect(PROT_READ|PROT_EXEC) denied (W^X exec policy)"};
+  }
+  const int r = reinterpret_cast<int (*)()>(mem)();
+  ::munmap(mem, len);
+  if (r != 42) {
+    return {false, "executed probe stub returned a wrong value"};
+  }
+  return {true, "ok"};
+#endif
+}
+
+const ProbeResult& probe() {
+  static const ProbeResult result = run_probe();
+  return result;
+}
+
+}  // namespace
+
+bool jit_supported() { return probe().supported; }
+
+const std::string& jit_support_reason() { return probe().reason; }
+
+}  // namespace mojave::native

@@ -1,0 +1,22 @@
+// Host capability probe for the native execution tier.
+//
+// The tier engages only when (a) the build targets x86-64 and (b) the
+// process may actually map, write, and execute code pages (W^X style:
+// never writable and executable at once). Anything else — other ISAs,
+// hardened containers with a no-exec mmap policy — reports unsupported
+// and the VM transparently stays on the interpreter.
+#pragma once
+
+#include <string>
+
+namespace mojave::native {
+
+/// True when JIT-compiled code can run on this host. The first call runs
+/// the runtime probe (an mmap/mprotect/execute round trip of a trivial
+/// stub); the result is cached for the process lifetime.
+[[nodiscard]] bool jit_supported();
+
+/// Human-readable reason when jit_supported() is false ("ok" otherwise).
+[[nodiscard]] const std::string& jit_support_reason();
+
+}  // namespace mojave::native

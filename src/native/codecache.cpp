@@ -1,0 +1,89 @@
+#include "native/codecache.hpp"
+
+#include <cstring>
+
+#if defined(__linux__) || defined(__APPLE__)
+#include <sys/mman.h>
+#include <unistd.h>
+#define MOJAVE_CODECACHE_MMAP 1
+#else
+#define MOJAVE_CODECACHE_MMAP 0
+#endif
+
+namespace mojave::native {
+
+namespace {
+
+std::size_t page_size() {
+#if MOJAVE_CODECACHE_MMAP
+  const long p = sysconf(_SC_PAGESIZE);
+  return p > 0 ? static_cast<std::size_t>(p) : 4096;
+#else
+  return 4096;
+#endif
+}
+
+constexpr std::size_t kMinRegion = 64 * 1024;
+
+}  // namespace
+
+CodeCache::~CodeCache() {
+#if MOJAVE_CODECACHE_MMAP
+  for (Region& r : regions_) {
+    if (r.base != nullptr) ::munmap(r.base, r.size);
+  }
+#endif
+}
+
+CodeCache::Region* CodeCache::region_with(std::size_t size) {
+#if !MOJAVE_CODECACHE_MMAP
+  (void)size;
+  return nullptr;
+#else
+  for (Region& r : regions_) {
+    if (r.size - r.used >= size) return &r;
+  }
+  const std::size_t page = page_size();
+  std::size_t want = kMinRegion;
+  while (want < size) want *= 2;
+  want = (want + page - 1) & ~(page - 1);
+  void* mem = ::mmap(nullptr, want, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (mem == MAP_FAILED) return nullptr;
+  regions_.push_back(
+      Region{static_cast<std::uint8_t*>(mem), want, 0});
+  mapped_ += want;
+  return &regions_.back();
+#endif
+}
+
+const void* CodeCache::publish(const std::uint8_t* code, std::size_t size) {
+#if !MOJAVE_CODECACHE_MMAP
+  (void)code;
+  (void)size;
+  return nullptr;
+#else
+  if (size == 0) return nullptr;
+  // Keep every function 16-byte aligned for the emitter's jump targets.
+  const std::size_t aligned = (size + 15) & ~std::size_t{15};
+  Region* r = region_with(aligned);
+  if (r == nullptr) return nullptr;
+  std::uint8_t* dst = r->base + r->used;
+
+  // Flip the whole region writable, emit, flip back to executable. The
+  // engine is single-threaded per interpreter, and regions are private to
+  // one engine, so no other thread can observe the writable window.
+  if (::mprotect(r->base, r->size, PROT_READ | PROT_WRITE) != 0) {
+    return nullptr;
+  }
+  std::memcpy(dst, code, size);
+  if (::mprotect(r->base, r->size, PROT_READ | PROT_EXEC) != 0) {
+    return nullptr;
+  }
+  r->used += aligned;
+  used_ += size;
+  return dst;
+#endif
+}
+
+}  // namespace mojave::native

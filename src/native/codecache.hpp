@@ -1,0 +1,49 @@
+// Executable code cache: mmap-backed, W^X.
+//
+// Regions are mapped read+write while code is being emitted into them and
+// flipped to read+execute before the first call — the mapping is never
+// writable and executable at the same time. Allocation is bump-pointer
+// within fixed-size regions; compiled functions are immortal for the
+// engine's lifetime (deoptimization makes recompilation unnecessary), so
+// there is no free list.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mojave::native {
+
+class CodeCache {
+ public:
+  CodeCache() = default;
+  ~CodeCache();
+
+  CodeCache(const CodeCache&) = delete;
+  CodeCache& operator=(const CodeCache&) = delete;
+
+  /// Copy `code` into executable memory and return its address, or nullptr
+  /// if mapping fails. The returned code is already PROT_READ|PROT_EXEC.
+  [[nodiscard]] const void* publish(const std::uint8_t* code,
+                                    std::size_t size);
+
+  /// Bytes of emitted machine code (not counting region slack).
+  [[nodiscard]] std::size_t used_bytes() const { return used_; }
+  /// Bytes of mapped executable regions.
+  [[nodiscard]] std::size_t mapped_bytes() const { return mapped_; }
+
+ private:
+  struct Region {
+    std::uint8_t* base = nullptr;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  [[nodiscard]] Region* region_with(std::size_t size);
+
+  std::vector<Region> regions_;
+  std::size_t used_ = 0;
+  std::size_t mapped_ = 0;
+};
+
+}  // namespace mojave::native

@@ -1,0 +1,46 @@
+// Bytecode → x86-64 compiler for the hot FIR subset.
+//
+// Compiles one CompiledFunction into self-contained machine code following
+// the NativeContext ABI (abi.hpp). The compiled subset is the arithmetic /
+// heap / loop core: register loads, unops, binops, tagged and raw heap
+// access, allocation (via helpers), conditional and unconditional jumps,
+// and statically-bound tail calls (compiled as direct jumps between native
+// functions). Everything else — speculate, commit, rollback, migrate,
+// externals, halt, dynamically-bound calls — compiles to a deoptimization
+// stub that materializes (function, pc, reason) and returns to the VM.
+//
+// A forward type dataflow over basic blocks ("chunks") tracks each virtual
+// register's runtime tag so most operations need no inline tag guard; where
+// the lattice says "unknown", a one-byte tag compare guards the operation
+// and failure deopts (the interpreter re-executes the instruction and
+// raises the canonical SafetyError). The instruction budget and the
+// per-opcode-class telemetry counters are maintained exactly: each chunk
+// pre-pays its cost on entry and every exit stub refunds the unexecuted
+// suffix and credits the completed prefix, so counts and budget-exhaustion
+// points are bit-identical to a pure interpreter run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/common.hpp"
+#include "vm/bytecode.hpp"
+
+namespace mojave::native {
+
+struct CompileResult {
+  bool ok = false;
+  std::string error;          ///< why compilation was refused
+  std::vector<std::uint8_t> code;
+  /// Offset of the post-prologue ("jump") entry used by native-to-native
+  /// direct jumps; offset 0 is the full C-callable entry.
+  std::size_t jump_entry = 0;
+};
+
+/// Compile `prog.functions[fun]`. Never throws; unsupported or malformed
+/// input yields ok = false.
+[[nodiscard]] CompileResult compile_function(const vm::CompiledProgram& prog,
+                                             FunIndex fun);
+
+}  // namespace mojave::native

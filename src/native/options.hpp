@@ -1,0 +1,31 @@
+// Native-tier configuration, shared by the VM (which owns the policy
+// switches) and the engine (which applies them). Kept dependency-free so
+// vm/interpreter.hpp can include it without pulling the whole tier in.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mojave::native {
+
+struct JitOptions {
+  /// Master switch. When false — or when the host probe reports the tier
+  /// unsupported — the VM never instantiates an Engine and runs purely
+  /// interpreted.
+  bool enabled = true;
+  /// Number of interpreter-observed control transfers into a function
+  /// before it is compiled. Transfers that stay inside native code (direct
+  /// jumps) do not count: they are already running compiled.
+  std::uint32_t threshold = 64;
+};
+
+/// Parse a `--jit=` / MOJAVE_JIT specification: "on", "off", "1", "0",
+/// "threshold=N" (implies on), or comma-combinations ("on,threshold=10").
+/// Returns false (leaving `out` untouched) on a malformed spec.
+[[nodiscard]] bool parse_jit_spec(const std::string& spec, JitOptions& out);
+
+/// `out` after applying the MOJAVE_JIT environment variable, if set and
+/// well-formed, over the built-in defaults.
+[[nodiscard]] JitOptions jit_options_from_env();
+
+}  // namespace mojave::native

@@ -1,5 +1,8 @@
 #include "net/chaos.hpp"
 
+#include <sys/socket.h>
+
+#include <algorithm>
 #include <chrono>
 #include <memory>
 
@@ -7,6 +10,142 @@
 #include "support/log.hpp"
 
 namespace mojave::net {
+
+/// One relayed connection: the two streams plus its own forwarded-byte
+/// counter (the reset threshold is per connection, not global).
+struct WireChaosProxy::Pipe {
+  TcpStream client;
+  TcpStream upstream;
+  std::atomic<std::uint64_t> forwarded{0};
+
+  /// Half-close both sockets; any pump blocked in recv() unblocks, and a
+  /// peer mid-frame sees the stream die there. SO_LINGER(0) makes the
+  /// eventual close abortive (RST, not a tidy FIN) — a genuine reset.
+  void cut(bool abortive) {
+    if (abortive) {
+      const struct linger lg {1, 0};
+      ::setsockopt(client.fd(), SOL_SOCKET, SO_LINGER, &lg, sizeof lg);
+      ::setsockopt(upstream.fd(), SOL_SOCKET, SO_LINGER, &lg, sizeof lg);
+    }
+    client.shutdown();
+    upstream.shutdown();
+  }
+};
+
+WireChaosProxy::WireChaosProxy(std::string upstream_host,
+                               std::uint16_t upstream_port, WireFaults faults)
+    : upstream_host_(std::move(upstream_host)),
+      upstream_port_(upstream_port),
+      faults_(faults),
+      listener_(0) {
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+WireChaosProxy::~WireChaosProxy() { stop(); }
+
+void WireChaosProxy::stop() {
+  if (stopping_.exchange(true)) return;
+  listener_.shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& p : pipes_) p->cut(false);
+  }
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+WireStats WireChaosProxy::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void WireChaosProxy::accept_loop() {
+  while (!stopping_.load()) {
+    auto client = listener_.accept();
+    if (!client.has_value()) break;
+    auto pipe = std::make_shared<Pipe>();
+    pipe->client = std::move(*client);
+    try {
+      pipe->upstream = TcpStream::connect(upstream_host_, upstream_port_,
+                                          Deadlines{5.0, 0.0});
+    } catch (const NetError& e) {
+      MOJAVE_LOG(kDebug, "chaos") << "wire upstream dial failed: " << e.what();
+      continue;
+    }
+    std::uint64_t conn_id = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      conn_id = ++stats_.connections;
+      pipes_.push_back(pipe);
+      workers_.emplace_back(
+          [this, pipe, conn_id] { pump(pipe, /*downstream=*/true, conn_id); });
+      workers_.emplace_back(
+          [this, pipe, conn_id] { pump(pipe, /*downstream=*/false, conn_id); });
+    }
+  }
+}
+
+void WireChaosProxy::pump(const std::shared_ptr<Pipe>& pipe, bool downstream,
+                          std::uint64_t conn_id) {
+  const int from = downstream ? pipe->client.fd() : pipe->upstream.fd();
+  const int to = downstream ? pipe->upstream.fd() : pipe->client.fd();
+  std::byte buf[4096];
+  while (!stopping_.load()) {
+    const ssize_t n = ::recv(from, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    if (faults_.delay_seconds > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(faults_.delay_seconds));
+    }
+    std::size_t off = 0;
+    while (off < static_cast<std::size_t>(n)) {
+      std::size_t chunk =
+          faults_.split_bytes > 0
+              ? std::min(faults_.split_bytes,
+                         static_cast<std::size_t>(n) - off)
+              : static_cast<std::size_t>(n) - off;
+      bool do_reset = false;
+      if (conn_id == faults_.reset_conn) {
+        std::lock_guard<std::mutex> lock(mu_);
+        const std::uint64_t sent = pipe->forwarded.load();
+        if (!reset_done_ && sent + chunk >= faults_.reset_after_bytes) {
+          // Truncate this write so the cut lands exactly at the
+          // threshold — with frames longer than it, mid-frame.
+          chunk = faults_.reset_after_bytes > sent
+                      ? static_cast<std::size_t>(faults_.reset_after_bytes -
+                                                 sent)
+                      : 0;
+          reset_done_ = true;
+          do_reset = true;
+          ++stats_.resets;
+        }
+      }
+      if (chunk > 0 &&
+          ::send(to, buf + off, chunk, MSG_NOSIGNAL) !=
+              static_cast<ssize_t>(chunk)) {
+        pipe->cut(false);
+        return;
+      }
+      pipe->forwarded.fetch_add(chunk);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        stats_.bytes_forwarded += chunk;
+        if (faults_.split_bytes > 0) ++stats_.split_writes;
+      }
+      if (do_reset) {
+        MOJAVE_LOG(kDebug, "chaos")
+            << "wire reset on conn " << conn_id << " after "
+            << pipe->forwarded.load() << " bytes";
+        pipe->cut(true);
+        return;
+      }
+      off += chunk;
+    }
+  }
+  pipe->cut(false);
+}
 
 ChaosProxy::ChaosProxy(std::string upstream_host, std::uint16_t upstream_port,
                        ProxyFaults faults)

@@ -14,6 +14,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <string>
@@ -42,6 +43,69 @@ struct ProxyStats {
   std::uint64_t requests_dropped = 0;
   std::uint64_t replies_dropped = 0;
   std::uint64_t requests_corrupted = 0;
+};
+
+/// Socket-level fault profile for WireChaosProxy: the byte-stream
+/// pathologies a frame-level relay cannot model. All three compose.
+struct WireFaults {
+  /// Added latency per forwarded read batch (both directions).
+  double delay_seconds = 0;
+  /// Forward in writes of at most this many bytes (0 = as read). Exposes
+  /// every short-read bug: frame headers and payloads arrive in pieces.
+  std::size_t split_bytes = 0;
+  /// Cut the Nth accepted connection (1-based, 0 = never) after it has
+  /// forwarded `reset_after_bytes` — deliberately mid-frame, modelling a
+  /// peer dying with a partial frame on the wire.
+  std::uint64_t reset_conn = 0;
+  std::uint64_t reset_after_bytes = 256;
+};
+
+struct WireStats {
+  std::uint64_t connections = 0;
+  std::uint64_t bytes_forwarded = 0;
+  std::uint64_t split_writes = 0;
+  std::uint64_t resets = 0;
+};
+
+/// A transparent byte-level TCP relay for full-duplex protocols (the
+/// dnode agent wire, where both peers push frames at will — the
+/// request/response ChaosProxy above cannot sit on such links). Faults
+/// operate below the framing layer: latency, fragmented writes, and
+/// connections dropped mid-frame. The runtime on either side must
+/// tolerate all three; redial + rollback-retry + replay make dropped
+/// bytes recoverable.
+class WireChaosProxy {
+ public:
+  WireChaosProxy(std::string upstream_host, std::uint16_t upstream_port,
+                 WireFaults faults);
+  ~WireChaosProxy();
+
+  WireChaosProxy(const WireChaosProxy&) = delete;
+  WireChaosProxy& operator=(const WireChaosProxy&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
+  [[nodiscard]] WireStats stats() const;
+
+  void stop();
+
+ private:
+  struct Pipe;
+
+  void accept_loop();
+  void pump(const std::shared_ptr<Pipe>& pipe, bool downstream,
+            std::uint64_t conn_id);
+
+  std::string upstream_host_;
+  std::uint16_t upstream_port_;
+  WireFaults faults_;
+  TcpListener listener_;
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  std::vector<std::shared_ptr<Pipe>> pipes_;  // guarded by mu_
+  mutable std::mutex mu_;
+  WireStats stats_;          // guarded by mu_
+  bool reset_done_ = false;  // guarded by mu_
+  std::atomic<bool> stopping_{false};
 };
 
 class ChaosProxy {

@@ -24,9 +24,19 @@ namespace mojave::runtime {
 
 class PointerTable {
  public:
+  /// Stable-address mirror of the entry array, read directly by the native
+  /// execution tier's inlined dereference checks. The table keeps it
+  /// current across every structural mutation; GC sweeps null entries in
+  /// place (no reallocation), so `data` stays valid across collections.
+  struct View {
+    Block* const* data = nullptr;
+    std::uint64_t size = 0;
+  };
+
   PointerTable() {
     // Entry 0 is permanently free: it is the null pointer.
     entries_.push_back(nullptr);
+    refresh_view();
   }
 
   /// Allocate a fresh entry for `block`, reusing a freed slot if one
@@ -40,6 +50,7 @@ class PointerTable {
     } else {
       idx = static_cast<BlockIndex>(entries_.size());
       entries_.push_back(block);
+      refresh_view();
     }
     block->h.index = idx;
     return idx;
@@ -93,6 +104,7 @@ class PointerTable {
       entries_.push_back(nullptr);
     }
     entries_.push_back(block);
+    refresh_view();
     block->h.index = idx;
   }
 
@@ -134,12 +146,23 @@ class PointerTable {
   void clear() {
     entries_.assign(1, nullptr);
     free_list_.clear();
+    refresh_view();
   }
+
+  /// Address of the mirror; stable for the table's lifetime.
+  [[nodiscard]] const View* view() const { return &view_; }
 
  private:
   friend class Gc;
+
+  void refresh_view() {
+    view_.data = entries_.data();
+    view_.size = entries_.size();
+  }
+
   std::vector<Block*> entries_;
   std::vector<BlockIndex> free_list_;
+  View view_;
 };
 
 }  // namespace mojave::runtime

@@ -1,9 +1,12 @@
 #include "vm/interpreter.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <iostream>
 
 #include "fir/ir.hpp"
+#include "native/arch.hpp"
+#include "native/engine.hpp"
 #include "obs/metrics.hpp"
 #include "support/error.hpp"
 #include "vm/eval.hpp"
@@ -76,6 +79,11 @@ void Interpreter::flush_metrics() {
 
 Interpreter::~Interpreter() { heap_.remove_root_provider(this); }
 
+void Interpreter::set_jit_options(const native::JitOptions& opts) {
+  jit_opts_ = opts;
+  engine_.reset();
+}
+
 void Interpreter::setup_function_table() {
   // Function-table order must match compiled-program order exactly — the
   // paper: "migration must be careful to preserve order in the pointer and
@@ -139,6 +147,15 @@ RunResult Interpreter::run_from(FunIndex fun, std::vector<Value> args) {
   pending_fun_ = fun;
   pending_args_ = std::move(args);
 
+  // Build the native engine on first use. When the tier is disabled or
+  // the host cannot run it, `engine` stays null and this function is a
+  // pure interpreter — bit-identical behaviour either way.
+  if (jit_opts_.enabled && engine_ == nullptr && native::jit_supported()) {
+    engine_ = std::make_unique<native::Engine>(heap_, spec_, compiled_,
+                                               jit_opts_);
+  }
+  native::Engine* engine = jit_opts_.enabled ? engine_.get() : nullptr;
+
   // 0 means "unlimited"; folding that into a sentinel keeps the per-
   // instruction budget check to a single compare. `executed` mirrors the
   // lifetime instruction count in a register; the authoritative total is
@@ -148,23 +165,44 @@ RunResult Interpreter::run_from(FunIndex fun, std::vector<Value> args) {
   std::uint64_t executed = stats_.instructions;
 
   while (true) {
-    const CompiledFunction& f = compiled_.function(pending_fun_);
-    validate_call(f, pending_args_);
+    const CompiledFunction* f = &compiled_.function(pending_fun_);
+    validate_call(*f, pending_args_);
     ++stats_.calls;
 
-    regs_.assign(f.num_regs, Value::unit());
+    regs_.assign(f->num_regs, Value::unit());
     for (std::size_t i = 0; i < pending_args_.size(); ++i) {
       regs_[i] = pending_args_[i];
     }
     pending_args_.clear();
 
     std::size_t pc = 0;
+    if (engine != nullptr) {
+      // Offer the transfer to the native tier. On success the engine ran
+      // compiled code up to a deoptimization point and regs_ now holds the
+      // register file of (io.fun, io.pc); resume interpreting right there.
+      native::RunIo io;
+      io.regs = &regs_;
+      io.strings = &string_blocks_;
+      io.class_counts = op_class_counts_.data();
+      io.calls = &stats_.calls;
+      io.budget = static_cast<std::int64_t>(std::min<std::uint64_t>(
+          insn_budget - executed,
+          static_cast<std::uint64_t>(INT64_MAX)));
+      io.fun = pending_fun_;
+      const std::int64_t given = io.budget;
+      if (engine->try_run(io)) {
+        executed += static_cast<std::uint64_t>(given - io.budget);
+        pending_fun_ = io.fun;
+        f = &compiled_.function(io.fun);
+        pc = io.pc;
+      }
+    }
     bool transfer = false;
     while (!transfer) {
-      if (pc >= f.code.size()) {
-        throw SafetyError("program counter fell off the end of " + f.name);
+      if (pc >= f->code.size()) {
+        throw SafetyError("program counter fell off the end of " + f->name);
       }
-      const Insn& I = f.code[pc];
+      const Insn& I = f->code[pc];
       ++op_class_counts_[I.cls];
       if (++executed > insn_budget) {
         throw Error("instruction budget exhausted");

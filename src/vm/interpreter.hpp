@@ -17,13 +17,19 @@
 #include <functional>
 #include <iosfwd>
 #include <map>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "native/options.hpp"
 #include "runtime/heap.hpp"
 #include "spec/speculation.hpp"
 #include "vm/bytecode.hpp"
+
+namespace mojave::native {
+class Engine;
+}  // namespace mojave::native
 
 namespace mojave::vm {
 
@@ -80,6 +86,16 @@ class Interpreter final : public runtime::RootProvider {
   [[nodiscard]] std::ostream& out() const { return *out_; }
   /// 0 = unlimited. A fuse for tests and property sweeps.
   void set_max_instructions(std::uint64_t n) { max_instructions_ = n; }
+
+  /// Native-tier policy. Takes effect at the next run_from; replacing the
+  /// options drops any engine already built under the previous policy.
+  void set_jit_options(const native::JitOptions& opts);
+  [[nodiscard]] const native::JitOptions& jit_options() const {
+    return jit_opts_;
+  }
+  /// The native engine, or null while no function has warranted one (JIT
+  /// disabled, unsupported host, or simply not yet running).
+  [[nodiscard]] native::Engine* native_engine() const { return engine_.get(); }
 
   /// When enabled, a runtime safety trap (out-of-bounds access, bad tag,
   /// null pointer) raised inside an active speculation rolls the newest
@@ -146,6 +162,8 @@ class Interpreter final : public runtime::RootProvider {
   OpClassCounts exported_classes_{};
   std::uint64_t max_instructions_ = 0;
   bool trap_to_speculation_ = false;
+  native::JitOptions jit_opts_ = native::jit_options_from_env();
+  std::unique_ptr<native::Engine> engine_;
 };
 
 /// Installs the standard host externals (I/O, clocks, introspection).

@@ -1,5 +1,6 @@
 #include "vm/process.hpp"
 
+#include "fir/legalize.hpp"
 #include "fir/typecheck.hpp"
 #include "support/error.hpp"
 #include "vm/lowering.hpp"
@@ -8,6 +9,9 @@ namespace mojave::vm {
 
 Process::Process(fir::Program program, ProcessConfig cfg)
     : heap_(cfg.heap), spec_(heap_) {
+  // Legalize before typechecking so the canonical FIR is what gets kept,
+  // serialized for migration, and lowered by every backend.
+  fir::legalize(program);
   fir::typecheck(program);
   CompiledProgram compiled = lower(program);
   program_ = std::move(program);
@@ -16,6 +20,7 @@ Process::Process(fir::Program program, ProcessConfig cfg)
   if (cfg.output != nullptr) vm_->set_output(cfg.output);
   vm_->set_max_instructions(cfg.max_instructions);
   vm_->set_trap_to_speculation(cfg.trap_to_speculation);
+  vm_->set_jit_options(cfg.jit);
 }
 
 Process::Process(CompiledProgram compiled, ProcessConfig cfg,
@@ -26,6 +31,7 @@ Process::Process(CompiledProgram compiled, ProcessConfig cfg,
   if (cfg.output != nullptr) vm_->set_output(cfg.output);
   vm_->set_max_instructions(cfg.max_instructions);
   vm_->set_trap_to_speculation(cfg.trap_to_speculation);
+  vm_->set_jit_options(cfg.jit);
 }
 
 const fir::Program& Process::program() const {

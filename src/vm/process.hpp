@@ -29,6 +29,9 @@ struct ProcessConfig {
   std::uint64_t max_instructions = 0;  ///< 0 = unlimited
   /// Convert safety traps inside a speculation into rollbacks (Rx-style).
   bool trap_to_speculation = false;
+  /// Native-tier policy; MOJAVE_JIT overrides the defaults, `--jit` (or
+  /// the embedding) overrides both.
+  native::JitOptions jit = native::jit_options_from_env();
 };
 
 class Process {

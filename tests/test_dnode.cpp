@@ -28,6 +28,7 @@
 #include "dnode/agent.hpp"
 #include "dnode/coord.hpp"
 #include "gridapp/heat.hpp"
+#include "net/chaos.hpp"
 
 namespace {
 
@@ -158,6 +159,50 @@ TEST(DnodeE2E, HeatAcrossTwoAgentsMatchesSingleProcessCluster) {
   for (std::uint32_t r = 0; r < hcfg.nodes; ++r) {
     EXPECT_NEAR(dist[r].reported, local.sums[r], 1e-9) << "rank " << r;
   }
+
+  coord.shutdown_agents();
+  EXPECT_EQ(a0.reap(), 0);
+  EXPECT_EQ(a1.reap(), 0);
+}
+
+/// Acceptance under a hostile wire: every byte into agent 1 crosses a
+/// WireChaosProxy that adds latency, fragments writes, and hard-resets
+/// the first cross-agent data link mid-frame. The coordinator dials
+/// agent 1 first (proxy connection #1, carrying hello/config/launch in
+/// fragments); agent 0's data link to agent 1 is connection #2 and gets
+/// the reset. Recovery is the replay path: the receiver re-requests the
+/// lost message from the sender's replay log, the sender redials through
+/// the proxy, and the run must still bit-match the reference sums.
+TEST(DnodeE2E, HeatSurvivesDelaySplitWritesAndMidFrameReset) {
+  const fs::path storage = fresh_dir("mojave_dnode_e2e_wirechaos");
+
+  gridapp::HeatConfig hcfg;
+  hcfg.nodes = 4;
+  hcfg.rows = 16;
+  hcfg.cols = 12;
+  hcfg.steps = 20;
+  hcfg.checkpoint_interval = 8;
+
+  AgentProc a0, a1;
+  a0.start(storage);
+  a1.start(storage);
+
+  net::WireFaults faults;
+  faults.delay_seconds = 0.001;
+  faults.split_bytes = 256;
+  faults.reset_conn = 2;
+  faults.reset_after_bytes = 1200;  // mid-run, mid-frame on the data link
+  net::WireChaosProxy proxy("127.0.0.1", a1.port, faults);
+
+  dnode::Coordinator coord(coord_config({a0.port, proxy.port()}, hcfg.nodes));
+  coord.launch_spmd(gridapp::heat_program(hcfg));
+  ASSERT_TRUE(coord.wait_all(120.0)) << "chaotic-wire run timed out";
+  expect_sums_match(coord, hcfg);
+
+  const auto stats = proxy.stats();
+  EXPECT_GE(stats.connections, 2u);  // coordinator + agent 0's data link
+  EXPECT_GT(stats.split_writes, 0u);
+  EXPECT_EQ(stats.resets, 1u) << "the condemned connection never reset";
 
   coord.shutdown_agents();
   EXPECT_EQ(a0.reap(), 0);

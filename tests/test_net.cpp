@@ -398,4 +398,70 @@ TEST(ChaosProxyTest, DeterministicReplyDropCutsTheConnection) {
   EXPECT_EQ(proxy.stats().replies_dropped, 1u);
 }
 
+// --- WireChaosProxy -----------------------------------------------------
+
+TEST(WireChaosProxyTest, SplitWritesAndDelayPreserveEveryFrame) {
+  EchoServer echo;
+  net::WireFaults faults;
+  faults.delay_seconds = 0.0005;
+  faults.split_bytes = 7;  // frame headers arrive in pieces too
+  net::WireChaosProxy proxy("127.0.0.1", echo.port(), faults);
+
+  TcpStream client =
+      TcpStream::connect("127.0.0.1", proxy.port(), Deadlines{2.0, 5.0});
+  std::vector<std::byte> big(1024);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::byte>(i * 31 + 7);
+  }
+  for (int round = 0; round < 3; ++round) {
+    client.send_frame(big);
+    const auto back = client.recv_frame();
+    ASSERT_TRUE(back.has_value()) << "round " << round;
+    EXPECT_EQ(*back, big) << "round " << round;
+  }
+  client.close();
+
+  const auto stats = proxy.stats();
+  EXPECT_EQ(stats.connections, 1u);
+  // 3 frames x (1024 + 4-byte header) x both directions, in <=7-byte
+  // writes: far more writes than frames.
+  EXPECT_GE(stats.bytes_forwarded, 2u * 3u * 1028u);
+  EXPECT_GE(stats.split_writes, stats.bytes_forwarded / 7);
+  EXPECT_EQ(stats.resets, 0u);
+}
+
+TEST(WireChaosProxyTest, MidFrameResetCutsOnlyTheCondemnedConnection) {
+  EchoServer echo;
+  net::WireFaults faults;
+  faults.reset_conn = 1;
+  faults.reset_after_bytes = 10;  // inside the first 1 KiB frame's payload
+  net::WireChaosProxy proxy("127.0.0.1", echo.port(), faults);
+
+  {
+    TcpStream doomed =
+        TcpStream::connect("127.0.0.1", proxy.port(), Deadlines{2.0, 2.0});
+    const std::vector<std::byte> big(1024, std::byte{0x5a});
+    // The send may already fail (RST can land before the local buffer
+    // drains); if not, the echo reply never comes back.
+    try {
+      doomed.send_frame(big);
+      const auto back = doomed.recv_frame();
+      EXPECT_FALSE(back.has_value());
+    } catch (const NetError&) {
+    }
+  }
+
+  // Connection #2 is untouched: the relay still works end to end.
+  TcpStream fresh =
+      TcpStream::connect("127.0.0.1", proxy.port(), Deadlines{2.0, 2.0});
+  fresh.send_frame(bytes_of("alive"));
+  const auto back = fresh.recv_frame();
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, bytes_of("alive"));
+
+  const auto stats = proxy.stats();
+  EXPECT_EQ(stats.resets, 1u);
+  EXPECT_EQ(stats.connections, 2u);
+}
+
 }  // namespace
