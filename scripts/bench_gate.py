@@ -15,6 +15,9 @@ Gated metrics:
   migration.pack_p50_us                  lower is better
   vm.hot_loop_native_ms                  lower is better (native tier)
   vm.native_speedup                      higher is better
+  rank_density.ranks_per_core            higher is better (fiber density)
+  rank_density.coalesce_ratio            higher is better (frames/batch)
+  rank_density.perrank_cost_ratio        lower is better (dense vs small)
 
 Metrics missing from either file, non-positive baselines, and native-tier
 metrics on hosts where the vm record says jit_supported=0 are skipped with
@@ -31,6 +34,11 @@ import json
 import sys
 
 # (bench, key, direction) — direction "lower" or "higher" is better.
+# rank_density baselines are deliberate floors, not measured points:
+# ranks_per_core is a config constant (it regresses only if the dense run
+# stops completing), and coalesce_ratio's baseline of 50 is well under the
+# ~90+ a healthy run batches, so the gate trips on "coalescing broke"
+# (ratio collapses toward 1) rather than on scheduler timing jitter.
 GATED = [
     ("grid_checkpoint", "heat_fault_free_ms", "lower"),
     ("grid_checkpoint", "incremental_write_ratio", "lower"),
@@ -38,6 +46,9 @@ GATED = [
     ("migration", "pack_p50_us", "lower"),
     ("vm", "hot_loop_native_ms", "lower"),
     ("vm", "native_speedup", "higher"),
+    ("rank_density", "ranks_per_core", "higher"),
+    ("rank_density", "coalesce_ratio", "higher"),
+    ("rank_density", "perrank_cost_ratio", "lower"),
 ]
 
 # Metrics only meaningful when the native tier actually ran.

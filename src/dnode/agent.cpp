@@ -1,6 +1,7 @@
 #include "dnode/agent.hpp"
 
-#include <chrono>
+#include <algorithm>
+#include <sstream>
 
 #include "fir/serialize.hpp"
 #include "migrate/image.hpp"
@@ -18,9 +19,19 @@ using runtime::Value;
 namespace {
 
 /// Thrown out of a network external when the agent is shutting down; it
-/// unwinds the interpreter and terminates the rank thread (the dnode twin
-/// of the simulated cluster's NodeKilled).
+/// unwinds the interpreter and retires the rank fiber (the dnode twin of
+/// the simulated cluster's NodeKilled).
 struct AgentStopping {};
+
+/// Poller token namespaces: the listener, accepted connections, outbound
+/// peer links. The high 32 bits pick the namespace so ids never collide.
+constexpr std::uint64_t kTokListener = 1;
+constexpr std::uint64_t kTokConnBase = 1ull << 32;
+constexpr std::uint64_t kTokLinkBase = 2ull << 32;
+
+/// Stop queueing heartbeats once this many bytes sit unflushed on the
+/// coordinator connection (peer not draining); stale beats are useless.
+constexpr std::size_t kMaxStaleHeartbeatBytes = 64 * 1024;
 
 struct AgentMetrics {
   obs::Counter& launches;
@@ -92,21 +103,29 @@ class YieldHook final : public vm::MigrationHook {
 }  // namespace
 
 struct NodeAgent::Conn {
-  explicit Conn(net::TcpStream s) : stream(std::move(s)) {}
-  net::TcpStream stream;
-  std::mutex write_mu;
+  explicit Conn(net::TcpStream s) : sock(std::move(s)) {}
+  net::FramedSocket sock;
+  std::uint64_t token = 0;
   PeerKind kind = PeerKind::kAgent;
+  bool write_armed = false;
 };
 
-struct NodeAgent::PeerLink {
-  std::mutex mu;
-  net::TcpStream stream;  ///< invalid until dialed (and after a failure)
+struct NodeAgent::Link {
+  net::FramedSocket sock;
+  enum class State { kConnecting, kReady } state = State::kConnecting;
+  bool write_armed = true;  ///< EPOLLOUT stays armed while connecting
 };
 
 struct NodeAgent::RankSlot {
   std::uint32_t rank = 0;
-  std::thread thread;
   std::ostringstream output;
+  // Destruction order matters (reverse of declaration): the yield hook
+  // restores the migrator as the vm's hook, the migrator detaches itself,
+  // then the process goes.
+  std::unique_ptr<vm::Process> process;
+  std::unique_ptr<migrate::Migrator> migrator;
+  std::unique_ptr<YieldHook> yield_hook;
+
   /// The distributed poison flag: set by POISON/FORCE_ROLL frames, drained
   /// by msg_recv as MSG_ROLL (the agent-side half of consume_poison()).
   std::atomic<bool> poisoned{false};
@@ -116,10 +135,35 @@ struct NodeAgent::RankSlot {
   /// DATA, so the coordinator can fence dependency records that raced a
   /// ROLL_POISON (see docs/SPECULATION.md).
   std::atomic<std::uint64_t> epoch{0};
+  /// Commit count, also stamped into outgoing DATA. Replay logs and the
+  /// receiver-side delivered cache keep a payload long after its
+  /// speculation was discharged; without this stamp the epoch fence would
+  /// poison every late re-consume of committed data — and a resurrected
+  /// rank re-reading its border messages would be poisoned, roll back,
+  /// re-read the same cached payload, and livelock. Seeded from the
+  /// coordinator's RESURRECT so incarnations agree on the count.
+  std::atomic<std::uint64_t> commit_seq{0};
   std::atomic<bool> has_reported{false};
   std::atomic<double> reported{0};
 
-  std::mutex sent_mu;
+  // --- Fiber pacing gates (loop thread only). Every gate is checked
+  // BEFORE the external's side effects, so re-executing the instruction
+  // after a WouldBlock park is idempotent — the same contract that makes
+  // native-tier deoptimization safe. ------------------------------------
+  double next_send_at = 0;   ///< throttle + failed-send backoff
+  double sleep_until = -1;   ///< armed sleep_ms gate; -1 = none
+  bool roll_pace_armed = false;  ///< pacing a peer-down MSG_ROLL report
+  double roll_pace_until = 0;
+  struct RecvWait {
+    bool active = false;
+    std::uint64_t key = 0;
+    double start = 0;        ///< first wait on this key (timeout base)
+    double next_replay = 0;  ///< when to re-request from the replay log
+  } recv;
+  /// Set by an external just before it throws WouldBlock; the fiber parks
+  /// on this key.
+  std::uint64_t pending_wait_key = 0;
+
   /// Lazy cancellation (TimeWarp): hash of the last payload per (dst,
   /// tag); a byte-identical re-send after a rollback goes out at level 0.
   std::map<std::pair<std::uint32_t, std::int32_t>, std::uint64_t> sent_hashes;
@@ -130,14 +174,78 @@ struct NodeAgent::RankSlot {
       sent_log;
 };
 
+namespace {
+
+/// Store name for a rank's persisted sender replay log. The in-memory
+/// log dies with the agent, but a message that was in flight (or in the
+/// coalescing queue) when the agent was killed is gone with it too — and
+/// the sender's next incarnation resumes from its checkpoint, past the
+/// point where it would regenerate pre-checkpoint sends. A receiver still
+/// waiting on one of those messages would deadlock the cluster. So the
+/// log is persisted into the shared checkpoint store at every commit
+/// (the instant before the checkpoint itself) and restored at
+/// resurrection, making pre-checkpoint border sends replayable across
+/// incarnations.
+std::string send_log_snapshot(std::uint32_t rank) {
+  return "rank_" + std::to_string(rank) + "_sendlog";
+}
+
+std::vector<std::byte> encode_send_log(
+    const std::map<std::pair<std::uint32_t, std::int32_t>,
+                   std::vector<std::byte>>& sent_log,
+    const std::map<std::pair<std::uint32_t, std::int32_t>, std::uint64_t>&
+        sent_hashes) {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(sent_log.size()));
+  for (const auto& [key, payload] : sent_log) {
+    w.u32(key.first);
+    w.i32(key.second);
+    w.u32(static_cast<std::uint32_t>(payload.size()));
+    w.bytes(payload);
+  }
+  w.u32(static_cast<std::uint32_t>(sent_hashes.size()));
+  for (const auto& [key, hash] : sent_hashes) {
+    w.u32(key.first);
+    w.i32(key.second);
+    w.u64(hash);
+  }
+  return w.take();
+}
+
+void decode_send_log(
+    std::span<const std::byte> blob,
+    std::map<std::pair<std::uint32_t, std::int32_t>, std::vector<std::byte>>&
+        sent_log,
+    std::map<std::pair<std::uint32_t, std::int32_t>, std::uint64_t>&
+        sent_hashes) {
+  Reader r(blob);
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t dst = r.u32();
+    const std::int32_t tag = r.i32();
+    const std::uint32_t len = r.u32();
+    const auto span = r.bytes(len);
+    sent_log[{dst, tag}] = {span.begin(), span.end()};
+  }
+  const std::uint32_t m = r.u32();
+  for (std::uint32_t i = 0; i < m; ++i) {
+    const std::uint32_t dst = r.u32();
+    const std::int32_t tag = r.i32();
+    sent_hashes[{dst, tag}] = r.u64();
+  }
+}
+
+}  // namespace
+
 NodeAgent::NodeAgent(AgentConfig cfg)
     : cfg_(std::move(cfg)),
       listener_(cfg_.bind, cfg_.port),
       retry_(net::RetryPolicy::process_defaults()),
       store_(ckpt::CheckpointStore::open_shared(cfg_.storage_root,
                                                 cfg_.ckpt)) {
-  accept_thread_ = std::thread([this] { accept_loop(); });
-  heartbeat_thread_ = std::thread([this] { heartbeat_loop(); });
+  listener_.set_nonblocking();
+  poller_.add(listener_.fd(), kTokListener, true, false);
+  loop_thread_ = std::thread([this] { loop(); });
 }
 
 NodeAgent::~NodeAgent() { stop(); }
@@ -152,39 +260,24 @@ void NodeAgent::wait() {
 
 void NodeAgent::stop() {
   if (stopping_.exchange(true)) return;
+  {
+    std::lock_guard<std::mutex> lock(wait_mu_);
+    shutdown_requested_ = true;
+    wait_cv_.notify_all();
+  }
+  poller_.wake();
+  if (loop_thread_.joinable()) loop_thread_.join();
   listener_.shutdown();
-  mail_cv_.notify_all();
-  {
-    // Half-close every connection so readers blocked in recv_frame()
-    // observe an orderly close and exit; fds stay reserved until the
-    // Conn objects die after the join below.
-    std::lock_guard<std::mutex> lock(readers_mu_);
-    for (auto& conn : conns_) conn->stream.shutdown();
-  }
-  {
-    // Collect under the lock, join outside it: a rank thread unwinding
-    // through a network external takes mu_ on its way out.
-    std::vector<std::thread*> rank_threads;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      for (auto& [rank, slot] : slots_) rank_threads.push_back(&slot->thread);
-    }
-    for (std::thread* t : rank_threads) {
-      if (t->joinable()) t->join();
-    }
-  }
-  if (accept_thread_.joinable()) accept_thread_.join();
-  if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
-  {
-    std::lock_guard<std::mutex> lock(readers_mu_);
-    for (auto& t : readers_) {
-      if (t.joinable()) t.join();
-    }
-    readers_.clear();
-    conns_.clear();
-  }
-  std::lock_guard<std::mutex> lock(links_mu_);
+  // Loop thread is gone; tear down its sockets on this thread.
+  conns_.clear();
+  coordinator_.reset();
   links_.clear();
+}
+
+void NodeAgent::request_shutdown() {
+  std::lock_guard<std::mutex> lock(wait_mu_);
+  shutdown_requested_ = true;
+  wait_cv_.notify_all();
 }
 
 std::vector<std::uint32_t> NodeAgent::hosted_ranks() const {
@@ -196,51 +289,205 @@ std::vector<std::uint32_t> NodeAgent::hosted_ranks() const {
   return out;
 }
 
-void NodeAgent::accept_loop() {
-  while (auto stream = listener_.accept()) {
-    auto conn = std::make_shared<Conn>(std::move(*stream));
-    std::lock_guard<std::mutex> lock(readers_mu_);
+// --- Event loop ------------------------------------------------------------
+
+void NodeAgent::loop() {
+  /// Fiber slices per tick, bounding how long the network can go
+  /// unserviced while ranks compute.
+  constexpr int kSlicesPerTick = 256;
+  std::vector<net::Poller::Event> events;
+  next_heartbeat_ = now_seconds() + cfg_.heartbeat_seconds;
+  while (!stopping_.load()) {
+    int timeout_ms = 50;
+    if (sched_.has_runnable()) {
+      timeout_ms = 0;
+    } else {
+      const double now = now_seconds();
+      double next = next_heartbeat_;
+      const double dl = sched_.next_deadline();
+      if (dl > 0 && dl < next) next = dl;
+      const double delta_ms = (next - now) * 1000.0;
+      if (delta_ms <= 0) {
+        timeout_ms = 0;
+      } else if (delta_ms < 50) {
+        timeout_ms = static_cast<int>(delta_ms) + 1;
+      }
+    }
+    poller_.wait(events, timeout_ms);
     if (stopping_.load()) break;
-    conns_.push_back(conn);
-    readers_.emplace_back([this, conn] { reader_loop(conn); });
+    for (const net::Poller::Event& ev : events) {
+      if (ev.token == kTokListener) {
+        on_listener_ready();
+      } else if (ev.token >= kTokLinkBase) {
+        on_link_event(static_cast<std::uint32_t>(ev.token - kTokLinkBase), ev);
+      } else {
+        on_conn_event(ev.token, ev);
+      }
+      if (stopping_.load()) return;
+    }
+    const double now = now_seconds();
+    if (now >= next_heartbeat_) {
+      next_heartbeat_ = now + cfg_.heartbeat_seconds;
+      if (coordinator_) {
+        std::uint32_t live = 0;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          for (const auto& [rank, slot] : slots_) {
+            if (!slot->done.load()) ++live;
+          }
+        }
+        // Load model: ranks hosted, inflated by the deliberate throttle —
+        // a slowed agent looks (and is) more expensive per rank, which is
+        // what the coordinator's balancer keys off.
+        const double load =
+            static_cast<double>(live) * (1.0 + cfg_.throttle_ms);
+        // Skip the beat if the coordinator has stopped draining us: a
+        // heartbeat is only useful fresh, and queueing them behind a
+        // full pipe grows the outbox without bound.
+        if (coordinator_->sock.pending_bytes() < kMaxStaleHeartbeatBytes) {
+          AgentMetrics::get().heartbeats.inc();
+          send_to_coordinator(encode_heartbeat(my_agent_, load, live));
+        }
+      }
+    }
+    sched_.run_some(kSlicesPerTick, now);
+    flush_io();
   }
 }
 
-void NodeAgent::reader_loop(std::shared_ptr<Conn> conn) {
-  bool is_coordinator = false;
-  try {
-    while (!stopping_.load()) {
-      auto frame = conn->stream.recv_frame();
-      if (!frame.has_value()) break;  // peer closed
-      auto m = decode(*frame);
+void NodeAgent::on_listener_ready() {
+  while (auto stream = listener_.try_accept()) {
+    auto conn = std::make_shared<Conn>(std::move(*stream));
+    conn->token = kTokConnBase | next_conn_id_++;
+    poller_.add(conn->sock.fd(), conn->token, true, false);
+    conns_[conn->token] = std::move(conn);
+  }
+}
+
+void NodeAgent::on_conn_event(std::uint64_t token,
+                              const net::Poller::Event& ev) {
+  auto it = conns_.find(token);
+  if (it == conns_.end()) return;
+  std::shared_ptr<Conn> conn = it->second;
+  bool dead = ev.error;
+  if (ev.readable || ev.hup) {
+    std::vector<std::vector<std::byte>> frames;
+    if (!conn->sock.on_readable(frames)) dead = true;
+    for (const auto& frame : frames) {
+      auto m = decode(frame);
       if (!m.has_value()) {
         AgentMetrics::get().corrupt_frames.inc();
         continue;
       }
-      if (m->type == MsgType::kHello &&
-          m->peer_kind == PeerKind::kCoordinator) {
-        is_coordinator = true;
-      }
       handle_frame(*m, conn);
     }
-  } catch (const std::exception& e) {
+  }
+  if (!dead && ev.writable) {
+    if (!conn->sock.flush()) dead = true;
+  }
+  if (dead) drop_conn(token);
+}
+
+void NodeAgent::drop_conn(std::uint64_t token) {
+  auto it = conns_.find(token);
+  if (it == conns_.end()) return;
+  std::shared_ptr<Conn> conn = it->second;
+  poller_.remove(conn->sock.fd());
+  conns_.erase(it);
+  if (conn == coordinator_) {
+    coordinator_.reset();
     if (!stopping_.load()) {
-      MOJAVE_LOG(kWarn, "dnode") << "agent reader error: " << e.what();
+      // Coordinator gone: nothing can place, poison, or collect us
+      // anymore.
+      MOJAVE_LOG(kInfo, "dnode")
+          << "coordinator connection lost; shutting down";
+      request_shutdown();
     }
   }
-  if (is_coordinator && !stopping_.load()) {
-    // Coordinator gone: nothing can place, poison, or collect us anymore.
-    MOJAVE_LOG(kInfo, "dnode") << "coordinator connection lost; shutting down";
-    std::lock_guard<std::mutex> lock(wait_mu_);
-    shutdown_requested_ = true;
-    wait_cv_.notify_all();
+}
+
+void NodeAgent::on_link_event(std::uint32_t agent,
+                              const net::Poller::Event& ev) {
+  auto it = links_.find(agent);
+  if (it == links_.end()) return;
+  Link& link = *it->second;
+  if (ev.error) {
+    fail_link(agent);
+    return;
+  }
+  if (ev.writable && link.state == Link::State::kConnecting) {
+    try {
+      if (link.sock.stream().connect_finished()) {
+        link.state = Link::State::kReady;
+      }
+    } catch (const std::exception& e) {
+      MOJAVE_LOG(kDebug, "dnode")
+          << "link to agent " << agent << " failed: " << e.what();
+      fail_link(agent);
+      return;
+    }
+  }
+  if (ev.readable || ev.hup) {
+    // Peers answer on their own outbound links, so inbound bytes here are
+    // only ever an EOF/reset to notice.
+    std::vector<std::vector<std::byte>> frames;
+    if (!link.sock.on_readable(frames)) {
+      fail_link(agent);
+      return;
+    }
+    if (ev.hup && !link.sock.want_write()) fail_link(agent);
   }
 }
+
+void NodeAgent::fail_link(std::uint32_t agent) {
+  auto it = links_.find(agent);
+  if (it == links_.end()) return;
+  // Queued frames die with the link = dropped messages; the rollback-
+  // retry loop and the replay log recover, exactly as for a mid-flight
+  // TCP reset.
+  AgentMetrics::get().link_failures.inc();
+  poller_.remove(it->second->sock.fd());
+  links_.erase(it);
+}
+
+void NodeAgent::flush_io() {
+  std::vector<std::uint64_t> dead_conns;
+  for (auto& [token, conn] : conns_) {
+    bool ok = true;
+    if (conn->sock.want_write()) ok = conn->sock.flush();
+    if (!ok) {
+      dead_conns.push_back(token);
+      continue;
+    }
+    const bool want = conn->sock.want_write();
+    if (want != conn->write_armed) {
+      poller_.modify(conn->sock.fd(), token, true, want);
+      conn->write_armed = want;
+    }
+  }
+  for (std::uint64_t token : dead_conns) drop_conn(token);
+
+  std::vector<std::uint32_t> dead_links;
+  for (auto& [agent, link] : links_) {
+    if (link->state != Link::State::kReady) continue;  // EPOLLOUT armed
+    if (link->sock.want_write() && !link->sock.flush()) {
+      dead_links.push_back(agent);
+      continue;
+    }
+    const bool want = link->sock.want_write();
+    if (want != link->write_armed) {
+      poller_.modify(link->sock.fd(), kTokLinkBase | agent, true, want);
+      link->write_armed = want;
+    }
+  }
+  for (std::uint32_t agent : dead_links) fail_link(agent);
+}
+
+// --- Frame handling --------------------------------------------------------
 
 void NodeAgent::handle_frame(const Msg& m, const std::shared_ptr<Conn>& conn) {
   switch (m.type) {
     case MsgType::kHello: {
-      std::lock_guard<std::mutex> lock(mu_);
       conn->kind = m.peer_kind;
       if (m.peer_kind == PeerKind::kCoordinator) coordinator_ = conn;
       break;
@@ -266,8 +513,8 @@ void NodeAgent::handle_frame(const Msg& m, const std::shared_ptr<Conn>& conn) {
           }
         }
       }
-      // Receives blocked on a now-dead peer must wake to report MSG_ROLL.
-      mail_cv_.notify_all();
+      // Receives parked on a now-dead peer must wake to report MSG_ROLL.
+      sched_.wake_all();
       break;
     }
     case MsgType::kLaunch:
@@ -282,29 +529,24 @@ void NodeAgent::handle_frame(const Msg& m, const std::shared_ptr<Conn>& conn) {
     case MsgType::kPoison:
     case MsgType::kForceRoll: {
       AgentMetrics::get().poisons.inc();
-      std::lock_guard<std::mutex> lock(mu_);
       if (RankSlot* slot = find_slot(m.rank)) {
         slot->poisoned.store(true);
-        mail_cv_.notify_all();
+        sched_.wake(m.rank);
       }
       break;
     }
     case MsgType::kResurrect:
-      resurrect_rank(m.rank);
+      resurrect_rank(m.rank, m.commit_seq);
       break;
     case MsgType::kYieldRank: {
-      std::lock_guard<std::mutex> lock(mu_);
       if (RankSlot* slot = find_slot(m.rank)) {
         slot->yield_requested.store(true);
       }
       break;
     }
-    case MsgType::kShutdown: {
-      std::lock_guard<std::mutex> lock(wait_mu_);
-      shutdown_requested_ = true;
-      wait_cv_.notify_all();
+    case MsgType::kShutdown:
+      request_shutdown();
       break;
-    }
     default:
       break;  // coordinator-bound frames are not ours to handle
   }
@@ -338,10 +580,8 @@ void NodeAgent::handle_data(const Msg& m) {
 void NodeAgent::handle_replay_req(const Msg& m) {
   std::vector<std::byte> payload;
   {
-    std::lock_guard<std::mutex> lock(mu_);
     RankSlot* slot = find_slot(m.owner);
     if (slot == nullptr) return;  // owner moved on; its new host will serve
-    std::lock_guard<std::mutex> sent_lock(slot->sent_mu);
     const auto it = slot->sent_log.find({m.requester, m.tag});
     if (it == slot->sent_log.end()) return;  // never sent: requester waits
     payload = it->second;
@@ -353,11 +593,9 @@ void NodeAgent::handle_replay_req(const Msg& m) {
 void NodeAgent::deliver_local(std::uint32_t src, std::uint32_t dst,
                               std::int32_t tag,
                               std::vector<std::byte> payload) {
-  {
-    std::lock_guard<std::mutex> lock(mail_mu_);
-    mail_[dst].q[{src, tag}].push_back(std::move(payload));
-  }
-  mail_cv_.notify_all();
+  mail_[dst].q[{src, tag}].push_back(std::move(payload));
+  sched_.wake_key(recv_wait_key(src, static_cast<std::uint64_t>(
+                                         static_cast<std::uint32_t>(tag))));
 }
 
 bool NodeAgent::route_payload(std::uint32_t src, std::uint32_t dst,
@@ -387,85 +625,54 @@ void NodeAgent::request_replay(std::uint32_t src, std::uint32_t requester,
     agent = placement_[src].agent;
   }
   AgentMetrics::get().replay_requests.inc();
-  const auto frame = encode_replay_req(src, requester, tag);
+  auto frame = encode_replay_req(src, requester, tag);
   if (agent == my_agent_) {
     if (auto m = decode(frame)) handle_replay_req(*m);
   } else {
-    send_to_agent(agent, frame);
+    send_to_agent(agent, std::move(frame));
   }
 }
 
 bool NodeAgent::send_to_agent(std::uint32_t agent,
-                              std::span<const std::byte> frame) {
-  std::shared_ptr<PeerLink> link;
+                              std::vector<std::byte> frame) {
   AgentAddr addr;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (agent >= agents_.size()) return false;
     addr = agents_[agent];
   }
-  {
-    std::lock_guard<std::mutex> lock(links_mu_);
-    auto& slot = links_[agent];
-    if (!slot) slot = std::make_shared<PeerLink>();
-    link = slot;
-  }
-  std::lock_guard<std::mutex> lock(link->mu);
-  try {
-    if (!link->stream.valid()) {
-      link->stream =
-          net::TcpStream::connect(addr.host, addr.port, retry_.deadlines());
-      link->stream.send_frame(encode_hello(PeerKind::kAgent, my_agent_));
+  auto& lp = links_[agent];
+  if (!lp || !lp->sock.valid()) {
+    try {
+      auto stream = net::TcpStream::connect_begin(addr.host, addr.port);
+      lp = std::make_unique<Link>();
+      lp->sock = net::FramedSocket(std::move(stream));
+    } catch (const std::exception& e) {
+      AgentMetrics::get().link_failures.inc();
+      MOJAVE_LOG(kDebug, "dnode")
+          << "link to agent " << agent << " failed: " << e.what();
+      links_.erase(agent);
+      return false;
     }
-    link->stream.send_frame(frame);
-    return true;
-  } catch (const std::exception& e) {
-    // Drop the link so the next send redials; the caller treats this as a
-    // dropped message, which the rollback-retry loop and replay recover.
-    AgentMetrics::get().link_failures.inc();
-    MOJAVE_LOG(kDebug, "dnode")
-        << "link to agent " << agent << " failed: " << e.what();
-    link->stream.close();
-    return false;
+    lp->state = Link::State::kConnecting;
+    lp->sock.queue_frame(encode_hello(PeerKind::kAgent, my_agent_));
+    poller_.add(lp->sock.fd(), kTokLinkBase | agent, true, true);
+    lp->write_armed = true;
   }
+  // Queued, not yet on the wire: the frame rides the next flush tick,
+  // coalesced with everything else bound for this peer. A link that later
+  // fails drops its queue — the same "message lost" the replay protocol
+  // already recovers from.
+  lp->sock.queue_frame(std::move(frame));
+  return true;
 }
 
-void NodeAgent::send_to_coordinator(std::span<const std::byte> frame) {
-  std::shared_ptr<Conn> conn;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    conn = coordinator_;
-  }
-  if (!conn) return;
-  std::lock_guard<std::mutex> lock(conn->write_mu);
-  try {
-    conn->stream.send_frame(frame);
-  } catch (const std::exception&) {
-    // Coordinator gone; the reader's EOF path shuts the agent down.
-  }
+void NodeAgent::send_to_coordinator(std::vector<std::byte> frame) {
+  if (!coordinator_) return;
+  coordinator_->sock.queue_frame(std::move(frame));
 }
 
-void NodeAgent::heartbeat_loop() {
-  while (!stopping_.load()) {
-    std::this_thread::sleep_for(
-        std::chrono::duration<double>(cfg_.heartbeat_seconds));
-    if (stopping_.load()) return;
-    std::uint32_t live = 0;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (!coordinator_) continue;
-      for (const auto& [rank, slot] : slots_) {
-        if (!slot->done.load()) ++live;
-      }
-    }
-    // Load model: ranks hosted, inflated by the deliberate throttle — a
-    // slowed agent looks (and is) more expensive per rank, which is what
-    // the coordinator's balancer keys off.
-    const double load = static_cast<double>(live) * (1.0 + cfg_.throttle_ms);
-    AgentMetrics::get().heartbeats.inc();
-    send_to_coordinator(encode_heartbeat(my_agent_, load, live));
-  }
-}
+// --- Ranks as fibers -------------------------------------------------------
 
 void NodeAgent::register_externals(vm::Process& proc, RankSlot& slot) {
   vm::Interpreter& vm = proc.vm();
@@ -492,6 +699,13 @@ void NodeAgent::register_externals(vm::Process& proc, RankSlot& slot) {
         const runtime::PtrValue buf = args[2].as_ptr();
         const std::int64_t count = args[3].as_int();
         if (count < 0) throw SafetyError("msg_send negative count");
+        // Pacing gate (deliberate throttle + failed-send backoff), checked
+        // before any side effect so a parked send re-executes cleanly.
+        const double now = now_seconds();
+        if (now < slot.next_send_at) {
+          slot.pending_wait_key = rank_wait_key(rank);
+          throw vm::WouldBlock{slot.next_send_at};
+        }
         Writer vw;
         for (std::int64_t i = 0; i < count; ++i) {
           runtime::write_value(
@@ -503,31 +717,23 @@ void NodeAgent::register_externals(vm::Process& proc, RankSlot& slot) {
         // re-execution after a rollback) is not speculative — its
         // consumers already hold exactly this data.
         const std::uint64_t h = fnv1a(values);
-        bool duplicate = false;
-        {
-          std::lock_guard<std::mutex> lock(slot.sent_mu);
-          auto& prev = slot.sent_hashes[{dst, tag}];
-          duplicate = prev == h;
-          prev = h;
-        }
+        auto& prev = slot.sent_hashes[{dst, tag}];
+        const bool duplicate = prev == h;
+        prev = h;
         const std::uint32_t level =
             duplicate ? 0 : proc.spec().current_level();
         std::vector<std::byte> payload = encode_data_payload(
-            level, slot.epoch.load(), static_cast<std::uint32_t>(count),
-            values);
-        {
-          std::lock_guard<std::mutex> lock(slot.sent_mu);
-          slot.sent_log[{dst, tag}] = payload;
-        }
+            level, slot.epoch.load(), slot.commit_seq.load(),
+            static_cast<std::uint32_t>(count), values);
+        slot.sent_log[{dst, tag}] = payload;
         if (cfg_.throttle_ms > 0) {
-          std::this_thread::sleep_for(
-              std::chrono::duration<double>(cfg_.throttle_ms * 1e-3));
+          slot.next_send_at = now + cfg_.throttle_ms * 1e-3;
         }
         const bool ok = route_payload(rank, dst, tag, std::move(payload));
         if (!ok) {
-          // Dead destination or broken link: back off so the rollback-
-          // retry loop does not spin while the peer is resurrected.
-          std::this_thread::sleep_for(std::chrono::microseconds(500));
+          // Dead destination or no link: back off so the rollback-retry
+          // loop does not spin while the peer is resurrected.
+          slot.next_send_at = std::max(slot.next_send_at, now + 500e-6);
         }
         return Value::from_int(ok ? 0 : 1);
       });
@@ -537,67 +743,96 @@ void NodeAgent::register_externals(vm::Process& proc, RankSlot& slot) {
       [this, rank, &proc, &slot](vm::Interpreter& it,
                                  std::span<const Value> args) -> Value {
         if (args.size() != 4) throw SafetyError("msg_recv arity");
+        if (stopping_.load()) throw AgentStopping{};
         const auto src = static_cast<std::uint32_t>(args[0].as_int());
         const auto tag = static_cast<std::int32_t>(args[1].as_int());
         const runtime::PtrValue buf = args[2].as_ptr();
         const std::int64_t count = args[3].as_int();
         if (count < 0) throw SafetyError("msg_recv negative count");
-
-        // Poll in short slices so a poison frame (an upstream rollback),
-        // a placement change, or shutdown can interrupt a blocked receive.
-        std::vector<std::byte> payload;
-        double waited = 0;
-        double since_replay_req = 0;
-        while (true) {
-          if (stopping_.load()) throw AgentStopping{};
-          if (slot.poisoned.exchange(false)) return Value::from_int(1);
-          bool got = false;
-          {
-            std::unique_lock<std::mutex> lock(mail_mu_);
-            Mailbox& mb = mail_[rank];
-            const auto key = std::make_pair(src, tag);
-            if (auto qi = mb.q.find(key);
-                qi != mb.q.end() && !qi->second.empty()) {
-              payload = std::move(qi->second.front());
-              qi->second.pop_front();
-              mb.delivered[key] = payload;
-              got = true;
-            } else if (auto di = mb.delivered.find(key);
-                       di != mb.delivered.end()) {
-              // Receiver-side replay: a re-execution after rollback reads
-              // the message it already consumed.
-              payload = di->second;
-              got = true;
-            } else {
-              mail_cv_.wait_for(lock, std::chrono::milliseconds(5));
-            }
+        const double now = now_seconds();
+        if (slot.poisoned.load()) {
+          // Pace the poison-driven MSG_ROLL exactly like the peer-down
+          // one: the report triggers a rollback whose re-execution lands
+          // right back here, and an unpaced cycle spins the whole agent
+          // at slice speed if the coordinator keeps poisoning.
+          if (!slot.roll_pace_armed) {
+            slot.roll_pace_armed = true;
+            slot.roll_pace_until = now + 500e-6;
           }
-          if (got) break;
+          if (now < slot.roll_pace_until) {
+            slot.pending_wait_key = rank_wait_key(rank);
+            throw vm::WouldBlock{slot.roll_pace_until};
+          }
+          slot.roll_pace_armed = false;
+          slot.poisoned.store(false);
+          slot.recv.active = false;
+          return Value::from_int(1);  // MSG_ROLL
+        }
+        const auto key = std::make_pair(src, tag);
+        std::vector<std::byte> payload;
+        bool got = false;
+        Mailbox& mb = mail_[rank];
+        if (auto qi = mb.q.find(key); qi != mb.q.end() && !qi->second.empty()) {
+          payload = std::move(qi->second.front());
+          qi->second.pop_front();
+          mb.delivered[key] = payload;
+          got = true;
+        } else if (auto di = mb.delivered.find(key);
+                   di != mb.delivered.end()) {
+          // Receiver-side replay: a re-execution after rollback reads the
+          // message it already consumed.
+          payload = di->second;
+          got = true;
+        }
+        if (!got) {
           bool peer_down = false;
           {
             std::lock_guard<std::mutex> lock(mu_);
             peer_down = src < placement_.size() && !placement_[src].alive;
           }
           if (peer_down) {
-            std::this_thread::sleep_for(std::chrono::microseconds(500));
+            // Pace MSG_ROLL reports so the rollback-retry loop does not
+            // spin while the peer is resurrected.
+            if (!slot.roll_pace_armed) {
+              slot.roll_pace_armed = true;
+              slot.roll_pace_until = now + 500e-6;
+            }
+            if (now < slot.roll_pace_until) {
+              slot.pending_wait_key = rank_wait_key(rank);
+              throw vm::WouldBlock{slot.roll_pace_until};
+            }
+            slot.roll_pace_armed = false;
+            slot.recv.active = false;
             return Value::from_int(1);  // MSG_ROLL
           }
-          waited += 0.005;
-          since_replay_req += 0.005;
-          if (waited >= cfg_.recv_timeout_seconds) {
+          const std::uint64_t wkey = recv_wait_key(
+              src, static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag)));
+          if (!slot.recv.active || slot.recv.key != wkey) {
+            slot.recv = RankSlot::RecvWait{
+                true, wkey, now, now + cfg_.replay_request_seconds};
+          }
+          if (now - slot.recv.start >= cfg_.recv_timeout_seconds) {
+            slot.recv.active = false;
             MOJAVE_LOG(kDebug, "dnode") << "rank " << rank
                                         << " recv timeout from " << src
                                         << " tag " << tag;
             return Value::from_int(2);
           }
-          if (since_replay_req >= cfg_.replay_request_seconds) {
+          if (now >= slot.recv.next_replay) {
             // The message may have been lost with a dead agent or our own
             // previous incarnation's mailbox — re-request it from the
             // sender's replay log.
-            since_replay_req = 0;
+            slot.recv.next_replay = now + cfg_.replay_request_seconds;
             request_replay(src, rank, tag);
           }
+          const double deadline =
+              std::min(slot.recv.next_replay,
+                       slot.recv.start + cfg_.recv_timeout_seconds);
+          slot.pending_wait_key = wkey;
+          throw vm::WouldBlock{deadline};
         }
+        slot.recv.active = false;
+        slot.roll_pace_armed = false;
         // A rollback poisons dependents before the rolled-back sender can
         // send anything new; re-checking here keeps MSG_ROLL delivery
         // deterministic even when a fresh message raced in.
@@ -605,6 +840,7 @@ void NodeAgent::register_externals(vm::Process& proc, RankSlot& slot) {
         Reader r(payload);
         const std::uint32_t sender_level = r.u32();
         const std::uint64_t sender_epoch = r.u64();
+        const std::uint64_t sender_commit = r.u64();
         const std::uint32_t n = r.u32();
         if (sender_level > 0) {
           // Speculative data: join the sender's speculation (the
@@ -612,7 +848,7 @@ void NodeAgent::register_externals(vm::Process& proc, RankSlot& slot) {
           AgentMetrics::get().dep_records.inc();
           send_to_coordinator(encode_dep_record(src, sender_level, rank,
                                                 proc.spec().current_level(),
-                                                sender_epoch));
+                                                sender_epoch, sender_commit));
         }
         const std::uint32_t to_copy =
             std::min(n, static_cast<std::uint32_t>(count));
@@ -640,12 +876,21 @@ void NodeAgent::register_externals(vm::Process& proc, RankSlot& slot) {
         return Value::unit();
       });
 
-  vm.register_external("sleep_ms",
-                       [](vm::Interpreter&, std::span<const Value> args) {
-                         std::this_thread::sleep_for(std::chrono::milliseconds(
-                             args.empty() ? 0 : args[0].as_int()));
-                         return Value::unit();
-                       });
+  vm.register_external(
+      "sleep_ms",
+      [this, &slot](vm::Interpreter&, std::span<const Value> args) -> Value {
+        const double now = now_seconds();
+        if (slot.sleep_until < 0) {
+          const std::int64_t ms = args.empty() ? 0 : args[0].as_int();
+          slot.sleep_until = now + static_cast<double>(ms) * 1e-3;
+        }
+        if (now < slot.sleep_until) {
+          slot.pending_wait_key = rank_wait_key(slot.rank);
+          throw vm::WouldBlock{slot.sleep_until};
+        }
+        slot.sleep_until = -1;
+        return Value::unit();
+      });
 
   // Join protocol, reported over the wire: this rank's rollbacks bump its
   // epoch and emit ROLL_POISON; its durable commits emit COMMIT_DISCHARGE.
@@ -654,126 +899,182 @@ void NodeAgent::register_externals(vm::Process& proc, RankSlot& slot) {
     const std::uint64_t e = slot.epoch.fetch_add(1) + 1;
     send_to_coordinator(encode_roll_poison(rank, level, e));
   });
-  proc.spec().set_commit_observer([this, rank] {
+  proc.spec().set_commit_observer([this, rank, &slot] {
+    slot.commit_seq.fetch_add(1);
+    // Persist the replay log with the commit (see send_log_snapshot):
+    // the checkpoint taken at this commit point must be able to re-serve
+    // pre-checkpoint border sends even after this process dies.
+    try {
+      store_->put(send_log_snapshot(rank),
+                  encode_send_log(slot.sent_log, slot.sent_hashes));
+    } catch (const std::exception& e) {
+      MOJAVE_LOG(kWarn, "dnode")
+          << "rank " << rank << " send-log persist failed: " << e.what();
+    }
     send_to_coordinator(encode_commit_discharge(rank));
   });
 }
 
-void NodeAgent::run_rank(RankSlot& slot, vm::Process& proc, bool resumed,
-                         FunIndex resume_fun,
-                         std::vector<Value> resume_args) {
-  obs::ScopedSpan span("dnode", resumed ? "agent.resume_rank"
-                                        : "agent.run_rank");
-  span.set_arg("rank", slot.rank);
+RankScheduler::Step NodeAgent::step_rank(RankSlot& slot) {
+  vm::SliceResult r;
+  try {
+    r = slot.process->vm().run_slice(cfg_.slice_instructions);
+  } catch (const AgentStopping&) {
+    finish_rank(slot, 2, 0, "stopped");
+    return RankScheduler::Step{RankScheduler::Step::Kind::kDone, 0, 0};
+  } catch (const std::exception& e) {
+    finish_rank(slot, 2, 0, e.what());
+    return RankScheduler::Step{RankScheduler::Step::Kind::kDone, 0, 0};
+  }
+  switch (r.status) {
+    case vm::SliceResult::Status::kPreempted:
+      return RankScheduler::Step{RankScheduler::Step::Kind::kYield, 0, 0};
+    case vm::SliceResult::Status::kBlocked:
+      return RankScheduler::Step{RankScheduler::Step::Kind::kBlocked,
+                                 slot.pending_wait_key, r.block_deadline};
+    case vm::SliceResult::Status::kMigratedAway:
+      if (slot.yield_hook && slot.yield_hook->yielded()) {
+        AgentMetrics::get().yields.inc();
+        MOJAVE_LOG(kInfo, "dnode") << "rank " << slot.rank << " yielded";
+        send_to_coordinator(encode_rank_yielded(slot.rank, true));
+        slot.done.store(true);
+        return RankScheduler::Step{RankScheduler::Step::Kind::kDone, 0, 0};
+      }
+      finish_rank(slot, 1, r.exit_code, "");
+      return RankScheduler::Step{RankScheduler::Step::Kind::kDone, 0, 0};
+    case vm::SliceResult::Status::kHalted:
+    default:
+      finish_rank(slot, 0, r.exit_code, "");
+      return RankScheduler::Step{RankScheduler::Step::Kind::kDone, 0, 0};
+  }
+}
+
+void NodeAgent::finish_rank(RankSlot& slot, int result_kind,
+                            std::int64_t exit_code, const std::string& error) {
   Msg res;
   res.type = MsgType::kResult;
   res.rank = slot.rank;
-  bool yielded = false;
-  try {
-    migrate::Migrator migrator(proc);
-    YieldHook hook(proc, migrator, slot.yield_requested);
-    const vm::RunResult run =
-        resumed ? proc.resume(resume_fun, std::move(resume_args))
-                : proc.run();
-    yielded = hook.yielded();
-    res.result_kind = run.kind == vm::RunResult::Kind::kMigratedAway ? 1 : 0;
-    res.exit_code = run.exit_code;
-  } catch (const AgentStopping&) {
-    res.result_kind = 2;
-    res.error = "stopped";
-  } catch (const std::exception& e) {
-    res.result_kind = 2;
-    res.error = e.what();
-  }
+  res.result_kind = static_cast<std::uint8_t>(result_kind);
+  res.exit_code = exit_code;
+  res.error = error;
   res.output = slot.output.str();
-  res.instructions = proc.vm().stats().instructions;
-  const spec::SpecStats& st = proc.spec().stats();
-  res.speculates = st.speculates;
-  res.commits = st.commits;
-  res.rollbacks = st.rollbacks;
+  if (slot.process) {
+    res.instructions = slot.process->vm().stats().instructions;
+    const spec::SpecStats& st = slot.process->spec().stats();
+    res.speculates = st.speculates;
+    res.commits = st.commits;
+    res.rollbacks = st.rollbacks;
+  }
   res.has_reported = slot.has_reported.load();
   res.reported = slot.reported.load();
-  // Send before marking done: a reader thread replacing a done slot joins
-  // this thread under mu_, which send_to_coordinator also takes.
-  if (yielded) {
-    AgentMetrics::get().yields.inc();
-    MOJAVE_LOG(kInfo, "dnode") << "rank " << slot.rank << " yielded";
-    send_to_coordinator(encode_rank_yielded(slot.rank, true));
-  } else if (!stopping_.load()) {
-    send_to_coordinator(encode_result(res));
-  }
+  if (!stopping_.load()) send_to_coordinator(encode_result(res));
   slot.done.store(true);
+}
+
+void NodeAgent::adopt_slot(std::uint32_t rank,
+                           std::unique_ptr<RankSlot> slot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  slots_[rank] = std::move(slot);
 }
 
 void NodeAgent::launch_rank(std::uint32_t rank, std::vector<std::byte> image) {
   AgentMetrics::get().launches.inc();
-  std::lock_guard<std::mutex> lock(mu_);
   if (RankSlot* existing = find_slot(rank)) {
     if (!existing->done.load()) return;  // already running here
-    if (existing->thread.joinable()) existing->thread.join();
+    sched_.remove(rank);
+    std::lock_guard<std::mutex> lock(mu_);
     slots_.erase(rank);
   }
+  obs::ScopedSpan span("dnode", "agent.run_rank");
+  span.set_arg("rank", rank);
   auto slot = std::make_unique<RankSlot>();
   slot->rank = rank;
   RankSlot* sp = slot.get();
-  slots_[rank] = std::move(slot);
-  sp->thread = std::thread([this, rank, sp, img = std::move(image)] {
-    try {
-      fir::Program prog = fir::decode_program(img);
-      vm::ProcessConfig pcfg;
-      pcfg.heap = cfg_.heap;
-      pcfg.max_instructions = max_instructions_;
-      vm::Process proc(std::move(prog), pcfg);
-      register_externals(proc, *sp);
-      run_rank(*sp, proc, false, 0, {});
-    } catch (const std::exception& e) {
-      Msg res;
-      res.type = MsgType::kResult;
-      res.rank = rank;
-      res.result_kind = 2;
-      res.error = e.what();
-      send_to_coordinator(encode_result(res));
-      sp->done.store(true);
-    }
+  try {
+    fir::Program prog = fir::decode_program(image);
+    vm::ProcessConfig pcfg;
+    pcfg.heap = cfg_.heap;
+    pcfg.max_instructions = max_instructions_;
+    sp->process = std::make_unique<vm::Process>(std::move(prog), pcfg);
+    register_externals(*sp->process, *sp);
+    sp->migrator = std::make_unique<migrate::Migrator>(*sp->process);
+    sp->yield_hook = std::make_unique<YieldHook>(
+        *sp->process, *sp->migrator, sp->yield_requested);
+    sp->process->vm().start(sp->process->vm().compiled().entry, {});
+  } catch (const std::exception& e) {
+    finish_rank(*sp, 2, 0, e.what());
+    adopt_slot(rank, std::move(slot));
+    return;
+  }
+  adopt_slot(rank, std::move(slot));
+  sched_.spawn(rank, [this, sp](RankScheduler::FiberId) {
+    return step_rank(*sp);
   });
 }
 
-void NodeAgent::resurrect_rank(std::uint32_t rank) {
-  std::lock_guard<std::mutex> lock(mu_);
+void NodeAgent::resurrect_rank(std::uint32_t rank, std::uint64_t commit_seq) {
   if (RankSlot* existing = find_slot(rank)) {
     if (!existing->done.load()) return;  // at-most-one incarnation here
-    if (existing->thread.joinable()) existing->thread.join();
+    sched_.remove(rank);
+    std::lock_guard<std::mutex> lock(mu_);
     slots_.erase(rank);
   }
+  obs::ScopedSpan span("dnode", "agent.resume_rank");
+  span.set_arg("rank", rank);
   auto slot = std::make_unique<RankSlot>();
   slot->rank = rank;
+  slot->commit_seq.store(commit_seq);
   RankSlot* sp = slot.get();
-  slots_[rank] = std::move(slot);
-  sp->thread = std::thread([this, rank, sp] {
-    try {
-      const auto image = store_->restore("rank_" + std::to_string(rank));
-      if (!image.has_value()) {
-        send_to_coordinator(encode_rank_up(rank, false));
-        sp->done.store(true);
-        return;
-      }
-      vm::ProcessConfig pcfg;
-      pcfg.heap = cfg_.heap;
-      pcfg.max_instructions = max_instructions_;
-      migrate::UnpackResult unpacked = migrate::unpack_process(*image, pcfg);
-      register_externals(*unpacked.process, *sp);
-      AgentMetrics::get().resurrections.inc();
-      MOJAVE_LOG(kInfo, "dnode")
-          << "resurrecting rank " << rank << " from checkpoint";
-      send_to_coordinator(encode_rank_up(rank, true));
-      run_rank(*sp, *unpacked.process, true, unpacked.resume_fun,
-               std::move(unpacked.resume_args));
-    } catch (const std::exception& e) {
-      MOJAVE_LOG(kWarn, "dnode")
-          << "resurrect rank " << rank << " failed: " << e.what();
+  try {
+    const auto image = store_->restore("rank_" + std::to_string(rank));
+    if (!image.has_value()) {
       send_to_coordinator(encode_rank_up(rank, false));
       sp->done.store(true);
+      adopt_slot(rank, std::move(slot));
+      return;
     }
+    vm::ProcessConfig pcfg;
+    pcfg.heap = cfg_.heap;
+    pcfg.max_instructions = max_instructions_;
+    migrate::UnpackResult unpacked = migrate::unpack_process(*image, pcfg);
+    // The previous incarnation's sender replay log, persisted at its last
+    // commit. Without it this incarnation could not answer REPLAY_REQs
+    // for border messages sent before the checkpoint — messages a peer
+    // may have lost with the dead agent and still be parked on. The
+    // restored sent_hashes keep lazy cancellation across incarnations:
+    // deterministic re-sends of the same windows go out at level 0.
+    if (const auto log = store_->restore(send_log_snapshot(rank))) {
+      try {
+        decode_send_log(*log, sp->sent_log, sp->sent_hashes);
+      } catch (const std::exception& e) {
+        MOJAVE_LOG(kWarn, "dnode")
+            << "rank " << rank << " send-log restore failed: " << e.what();
+        sp->sent_log.clear();
+        sp->sent_hashes.clear();
+      }
+    }
+    sp->process = std::move(unpacked.process);
+    register_externals(*sp->process, *sp);
+    sp->migrator = std::make_unique<migrate::Migrator>(*sp->process);
+    sp->yield_hook = std::make_unique<YieldHook>(
+        *sp->process, *sp->migrator, sp->yield_requested);
+    sp->process->vm().start(unpacked.resume_fun,
+                            std::move(unpacked.resume_args));
+    AgentMetrics::get().resurrections.inc();
+    MOJAVE_LOG(kInfo, "dnode")
+        << "resurrecting rank " << rank << " from checkpoint";
+    send_to_coordinator(encode_rank_up(rank, true));
+  } catch (const std::exception& e) {
+    MOJAVE_LOG(kWarn, "dnode")
+        << "resurrect rank " << rank << " failed: " << e.what();
+    send_to_coordinator(encode_rank_up(rank, false));
+    sp->done.store(true);
+    adopt_slot(rank, std::move(slot));
+    return;
+  }
+  adopt_slot(rank, std::move(slot));
+  sched_.spawn(rank, [this, sp](RankScheduler::FiberId) {
+    return step_rank(*sp);
   });
 }
 

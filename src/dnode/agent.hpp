@@ -4,12 +4,24 @@
 // is that daemon grown into a full rank host. It listens on a real TCP
 // port (`mojc node --bind ADDR --port P --storage ROOT`), accepts one
 // control connection from the coordinator and data connections from peer
-// agents, and hosts managed processes (ranks) on threads:
+// agents, and hosts managed processes (ranks).
+//
+// Execution model (see docs/SCALING.md): one event-loop thread owns every
+// socket through a net::Poller and runs every rank as a userspace fiber
+// under a RankScheduler. Because the interpreter is CPS, a rank suspends
+// with nothing but (function, pc, registers) saved inside its own
+// Interpreter — so a parked rank costs a map entry, not a kernel thread,
+// and one agent hosts hundreds of ranks where the thread-per-rank design
+// topped out at dozens. Ranks advance in bounded instruction slices;
+// blocking externals (an empty mailbox, the send throttle, sleep_ms)
+// throw vm::WouldBlock and the fiber parks on a wait key until a frame,
+// a poison, or a deadline wakes it.
 //
 //  * msg_send / msg_recv between ranks route through per-rank mailboxes —
 //    locally when both ranks live here, over a framed + checksummed TCP
-//    link to the peer's agent otherwise. Outbound links are dialed lazily
-//    under the process RetryPolicy's deadlines.
+//    link to the peer's agent otherwise. Outbound links dial without
+//    blocking the loop; small DATA frames coalesce per (peer, tick) into
+//    one writev, large payloads go out zero-copy.
 //  * Sender-based replay logs (the MPICH-V companion of rollback
 //    recovery, same contract as SimNetwork's) answer REPLAY_REQ frames so
 //    a rolled-back or resurrected receiver can re-request border messages
@@ -23,9 +35,10 @@
 //    coordinator, rollbacks report ROLL_POISON, and inbound POISON frames
 //    make the rank's next receive report MSG_ROLL.
 //
-// A deliberately `throttle_ms`-slowed agent both runs slower and reports
-// an inflated load in its heartbeats — the knob the load-aware migration
-// experiment (and the paper's loaded-node evaluation) turns.
+// A deliberately `throttle_ms`-slowed agent both runs slower (a pacing
+// gate between sends) and reports an inflated load in its heartbeats —
+// the knob the load-aware migration experiment (and the paper's
+// loaded-node evaluation) turns.
 #pragma once
 
 #include <atomic>
@@ -36,15 +49,17 @@
 #include <map>
 #include <memory>
 #include <mutex>
-#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "ckpt/store.hpp"
+#include "dnode/sched.hpp"
 #include "dnode/wire.hpp"
+#include "net/poller.hpp"
 #include "net/retry.hpp"
 #include "net/tcp.hpp"
+#include "support/stopwatch.hpp"
 #include "vm/process.hpp"
 
 namespace mojave::dnode {
@@ -64,6 +79,9 @@ struct AgentConfig {
   /// How long a receive waits before re-requesting a missing message from
   /// the sender's replay log (and between repeat requests).
   double replay_request_seconds = 0.1;
+  /// Instructions a rank may run per scheduler slice before it is
+  /// preempted back to the event loop.
+  std::uint64_t slice_instructions = 20000;
   runtime::HeapConfig heap;
   ckpt::CheckpointStore::Options ckpt;
 };
@@ -82,15 +100,16 @@ class NodeAgent {
   /// connection) — the `mojc node` main loop.
   void wait();
 
-  /// Stop everything: ranks, readers, heartbeats, listener.
+  /// Stop everything: the event loop, all fibers, all sockets.
   void stop();
 
   /// Ranks currently hosted and running here (tests/monitoring).
   [[nodiscard]] std::vector<std::uint32_t> hosted_ranks() const;
 
  private:
-  struct Conn;       // one accepted or dialed connection + write lock
-  struct RankSlot;   // one hosted rank: process thread + mailbox + logs
+  struct Conn;       // one accepted connection (framed, non-blocking)
+  struct Link;       // one outbound data-plane link to a peer agent
+  struct RankSlot;   // one hosted rank: process + fiber + gates + logs
   struct Placement {
     std::uint32_t agent = 0;
     bool alive = true;
@@ -109,18 +128,30 @@ class NodeAgent {
         delivered;
   };
 
-  void accept_loop();
-  void reader_loop(std::shared_ptr<Conn> conn);
-  void heartbeat_loop();
+  // --- Event loop (all private state below is loop-thread-owned unless
+  // noted; mu_ guards the slices tests read from other threads). ---------
+  void loop();
+  void on_listener_ready();
+  void on_conn_event(std::uint64_t token, const net::Poller::Event& ev);
+  void on_link_event(std::uint32_t agent, const net::Poller::Event& ev);
+  void flush_io();  ///< end-of-tick: flush every dirty socket, re-arm
+
+  [[nodiscard]] double now_seconds() const { return clock_.seconds(); }
 
   void handle_frame(const Msg& m, const std::shared_ptr<Conn>& conn);
   void handle_data(const Msg& m);
   void handle_replay_req(const Msg& m);
+  void drop_conn(std::uint64_t token);
+  void fail_link(std::uint32_t agent);
+  void request_shutdown();
 
+  // --- Ranks as fibers --------------------------------------------------
   void launch_rank(std::uint32_t rank, std::vector<std::byte> image);
-  void resurrect_rank(std::uint32_t rank);
-  void run_rank(RankSlot& slot, vm::Process& proc, bool resumed,
-                FunIndex resume_fun, std::vector<runtime::Value> resume_args);
+  void resurrect_rank(std::uint32_t rank, std::uint64_t commit_seq);
+  void adopt_slot(std::uint32_t rank, std::unique_ptr<RankSlot> slot);
+  RankScheduler::Step step_rank(RankSlot& slot);
+  void finish_rank(RankSlot& slot, int result_kind, std::int64_t exit_code,
+                   const std::string& error);
   void register_externals(vm::Process& proc, RankSlot& slot);
   RankSlot* find_slot(std::uint32_t rank);
 
@@ -128,46 +159,43 @@ class NodeAgent {
   void deliver_local(std::uint32_t src, std::uint32_t dst, std::int32_t tag,
                      std::vector<std::byte> payload);
   /// Deliver locally or frame-and-forward to the agent hosting `dst`.
-  /// False when the rank is marked down or the link failed (= dropped;
-  /// the sender's rollback-retry loop and the replay log recover).
+  /// False when the rank is marked down or the link could not be dialed
+  /// (= dropped; the sender's rollback-retry loop and replay log recover).
   bool route_payload(std::uint32_t src, std::uint32_t dst, std::int32_t tag,
                      std::vector<std::byte> payload);
   /// Ask the agent hosting `src` to replay its last (requester, tag) send.
   void request_replay(std::uint32_t src, std::uint32_t requester,
                       std::int32_t tag);
-  bool send_to_agent(std::uint32_t agent, std::span<const std::byte> frame);
-  void send_to_coordinator(std::span<const std::byte> frame);
+  bool send_to_agent(std::uint32_t agent, std::vector<std::byte> frame);
+  void send_to_coordinator(std::vector<std::byte> frame);
 
   AgentConfig cfg_;
   net::TcpListener listener_;
   net::RetryPolicy retry_;
   std::shared_ptr<ckpt::CheckpointStore> store_;
+  Stopwatch clock_;  ///< the time base for every gate/deadline
 
-  std::thread accept_thread_;
-  std::thread heartbeat_thread_;
-  std::vector<std::thread> readers_;
-  std::mutex readers_mu_;
-  std::vector<std::shared_ptr<Conn>> conns_;  // guarded by readers_mu_
+  net::Poller poller_;
+  RankScheduler sched_{&poller_};
+  std::thread loop_thread_;
 
-  // Session state installed by CONFIG/PLACEMENT.
+  std::map<std::uint64_t, std::shared_ptr<Conn>> conns_;  // token → conn
+  std::uint64_t next_conn_id_ = 0;
+  std::shared_ptr<Conn> coordinator_;
+  std::map<std::uint32_t, std::unique_ptr<Link>> links_;  // agent → link
+  double next_heartbeat_ = 0;
+
+  // Session state installed by CONFIG/PLACEMENT. mu_ lets tests read the
+  // rank set while the loop mutates it.
   mutable std::mutex mu_;
   std::uint32_t my_agent_ = 0;
   std::uint32_t num_ranks_ = 0;
   std::uint64_t max_instructions_ = 0;
   std::vector<AgentAddr> agents_;
   std::vector<Placement> placement_;
-  std::shared_ptr<Conn> coordinator_;
   std::map<std::uint32_t, std::unique_ptr<RankSlot>> slots_;
 
-  // Outbound data-plane links, dialed lazily.
-  struct PeerLink;
-  std::map<std::uint32_t, std::shared_ptr<PeerLink>> links_;
-  std::mutex links_mu_;
-
-  // Inboxes for every rank this agent hosts (or is about to host).
-  mutable std::mutex mail_mu_;
-  std::condition_variable mail_cv_;
-  std::map<std::uint32_t, Mailbox> mail_;  // guarded by mail_mu_
+  std::map<std::uint32_t, Mailbox> mail_;
 
   std::atomic<bool> stopping_{false};
   std::mutex wait_mu_;

@@ -64,35 +64,34 @@ Coordinator::Coordinator(CoordinatorConfig cfg) : cfg_(std::move(cfg)) {
   };
   for (std::uint32_t a = 0; a < cfg_.agents.size(); ++a) {
     auto conn = std::make_unique<AgentConn>();
+    net::TcpStream stream;
     net::Backoff backoff(cfg_.retry);
     while (true) {
       try {
-        conn->stream = net::TcpStream::connect(
+        stream = net::TcpStream::connect(
             cfg_.agents[a].host, cfg_.agents[a].port, cfg_.retry.deadlines());
         break;
       } catch (const NetError&) {
         if (!backoff.retry_after_failure()) throw;
       }
     }
-    conn->stream.send_frame(encode_hello(PeerKind::kCoordinator, a));
-    conn->stream.send_frame(config_frame(a));
+    // Session setup stays blocking (the agent must hold CONFIG before any
+    // later frame); the stream then moves to the event loop non-blocking.
+    stream.send_frame(encode_hello(PeerKind::kCoordinator, a));
+    stream.send_frame(config_frame(a));
+    conn->sock = net::FramedSocket(std::move(stream));
     conn->last_heartbeat = now_seconds();
+    poller_.add(conn->sock.fd(), a, true, false);
     conns_.push_back(std::move(conn));
   }
   CoordMetrics::get().live_agents.set(
       static_cast<std::int64_t>(conns_.size()));
-  for (std::uint32_t a = 0; a < conns_.size(); ++a) {
-    conns_[a]->reader = std::thread([this, a] { reader_loop(a); });
-  }
-  monitor_ = std::thread([this] { monitor_loop(); });
+  loop_thread_ = std::thread([this] { loop(); });
 }
 
 Coordinator::~Coordinator() {
   shutdown_agents();
-  if (monitor_.joinable()) monitor_.join();
-  for (auto& conn : conns_) {
-    if (conn->reader.joinable()) conn->reader.join();
-  }
+  if (loop_thread_.joinable()) loop_thread_.join();
 }
 
 void Coordinator::launch_spmd(const fir::Program& program) {
@@ -127,15 +126,35 @@ void Coordinator::force_rollback(std::uint32_t rank) {
 }
 
 void Coordinator::shutdown_agents() {
-  if (stopping_.exchange(true)) return;
+  // Queue the SHUTDOWN frames first: the loop's final flush (triggered by
+  // stopping_) pushes them out before the thread exits. Every connection
+  // with an open socket gets one, including agents the failure detector
+  // has declared down — "down" is a suspicion, not ground truth, and a
+  // falsely-suspected agent that is actually alive must still be told to
+  // exit or a graceful teardown (and anything waitpid-ing on the agent
+  // process) hangs forever. A truly dead peer just costs a failed flush.
+  bool already = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    for (std::uint32_t a = 0; a < conns_.size(); ++a) {
-      if (conns_[a]->alive.load()) send_to_agent(a, encode_shutdown());
+    if (stopping_.load()) {
+      already = true;
+    } else {
+      // All frames must be in the outbox BEFORE stopping_ becomes
+      // visible: the loop thread exits its final flush the moment it
+      // sees stopping_ with an empty outbox, so a frame queued after
+      // that is a dead letter and its agent never exits.
+      {
+        std::lock_guard<std::mutex> qlock(outbox_mu_);
+        for (std::uint32_t a = 0; a < conns_.size(); ++a) {
+          outbox_.emplace_back(a, encode_shutdown());
+        }
+      }
+      stopping_.store(true);
     }
   }
+  if (already) return;
   done_cv_.notify_all();
-  for (auto& conn : conns_) conn->stream.shutdown();
+  poller_.wake();
 }
 
 std::uint32_t Coordinator::agent_of(std::uint32_t rank) const {
@@ -148,44 +167,82 @@ bool Coordinator::agent_alive(std::uint32_t agent) const {
 }
 
 void Coordinator::send_to_agent(std::uint32_t agent,
-                                std::span<const std::byte> frame) {
-  if (agent >= conns_.size() || !conns_[agent]->alive.load()) return;
-  AgentConn& conn = *conns_[agent];
-  std::lock_guard<std::mutex> lock(conn.write_mu);
-  try {
-    conn.stream.send_frame(frame);
-  } catch (const std::exception&) {
-    // The reader's EOF (or the heartbeat timeout) handles the failure.
+                                std::vector<std::byte> frame) {
+  if (agent >= conns_.size()) return;
+  // Suspected-down agents are only reachable during shutdown (see
+  // shutdown_agents()); everything else stops at the suspicion.
+  if (!conns_[agent]->alive.load() && !stopping_.load()) return;
+  {
+    std::lock_guard<std::mutex> lock(outbox_mu_);
+    outbox_.emplace_back(agent, std::move(frame));
+  }
+  poller_.wake();
+}
+
+void Coordinator::drain_outbox() {
+  std::vector<std::pair<std::uint32_t, std::vector<std::byte>>> pending;
+  {
+    std::lock_guard<std::mutex> lock(outbox_mu_);
+    pending.swap(outbox_);
+  }
+  // Deliver to any open socket, suspected-down or not: frames for dead
+  // agents only reach the outbox from shutdown_agents() (send_to_agent
+  // gates on liveness) or from a send that raced the down-verdict, and in
+  // both cases queuing onto a dead conn is harmless while dropping a
+  // SHUTDOWN for a falsely-suspected one strands a live process.
+  for (auto& [agent, frame] : pending) {
+    if (agent >= conns_.size() || !conns_[agent]->sock.valid()) continue;
+    conns_[agent]->sock.queue_frame(std::move(frame));
   }
 }
 
-void Coordinator::reader_loop(std::uint32_t agent) {
+void Coordinator::flush_io() {
+  for (std::uint32_t a = 0; a < conns_.size(); ++a) {
+    AgentConn& conn = *conns_[a];
+    if (!conn.alive.load() || !conn.sock.valid()) continue;
+    if (conn.sock.want_write() && !conn.sock.flush()) {
+      if (!stopping_.load()) {
+        std::lock_guard<std::mutex> lock(mu_);
+        agent_down_locked(a);
+      }
+      continue;
+    }
+    const bool want = conn.sock.want_write();
+    if (want != conn.write_armed) {
+      poller_.modify(conn.sock.fd(), a, true, want);
+      conn.write_armed = want;
+    }
+  }
+}
+
+void Coordinator::on_agent_event(std::uint32_t agent,
+                                 const net::Poller::Event& ev) {
   AgentConn& conn = *conns_[agent];
-  try {
-    while (!stopping_.load()) {
-      auto frame = conn.stream.recv_frame();
-      if (!frame.has_value()) break;
-      auto m = decode(*frame);
+  if (!conn.alive.load()) return;
+  bool dead = ev.error;
+  if (ev.readable || ev.hup) {
+    std::vector<std::vector<std::byte>> frames;
+    if (!conn.sock.on_readable(frames)) dead = true;
+    for (const auto& frame : frames) {
+      auto m = decode(frame);
       if (!m.has_value()) {
-        obs::MetricsRegistry::instance()
-            .counter("node.corrupt_frames")
-            .inc();
+        obs::MetricsRegistry::instance().counter("node.corrupt_frames").inc();
         continue;
       }
       handle_frame(agent, *m);
     }
-  } catch (const std::exception& e) {
-    if (!stopping_.load()) {
-      MOJAVE_LOG(kWarn, "dnode")
-          << "coordinator reader for agent " << agent << ": " << e.what();
-    }
   }
-  conn.reader_done.store(true);
-  if (!stopping_.load()) {
+  if (!dead && ev.writable) {
+    if (!conn.sock.flush()) dead = true;
+  }
+  if (dead) {
     // A SIGKILLed agent closes its sockets instantly; EOF here is the
     // fast failure-detection path (heartbeat timeout is the slow one).
-    std::lock_guard<std::mutex> lock(mu_);
-    agent_down_locked(agent);
+    poller_.remove(conn.sock.fd());
+    if (!stopping_.load()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      agent_down_locked(agent);
+    }
   }
 }
 
@@ -207,6 +264,7 @@ void Coordinator::handle_frame(std::uint32_t agent, const Msg& m) {
       CoordMetrics::get().discharges.inc();
       tracker_.on_commit_to_zero(m.rank);
       std::lock_guard<std::mutex> lock(mu_);
+      ++commit_counts_[m.rank];
       rollback_ring_.erase(m.rank);
       break;
     }
@@ -247,8 +305,19 @@ void Coordinator::handle_dep_record(const Msg& m) {
     std::lock_guard<std::mutex> lock(mu_);
     const auto ring = rollback_ring_.find(m.sender);
     if (ring != rollback_ring_.end()) {
-      for (const auto& [epoch, level] : ring->second) {
-        if (epoch > m.epoch && level <= m.sender_level) {
+      for (const RollbackFence& f : ring->second) {
+        // Commits between the send and this rollback discharged that many
+        // levels of the send's speculation; what the rollback reverted is
+        // only the remainder. Effective level 0 = the data was committed
+        // before the rollback and stays valid no matter what the sender
+        // did afterwards.
+        const std::uint64_t commits_since =
+            f.commits > m.commit_seq ? f.commits - m.commit_seq : 0;
+        const std::uint32_t effective =
+            m.sender_level > commits_since
+                ? m.sender_level - static_cast<std::uint32_t>(commits_since)
+                : 0;
+        if (effective > 0 && f.epoch > m.epoch && f.level <= effective) {
           // Epoch fence: the data was sent before a rollback that already
           // reverted sender_level — the speculation this record would
           // join no longer exists. Poison the receiver directly.
@@ -268,7 +337,7 @@ void Coordinator::handle_roll_poison(const Msg& m) {
       tracker_.on_rollback(m.rank, m.level);
   std::lock_guard<std::mutex> lock(mu_);
   auto& ring = rollback_ring_[m.rank];
-  ring.emplace_back(m.epoch, m.level);
+  ring.push_back(RollbackFence{m.epoch, m.level, commit_counts_[m.rank]});
   if (ring.size() > kRollbackRingCap) ring.pop_front();
   for (const std::uint32_t p : poisoned) {
     tracker_.consume_poison(p);  // delivered as a POISON frame instead
@@ -297,7 +366,7 @@ void Coordinator::handle_rank_yielded(std::uint32_t rank) {
   placement_[rank].agent = target;
   broadcast_placement_locked();
   CoordMetrics::get().resurrect_requests.inc();
-  send_to_agent(target, encode_resurrect(rank));
+  send_to_agent(target, encode_resurrect(rank, commit_counts_[rank]));
 }
 
 void Coordinator::handle_rank_up(const Msg& m) {
@@ -320,6 +389,11 @@ void Coordinator::handle_rank_up(const Msg& m) {
 
 void Coordinator::agent_down_locked(std::uint32_t agent) {
   if (!conns_[agent]->alive.exchange(false)) return;
+  // Deregister the fd: on_agent_event() ignores suspected-down conns, so
+  // leaving it armed would make every unread byte a level-triggered
+  // wakeup — the loop would spin hot forever on a peer that keeps
+  // talking. The socket itself stays open for shutdown_agents().
+  if (conns_[agent]->sock.valid()) poller_.remove(conns_[agent]->sock.fd());
   CoordMetrics::get().agent_failures.inc();
   CoordMetrics::get().live_agents.add(-1);
   MOJAVE_LOG(kInfo, "dnode") << "agent " << agent << " is down";
@@ -334,7 +408,8 @@ void Coordinator::agent_down_locked(std::uint32_t agent) {
       poison_rank_locked(p);
     }
     auto& ring = rollback_ring_[e.rank];
-    ring.emplace_back(~std::uint64_t{0}, 1);
+    ring.push_back(
+        RollbackFence{~std::uint64_t{0}, 1, commit_counts_[e.rank]});
     if (ring.size() > kRollbackRingCap) ring.pop_front();
     if (!outcomes_[e.rank].done) {
       pending_resurrect_[e.rank] = PendingResurrect{};
@@ -400,38 +475,89 @@ void Coordinator::balance_locked(double now) {
   }
 }
 
-void Coordinator::monitor_loop() {
+void Coordinator::monitor_tick(double now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::uint32_t a = 0; a < conns_.size(); ++a) {
+    if (!conns_[a]->alive.load()) continue;
+    if (now - conns_[a]->last_heartbeat > cfg_.heartbeat_timeout_seconds) {
+      agent_down_locked(a);
+    }
+  }
+  for (auto it = pending_resurrect_.begin();
+       it != pending_resurrect_.end(); ++it) {
+    const std::uint32_t rank = it->first;
+    PendingResurrect& pr = it->second;
+    if (now < pr.not_before) continue;
+    // Re-issue to the pinned target while it lives (the agent's own
+    // at-most-one-incarnation guard makes the repeat idempotent); only
+    // pick a new home when there is none.
+    if (pr.target == kNoAgent || !conns_[pr.target]->alive.load()) {
+      pr.target = pick_target_locked(kNoAgent);
+    }
+    if (pr.target == kNoAgent) break;  // no live agents; keep pending
+    placement_[rank].agent = pr.target;
+    CoordMetrics::get().resurrect_requests.inc();
+    send_to_agent(pr.target, encode_resurrect(rank, commit_counts_[rank]));
+    // Re-arm far enough out that a slow restore is not double-issued;
+    // RANK_UP erases the entry.
+    pr.not_before = now + 1.0;
+  }
+  balance_locked(now);
+}
+
+void Coordinator::loop() {
+  constexpr double kMonitorInterval = 0.02;
+  std::vector<net::Poller::Event> events;
+  double next_monitor = now_seconds() + kMonitorInterval;
   while (!stopping_.load()) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
     const double now = now_seconds();
-    std::lock_guard<std::mutex> lock(mu_);
-    for (std::uint32_t a = 0; a < conns_.size(); ++a) {
-      if (!conns_[a]->alive.load()) continue;
-      if (conns_[a]->reader_done.load() ||
-          now - conns_[a]->last_heartbeat > cfg_.heartbeat_timeout_seconds) {
-        agent_down_locked(a);
+    int timeout_ms = static_cast<int>((next_monitor - now) * 1000.0) + 1;
+    if (timeout_ms < 0) timeout_ms = 0;
+    if (timeout_ms > 20) timeout_ms = 20;
+    poller_.wait(events, timeout_ms);
+    if (stopping_.load()) break;
+    drain_outbox();
+    for (const net::Poller::Event& ev : events) {
+      if (ev.token < conns_.size()) {
+        on_agent_event(static_cast<std::uint32_t>(ev.token), ev);
       }
     }
-    for (auto it = pending_resurrect_.begin();
-         it != pending_resurrect_.end(); ++it) {
-      const std::uint32_t rank = it->first;
-      PendingResurrect& pr = it->second;
-      if (now < pr.not_before) continue;
-      // Re-issue to the pinned target while it lives (the agent's own
-      // at-most-one-incarnation guard makes the repeat idempotent); only
-      // pick a new home when there is none.
-      if (pr.target == kNoAgent || !conns_[pr.target]->alive.load()) {
-        pr.target = pick_target_locked(kNoAgent);
-      }
-      if (pr.target == kNoAgent) break;  // no live agents; keep pending
-      placement_[rank].agent = pr.target;
-      CoordMetrics::get().resurrect_requests.inc();
-      send_to_agent(pr.target, encode_resurrect(rank));
-      // Re-arm far enough out that a slow restore is not double-issued;
-      // RANK_UP erases the entry.
-      pr.not_before = now + 1.0;
+    const double after = now_seconds();
+    if (after >= next_monitor) {
+      next_monitor = after + kMonitorInterval;
+      monitor_tick(after);
     }
-    balance_locked(now);
+    drain_outbox();  // frames queued by handlers and the monitor
+    flush_io();
+  }
+  final_flush();
+}
+
+void Coordinator::final_flush() {
+  // Best-effort: give the queued SHUTDOWN frames a moment to reach the
+  // agents; anything unflushed dies with the connection (a killed agent
+  // is already gone anyway).
+  const double deadline = now_seconds() + 0.5;
+  std::vector<net::Poller::Event> events;
+  while (now_seconds() < deadline) {
+    drain_outbox();
+    bool pending = false;
+    for (auto& conn : conns_) {
+      if (!conn->sock.valid()) continue;
+      if (conn->sock.want_write() && !conn->sock.flush()) {
+        // Truly dead peer: close it so the retry loop stops trying.
+        conn->alive.store(false);
+        conn->sock = net::FramedSocket();
+        continue;
+      }
+      pending = pending || conn->sock.want_write();
+    }
+    {
+      std::lock_guard<std::mutex> lock(outbox_mu_);
+      pending = pending || !outbox_.empty();
+    }
+    if (!pending) break;
+    poller_.wait(events, 5);
   }
 }
 

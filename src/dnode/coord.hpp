@@ -41,6 +41,7 @@
 #include "cluster/tracker.hpp"
 #include "dnode/wire.hpp"
 #include "fir/ir.hpp"
+#include "net/poller.hpp"
 #include "net/retry.hpp"
 #include "net/tcp.hpp"
 
@@ -113,18 +114,27 @@ class Coordinator {
   [[nodiscard]] cluster::DependencyTracker& tracker() { return tracker_; }
 
  private:
+  /// One agent's control connection, owned by the event loop. All frames
+  /// out of the coordinator go through a thread-safe outbox drained by
+  /// the loop thread, so public methods never write a non-blocking fd
+  /// from the wrong thread.
   struct AgentConn {
-    net::TcpStream stream;
-    std::mutex write_mu;
-    std::thread reader;
+    net::FramedSocket sock;
     std::atomic<bool> alive{true};
-    std::atomic<bool> reader_done{false};
+    bool write_armed = false;   ///< loop thread only
     double last_heartbeat = 0;  ///< guarded by mu_
     double load = 0;            ///< guarded by mu_
   };
 
-  void reader_loop(std::uint32_t agent);
-  void monitor_loop();
+  /// The single control-plane thread: epoll over every agent connection
+  /// (replacing one reader thread per agent) with the 20 ms monitor pass
+  /// (heartbeat timeouts, resurrection retries, balancing) as a timer.
+  void loop();
+  void on_agent_event(std::uint32_t agent, const net::Poller::Event& ev);
+  void monitor_tick(double now);
+  void drain_outbox();
+  void flush_io();
+  void final_flush();  ///< push SHUTDOWN frames out before the loop exits
 
   void handle_frame(std::uint32_t agent, const Msg& m);
   void handle_dep_record(const Msg& m);
@@ -136,7 +146,8 @@ class Coordinator {
   /// their resurrection on surviving agents. Requires mu_.
   void agent_down_locked(std::uint32_t agent);
   void broadcast_placement_locked();
-  void send_to_agent(std::uint32_t agent, std::span<const std::byte> frame);
+  /// Thread-safe: enqueue a frame for the loop thread to transmit.
+  void send_to_agent(std::uint32_t agent, std::vector<std::byte> frame);
   void poison_rank_locked(std::uint32_t rank);
   /// Least-loaded live agent (excluding `except`; kNoAgent = none).
   [[nodiscard]] std::uint32_t pick_target_locked(std::uint32_t except) const;
@@ -147,7 +158,10 @@ class Coordinator {
   CoordinatorConfig cfg_;
   cluster::DependencyTracker tracker_;
   std::vector<std::unique_ptr<AgentConn>> conns_;
-  std::thread monitor_;
+  net::Poller poller_;
+  std::thread loop_thread_;
+  std::mutex outbox_mu_;
+  std::vector<std::pair<std::uint32_t, std::vector<std::byte>>> outbox_;
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> migrations_{0};
   std::atomic<std::uint64_t> resurrections_{0};
@@ -156,12 +170,23 @@ class Coordinator {
   std::condition_variable done_cv_;
   std::vector<PlacementEntry> placement_;
   std::vector<RankOutcome> outcomes_;
-  /// Epoch fence: recent rollbacks per rank as (epoch, level) pairs; a
-  /// DEP_RECORD whose (epoch, sender_level) predates one of these joins a
-  /// speculation that no longer exists. Cleared on commit-to-zero and on
-  /// resurrection (both reset the rank's speculation state).
-  std::map<std::uint32_t, std::deque<std::pair<std::uint64_t, std::uint32_t>>>
-      rollback_ring_;
+  /// Epoch fence: recent rollbacks per rank. A DEP_RECORD whose (epoch,
+  /// sender_level) predates one of these joins a speculation that no
+  /// longer exists. `commits` is the rank's discharge count at the
+  /// rollback: commits between the fenced send and the rollback lower the
+  /// send's effective level (a commit-to-zero made level-1 data durable),
+  /// so a late re-consume of committed data — a resurrected rank reading
+  /// its neighbors' replay logs — is not poisoned. Cleared on
+  /// commit-to-zero and on resurrection (both reset speculation state).
+  struct RollbackFence {
+    std::uint64_t epoch = 0;
+    std::uint32_t level = 0;
+    std::uint64_t commits = 0;
+  };
+  std::map<std::uint32_t, std::deque<RollbackFence>> rollback_ring_;
+  /// COMMIT_DISCHARGE count per rank (survives resurrection; RESURRECT
+  /// carries it so the new incarnation stamps sends consistently).
+  std::map<std::uint32_t, std::uint64_t> commit_counts_;
   /// Ranks awaiting a (re)try of RESURRECT. `target` pins the agent a
   /// request was issued to, so a retry cannot start a second incarnation
   /// somewhere else while the first is still restoring.

@@ -1,0 +1,219 @@
+#include "dnode/sched.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "net/poller.hpp"
+#include "obs/metrics.hpp"
+
+namespace mojave::dnode {
+
+namespace {
+
+struct SchedMetrics {
+  obs::Counter& slices;
+  obs::Counter& yields;
+  obs::Counter& blocks;
+  obs::Counter& wakes;
+  obs::Counter& deadline_wakes;
+  obs::Gauge& fibers;
+
+  static SchedMetrics& get() {
+    static SchedMetrics m{
+        obs::MetricsRegistry::instance().counter("sched.slices"),
+        obs::MetricsRegistry::instance().counter("sched.yields"),
+        obs::MetricsRegistry::instance().counter("sched.blocks"),
+        obs::MetricsRegistry::instance().counter("sched.wakes"),
+        obs::MetricsRegistry::instance().counter("sched.deadline_wakes"),
+        obs::MetricsRegistry::instance().gauge("sched.fibers"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
+void RankScheduler::spawn(FiberId id, Body body) {
+  Fiber f;
+  f.body = std::move(body);
+  auto [it, inserted] = fibers_.insert_or_assign(id, std::move(f));
+  enqueue(id, it->second);
+  SchedMetrics::get().fibers.set(static_cast<std::int64_t>(fibers_.size()));
+}
+
+void RankScheduler::remove(FiberId id) {
+  auto it = fibers_.find(id);
+  if (it == fibers_.end()) return;
+  if (it->second.state == Fiber::State::kBlocked) {
+    auto w = waiters_.find(it->second.wait_key);
+    if (w != waiters_.end()) {
+      std::erase(w->second, id);
+      if (w->second.empty()) waiters_.erase(w);
+    }
+  }
+  // A stale runq_ entry is tolerated: run_some skips ids with no fiber.
+  fibers_.erase(it);
+  SchedMetrics::get().fibers.set(static_cast<std::int64_t>(fibers_.size()));
+}
+
+void RankScheduler::enqueue(FiberId id, Fiber& f) {
+  f.state = Fiber::State::kRunnable;
+  f.wait_key = 0;
+  f.deadline = 0;
+  if (!f.queued) {
+    f.queued = true;
+    runq_.push_back(id);
+  }
+}
+
+void RankScheduler::wake_key(std::uint64_t key) {
+  {
+    std::lock_guard<std::mutex> lk(wake_mu_);
+    pending_key_wakes_.push_back(key);
+  }
+  if (poller_) poller_->wake();
+}
+
+void RankScheduler::wake(FiberId id) {
+  {
+    std::lock_guard<std::mutex> lk(wake_mu_);
+    pending_id_wakes_.push_back(id);
+  }
+  if (poller_) poller_->wake();
+}
+
+void RankScheduler::wake_key_locked(std::uint64_t key) {
+  auto w = waiters_.find(key);
+  if (w == waiters_.end()) return;
+  auto& m = SchedMetrics::get();
+  for (FiberId id : w->second) {
+    auto it = fibers_.find(id);
+    if (it == fibers_.end()) continue;
+    m.wakes.inc();
+    enqueue(id, it->second);
+  }
+  waiters_.erase(w);
+}
+
+void RankScheduler::wake_all() {
+  auto& m = SchedMetrics::get();
+  for (auto& [id, f] : fibers_) {
+    if (f.state != Fiber::State::kBlocked) continue;
+    m.wakes.inc();
+    enqueue(id, f);
+  }
+  waiters_.clear();
+}
+
+void RankScheduler::drain_wakes() {
+  std::vector<std::uint64_t> keys;
+  std::vector<FiberId> ids;
+  {
+    std::lock_guard<std::mutex> lk(wake_mu_);
+    keys.swap(pending_key_wakes_);
+    ids.swap(pending_id_wakes_);
+  }
+  for (std::uint64_t k : keys) wake_key_locked(k);
+  for (FiberId id : ids) {
+    auto it = fibers_.find(id);
+    if (it == fibers_.end() || it->second.state != Fiber::State::kBlocked) {
+      continue;
+    }
+    auto w = waiters_.find(it->second.wait_key);
+    if (w != waiters_.end()) {
+      std::erase(w->second, id);
+      if (w->second.empty()) waiters_.erase(w);
+    }
+    SchedMetrics::get().wakes.inc();
+    enqueue(id, it->second);
+  }
+}
+
+void RankScheduler::expire_deadlines(double now_seconds) {
+  auto& m = SchedMetrics::get();
+  std::vector<FiberId> due;
+  for (auto& [id, f] : fibers_) {
+    if (f.state == Fiber::State::kBlocked && f.deadline > 0 &&
+        f.deadline <= now_seconds) {
+      due.push_back(id);
+    }
+  }
+  for (FiberId id : due) {
+    Fiber& f = fibers_[id];
+    auto w = waiters_.find(f.wait_key);
+    if (w != waiters_.end()) {
+      std::erase(w->second, id);
+      if (w->second.empty()) waiters_.erase(w);
+    }
+    m.deadline_wakes.inc();
+    enqueue(id, f);
+  }
+}
+
+double RankScheduler::next_deadline() const {
+  double best = 0;
+  for (const auto& [id, f] : fibers_) {
+    (void)id;
+    if (f.state != Fiber::State::kBlocked || f.deadline <= 0) continue;
+    if (best == 0 || f.deadline < best) best = f.deadline;
+  }
+  return best;
+}
+
+bool RankScheduler::idle() const {
+  bool wakes_pending;
+  {
+    auto* self = const_cast<RankScheduler*>(this);
+    std::lock_guard<std::mutex> lk(self->wake_mu_);
+    wakes_pending = !pending_key_wakes_.empty() || !pending_id_wakes_.empty();
+  }
+  return runq_.empty() && !wakes_pending;
+}
+
+bool RankScheduler::run_some(int max_steps, double now_seconds) {
+  drain_wakes();
+  expire_deadlines(now_seconds);
+  auto& m = SchedMetrics::get();
+  for (int i = 0; i < max_steps && !runq_.empty(); ++i) {
+    const FiberId id = runq_.front();
+    runq_.pop_front();
+    auto it = fibers_.find(id);
+    if (it == fibers_.end()) continue;  // removed while queued
+    Fiber& f = it->second;
+    f.queued = false;
+    if (f.state != Fiber::State::kRunnable) continue;
+    f.state = Fiber::State::kRunning;
+    m.slices.inc();
+    Step step;
+    try {
+      step = f.body(id);
+    } catch (...) {
+      remove(id);
+      throw;
+    }
+    // The body may have spawned/removed fibers; re-find ourselves.
+    it = fibers_.find(id);
+    if (it == fibers_.end()) continue;
+    Fiber& g = it->second;
+    switch (step.kind) {
+      case Step::Kind::kYield:
+        m.yields.inc();
+        enqueue(id, g);
+        break;
+      case Step::Kind::kBlocked:
+        m.blocks.inc();
+        g.state = Fiber::State::kBlocked;
+        g.wait_key = step.wait_key;
+        g.deadline = step.deadline;
+        waiters_[step.wait_key].push_back(id);
+        break;
+      case Step::Kind::kDone:
+        remove(id);
+        break;
+    }
+  }
+  // Wakes posted by bodies during this batch become visible next call.
+  return !runq_.empty();
+}
+
+}  // namespace mojave::dnode

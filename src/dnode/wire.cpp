@@ -122,13 +122,15 @@ std::vector<std::byte> encode_dep_record(std::uint32_t sender,
                                          std::uint32_t sender_level,
                                          std::uint32_t receiver,
                                          std::uint32_t receiver_level,
-                                         std::uint64_t epoch) {
+                                         std::uint64_t epoch,
+                                         std::uint64_t commit_seq) {
   Writer w = begin(MsgType::kDepRecord);
   w.u32(sender);
   w.u32(sender_level);
   w.u32(receiver);
   w.u32(receiver_level);
   w.u64(epoch);
+  w.u64(commit_seq);
   return finish(w);
 }
 
@@ -163,9 +165,11 @@ std::vector<std::byte> encode_heartbeat(std::uint32_t agent, double load,
   return finish(w);
 }
 
-std::vector<std::byte> encode_resurrect(std::uint32_t rank) {
+std::vector<std::byte> encode_resurrect(std::uint32_t rank,
+                                        std::uint64_t commit_seq) {
   Writer w = begin(MsgType::kResurrect);
   w.u32(rank);
+  w.u64(commit_seq);
   return finish(w);
 }
 
@@ -218,11 +222,13 @@ std::vector<std::byte> encode_shutdown() {
 
 std::vector<std::byte> encode_data_payload(std::uint32_t spec_level,
                                            std::uint64_t epoch,
+                                           std::uint64_t commit_seq,
                                            std::uint32_t count,
                                            std::span<const std::byte> values) {
   Writer w;
   w.u32(spec_level);
   w.u64(epoch);
+  w.u64(commit_seq);
   w.u32(count);
   w.bytes(values);
   return w.take();
@@ -299,15 +305,19 @@ std::optional<Msg> decode(std::span<const std::byte> frame) {
         m.receiver = r.u32();
         m.receiver_level = r.u32();
         m.epoch = r.u64();
+        m.commit_seq = r.u64();
         break;
       case MsgType::kRollPoison:
         m.rank = r.u32();
         m.level = r.u32();
         m.epoch = r.u64();
         break;
+      case MsgType::kResurrect:
+        m.rank = r.u32();
+        m.commit_seq = r.u64();
+        break;
       case MsgType::kPoison:
       case MsgType::kCommitDischarge:
-      case MsgType::kResurrect:
       case MsgType::kYieldRank:
       case MsgType::kForceRoll:
         m.rank = r.u32();

@@ -98,6 +98,7 @@ struct Msg {
   std::uint32_t sender = 0, receiver = 0;            // DEP_RECORD
   std::uint32_t sender_level = 0, receiver_level = 0;  // DEP_RECORD
   std::uint64_t epoch = 0;                 // DEP_RECORD/ROLL_POISON
+  std::uint64_t commit_seq = 0;            // DEP_RECORD/RESURRECT
   std::uint32_t level = 0;                 // ROLL_POISON
   double load = 0;                         // HEARTBEAT
   std::uint32_t live_ranks = 0;            // HEARTBEAT
@@ -133,7 +134,8 @@ struct Msg {
                                                        std::int32_t tag);
 [[nodiscard]] std::vector<std::byte> encode_dep_record(
     std::uint32_t sender, std::uint32_t sender_level, std::uint32_t receiver,
-    std::uint32_t receiver_level, std::uint64_t epoch);
+    std::uint32_t receiver_level, std::uint64_t epoch,
+    std::uint64_t commit_seq);
 [[nodiscard]] std::vector<std::byte> encode_roll_poison(std::uint32_t rank,
                                                         std::uint32_t level,
                                                         std::uint64_t epoch);
@@ -143,7 +145,8 @@ struct Msg {
 [[nodiscard]] std::vector<std::byte> encode_heartbeat(std::uint32_t agent,
                                                       double load,
                                                       std::uint32_t live_ranks);
-[[nodiscard]] std::vector<std::byte> encode_resurrect(std::uint32_t rank);
+[[nodiscard]] std::vector<std::byte> encode_resurrect(
+    std::uint32_t rank, std::uint64_t commit_seq);
 [[nodiscard]] std::vector<std::byte> encode_yield_rank(std::uint32_t rank);
 [[nodiscard]] std::vector<std::byte> encode_rank_yielded(std::uint32_t rank,
                                                          bool ok);
@@ -160,17 +163,22 @@ struct Msg {
 
 // --- DATA payload (the body routed between ranks) --------------------
 //
-// {u32 spec_level, u64 rollback_epoch, u32 count, values...} — values are
-// runtime::write_value encodings, exactly count of them.
+// {u32 spec_level, u64 rollback_epoch, u64 commit_seq, u32 count,
+// values...} — values are runtime::write_value encodings, exactly count
+// of them. commit_seq is the sender's commit count at send time: replay
+// logs and receiver-side caches keep payloads long after the speculation
+// that stamped them was discharged, and only this stamp lets the
+// coordinator's epoch fence tell committed data from reverted data.
 
 struct DataHeader {
   std::uint32_t spec_level = 0;
   std::uint64_t epoch = 0;
+  std::uint64_t commit_seq = 0;
   std::uint32_t count = 0;
 };
 
 [[nodiscard]] std::vector<std::byte> encode_data_payload(
-    std::uint32_t spec_level, std::uint64_t epoch, std::uint32_t count,
-    std::span<const std::byte> values);
+    std::uint32_t spec_level, std::uint64_t epoch, std::uint64_t commit_seq,
+    std::uint32_t count, std::span<const std::byte> values);
 
 }  // namespace mojave::dnode

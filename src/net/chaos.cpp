@@ -4,7 +4,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <memory>
+#include <vector>
 
 #include "support/error.hpp"
 #include "support/log.hpp"
@@ -91,21 +93,21 @@ void WireChaosProxy::pump(const std::shared_ptr<Pipe>& pipe, bool downstream,
                           std::uint64_t conn_id) {
   const int from = downstream ? pipe->client.fd() : pipe->upstream.fd();
   const int to = downstream ? pipe->upstream.fd() : pipe->client.fd();
-  std::byte buf[4096];
-  while (!stopping_.load()) {
-    const ssize_t n = ::recv(from, buf, sizeof buf, 0);
-    if (n <= 0) break;
-    if (faults_.delay_seconds > 0) {
-      std::this_thread::sleep_for(
-          std::chrono::duration<double>(faults_.delay_seconds));
-    }
+
+  // Bandwidth-cap pacing state: bytes this pump has emitted vs. the time
+  // they were "entitled" to take at the configured rate.
+  const auto pace_start = std::chrono::steady_clock::now();
+  std::uint64_t paced_bytes = 0;
+
+  // Push `len` bytes through the split / reset / bandwidth machinery.
+  // Returns false when the pipe was cut (reset fault or send failure);
+  // the caller must return immediately.
+  auto forward = [&](const std::byte* data, std::size_t len) -> bool {
     std::size_t off = 0;
-    while (off < static_cast<std::size_t>(n)) {
-      std::size_t chunk =
-          faults_.split_bytes > 0
-              ? std::min(faults_.split_bytes,
-                         static_cast<std::size_t>(n) - off)
-              : static_cast<std::size_t>(n) - off;
+    while (off < len) {
+      std::size_t chunk = faults_.split_bytes > 0
+                              ? std::min(faults_.split_bytes, len - off)
+                              : len - off;
       bool do_reset = false;
       if (conn_id == faults_.reset_conn) {
         std::lock_guard<std::mutex> lock(mu_);
@@ -122,11 +124,28 @@ void WireChaosProxy::pump(const std::shared_ptr<Pipe>& pipe, bool downstream,
           ++stats_.resets;
         }
       }
+      if (faults_.bandwidth_bytes_per_sec > 0 && chunk > 0) {
+        // Sleep until the cumulative byte count is allowed at the cap.
+        // Per-direction (each pump paces itself), like a duplex link.
+        paced_bytes += chunk;
+        const double entitled =
+            static_cast<double>(paced_bytes) / faults_.bandwidth_bytes_per_sec;
+        const double elapsed =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          pace_start)
+                .count();
+        if (entitled > elapsed) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(entitled - elapsed));
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.throttle_waits;
+        }
+      }
       if (chunk > 0 &&
-          ::send(to, buf + off, chunk, MSG_NOSIGNAL) !=
+          ::send(to, data + off, chunk, MSG_NOSIGNAL) !=
               static_cast<ssize_t>(chunk)) {
         pipe->cut(false);
-        return;
+        return false;
       }
       pipe->forwarded.fetch_add(chunk);
       {
@@ -139,11 +158,73 @@ void WireChaosProxy::pump(const std::shared_ptr<Pipe>& pipe, bool downstream,
             << "wire reset on conn " << conn_id << " after "
             << pipe->forwarded.load() << " bytes";
         pipe->cut(true);
-        return;
+        return false;
       }
       off += chunk;
     }
+    return true;
+  };
+
+  // Frame-reorder state: with reorder_every_n > 0 the byte stream is
+  // parsed into u32(LE)-length-prefixed frames and every Nth complete
+  // frame is held back and emitted after its successor.
+  bool frame_mode = faults_.reorder_every_n > 0;
+  std::vector<std::byte> inbuf;
+  std::vector<std::byte> held;
+  std::uint64_t frames_seen = 0;
+  constexpr std::uint32_t kSaneFrameBytes = 64u << 20;
+
+  std::byte buf[4096];
+  while (!stopping_.load()) {
+    const ssize_t n = ::recv(from, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    if (faults_.delay_seconds > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(faults_.delay_seconds));
+    }
+    if (!frame_mode) {
+      if (!forward(buf, static_cast<std::size_t>(n))) return;
+      continue;
+    }
+    inbuf.insert(inbuf.end(), buf, buf + n);
+    while (frame_mode && inbuf.size() >= 4) {
+      std::uint32_t len = 0;
+      std::memcpy(&len, inbuf.data(), 4);
+      if (len > kSaneFrameBytes) {
+        // Not the framed wire protocol after all — degrade to a raw
+        // relay instead of wedging on a bogus length.
+        frame_mode = false;
+        if (!held.empty() && !forward(held.data(), held.size())) return;
+        held.clear();
+        break;
+      }
+      const std::size_t total = 4 + static_cast<std::size_t>(len);
+      if (inbuf.size() < total) break;
+      std::vector<std::byte> frame(
+          inbuf.begin(), inbuf.begin() + static_cast<std::ptrdiff_t>(total));
+      inbuf.erase(inbuf.begin(),
+                  inbuf.begin() + static_cast<std::ptrdiff_t>(total));
+      ++frames_seen;
+      if (held.empty() && frames_seen % faults_.reorder_every_n == 0) {
+        held = std::move(frame);  // swap with the next frame
+        continue;
+      }
+      if (!forward(frame.data(), frame.size())) return;
+      if (!held.empty()) {
+        if (!forward(held.data(), held.size())) return;
+        held.clear();
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.frames_reordered;
+      }
+    }
+    if (!frame_mode && !inbuf.empty()) {
+      if (!forward(inbuf.data(), inbuf.size())) return;
+      inbuf.clear();
+    }
   }
+  // EOF with a frame still held: it has no successor to swap with, so
+  // release it unswapped rather than swallow it.
+  if (!held.empty()) forward(held.data(), held.size());
   pipe->cut(false);
 }
 

@@ -46,7 +46,7 @@ struct ProxyStats {
 };
 
 /// Socket-level fault profile for WireChaosProxy: the byte-stream
-/// pathologies a frame-level relay cannot model. All three compose.
+/// pathologies a frame-level relay cannot model. All faults compose.
 struct WireFaults {
   /// Added latency per forwarded read batch (both directions).
   double delay_seconds = 0;
@@ -58,6 +58,16 @@ struct WireFaults {
   /// peer dying with a partial frame on the wire.
   std::uint64_t reset_conn = 0;
   std::uint64_t reset_after_bytes = 256;
+  /// Cap forwarded throughput, bytes/second per direction (0 = off): the
+  /// narrow-WAN profile. A sender that outruns the cap sees backpressure
+  /// as a stalled socket — exactly what the coalescing write path and
+  /// partial-writev handling must survive.
+  double bandwidth_bytes_per_sec = 0;
+  /// Hold every Nth complete frame and emit it after its successor
+  /// (0 = off): deterministic frame reordering, the multipath-WAN
+  /// profile. Requires the u32-length-prefix wire protocol on the link;
+  /// tolerated by the dnode runtime because mailboxes key on (src, tag).
+  std::uint64_t reorder_every_n = 0;
 };
 
 struct WireStats {
@@ -65,6 +75,8 @@ struct WireStats {
   std::uint64_t bytes_forwarded = 0;
   std::uint64_t split_writes = 0;
   std::uint64_t resets = 0;
+  std::uint64_t frames_reordered = 0;
+  std::uint64_t throttle_waits = 0;
 };
 
 /// A transparent byte-level TCP relay for full-duplex protocols (the

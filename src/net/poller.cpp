@@ -1,0 +1,286 @@
+#include "net/poller.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/metrics.hpp"
+#include "support/error.hpp"
+
+namespace mojave::net {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw NetError(what + ": " + std::strerror(errno));
+}
+
+struct CoalesceMetrics {
+  obs::Counter& frames_out;
+  obs::Counter& flush_batches;
+  obs::Counter& batched_frames;
+  obs::Counter& zero_copy_frames;
+  obs::Counter& partial_flushes;
+  obs::Counter& bytes_out;
+
+  static CoalesceMetrics& get() {
+    static CoalesceMetrics m{
+        obs::MetricsRegistry::instance().counter("net.coalesce.frames_out"),
+        obs::MetricsRegistry::instance().counter("net.coalesce.flush_batches"),
+        obs::MetricsRegistry::instance().counter("net.coalesce.batched_frames"),
+        obs::MetricsRegistry::instance().counter(
+            "net.coalesce.zero_copy_frames"),
+        obs::MetricsRegistry::instance().counter(
+            "net.coalesce.partial_flushes"),
+        obs::MetricsRegistry::instance().counter("net.coalesce.bytes_out"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
+// --- Poller ----------------------------------------------------------------
+
+Poller::Poller() {
+  epfd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epfd_ < 0) fail("epoll_create1");
+  wakefd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wakefd_ < 0) {
+    const int saved = errno;
+    ::close(epfd_);
+    epfd_ = -1;
+    errno = saved;
+    fail("eventfd");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kWakeToken;
+  if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, wakefd_, &ev) != 0) {
+    const int saved = errno;
+    ::close(wakefd_);
+    ::close(epfd_);
+    epfd_ = wakefd_ = -1;
+    errno = saved;
+    fail("epoll_ctl(wakefd)");
+  }
+  events_.resize(64);
+}
+
+Poller::~Poller() {
+  if (wakefd_ >= 0) ::close(wakefd_);
+  if (epfd_ >= 0) ::close(epfd_);
+}
+
+void Poller::add(int fd, std::uint64_t token, bool want_read,
+                 bool want_write) {
+  epoll_event ev{};
+  ev.events = (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u) |
+              EPOLLRDHUP;
+  ev.data.u64 = token;
+  if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) != 0) fail("epoll_ctl(ADD)");
+}
+
+void Poller::modify(int fd, std::uint64_t token, bool want_read,
+                    bool want_write) {
+  epoll_event ev{};
+  ev.events = (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u) |
+              EPOLLRDHUP;
+  ev.data.u64 = token;
+  if (::epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev) != 0) fail("epoll_ctl(MOD)");
+}
+
+void Poller::remove(int fd) {
+  // ENOENT/EBADF are tolerated: the kernel drops registrations when the
+  // last reference to an fd closes, which can race an explicit remove.
+  epoll_event ev{};
+  if (::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, &ev) != 0 && errno != ENOENT &&
+      errno != EBADF) {
+    fail("epoll_ctl(DEL)");
+  }
+}
+
+std::size_t Poller::wait(std::vector<Event>& out, int timeout_ms) {
+  out.clear();
+  int n;
+  do {
+    n = ::epoll_wait(epfd_, events_.data(), static_cast<int>(events_.size()),
+                     timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) fail("epoll_wait");
+  for (int i = 0; i < n; ++i) {
+    const epoll_event& ev = events_[static_cast<std::size_t>(i)];
+    if (ev.data.u64 == kWakeToken) {
+      std::uint64_t drain = 0;
+      while (::read(wakefd_, &drain, sizeof(drain)) > 0) {
+      }
+      continue;
+    }
+    Event e;
+    e.token = ev.data.u64;
+    e.readable = (ev.events & EPOLLIN) != 0;
+    e.writable = (ev.events & EPOLLOUT) != 0;
+    e.hup = (ev.events & (EPOLLHUP | EPOLLRDHUP)) != 0;
+    e.error = (ev.events & EPOLLERR) != 0;
+    out.push_back(e);
+  }
+  if (n == static_cast<int>(events_.size())) events_.resize(events_.size() * 2);
+  return out.size();
+}
+
+void Poller::wake() {
+  const std::uint64_t one = 1;
+  // EAGAIN means the counter is already nonzero — the wake is pending.
+  [[maybe_unused]] ssize_t rc = ::write(wakefd_, &one, sizeof(one));
+}
+
+// --- FramedSocket ----------------------------------------------------------
+
+FramedSocket::FramedSocket(TcpStream stream) : stream_(std::move(stream)) {
+  stream_.set_nonblocking();
+  inbuf_.reserve(4096);
+}
+
+bool FramedSocket::on_readable(std::vector<std::vector<std::byte>>& frames) {
+  std::byte chunk[16384];
+  for (;;) {
+    const ssize_t n = ::recv(stream_.fd(), chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      inbuf_.insert(inbuf_.end(), chunk, chunk + n);
+      if (static_cast<std::size_t>(n) < sizeof(chunk)) break;
+      continue;
+    }
+    if (n == 0) return false;  // orderly close
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return false;  // ECONNRESET etc.
+  }
+  // Extract complete frames.
+  std::size_t pos = 0;
+  while (inbuf_.size() - pos >= 4) {
+    std::uint32_t len = 0;
+    std::memcpy(&len, inbuf_.data() + pos, 4);
+    if (len > kMaxFrameBytes) return false;  // protocol violation
+    if (inbuf_.size() - pos - 4 < len) break;
+    frames.emplace_back(inbuf_.begin() + static_cast<std::ptrdiff_t>(pos + 4),
+                        inbuf_.begin() +
+                            static_cast<std::ptrdiff_t>(pos + 4 + len));
+    pos += 4 + len;
+  }
+  if (pos > 0) inbuf_.erase(inbuf_.begin(), inbuf_.begin() +
+                                                static_cast<std::ptrdiff_t>(pos));
+  return true;
+}
+
+void FramedSocket::append_header(std::vector<std::byte>& buf,
+                                 std::uint32_t n) {
+  const auto* p = reinterpret_cast<const std::byte*>(&n);
+  buf.insert(buf.end(), p, p + 4);
+}
+
+void FramedSocket::queue_frame(std::span<const std::byte> payload) {
+  auto& m = CoalesceMetrics::get();
+  m.frames_out.inc();
+  if (payload.size() >= kZeroCopyThreshold) {
+    queue_frame(std::vector<std::byte>(payload.begin(), payload.end()));
+    return;
+  }
+  m.batched_frames.inc();
+  if (!batch_open_ || outq_.empty()) {
+    outq_.emplace_back();
+    batch_open_ = true;
+  }
+  OutBuf& b = outq_.back();
+  append_header(b.bytes, static_cast<std::uint32_t>(payload.size()));
+  b.bytes.insert(b.bytes.end(), payload.begin(), payload.end());
+  pending_bytes_ += 4 + payload.size();
+}
+
+void FramedSocket::queue_frame(std::vector<std::byte> payload) {
+  auto& m = CoalesceMetrics::get();
+  if (payload.size() < kZeroCopyThreshold) {
+    queue_frame(std::span<const std::byte>(payload));
+    return;
+  }
+  m.frames_out.inc();
+  m.zero_copy_frames.inc();
+  // The header rides in its own small OutBuf; the payload vector is moved
+  // into place untouched — writev stitches them together on the wire.
+  OutBuf hdr;
+  append_header(hdr.bytes, static_cast<std::uint32_t>(payload.size()));
+  pending_bytes_ += 4 + payload.size();
+  outq_.push_back(std::move(hdr));
+  OutBuf body;
+  body.bytes = std::move(payload);
+  outq_.push_back(std::move(body));
+  batch_open_ = false;
+}
+
+bool FramedSocket::flush() {
+  auto& m = CoalesceMetrics::get();
+  batch_open_ = false;  // a flush tick closes the coalescing window
+  while (!outq_.empty()) {
+    iovec iov[16];
+    int iovcnt = 0;
+    std::size_t first_off = outq_.front().offset;
+    for (const OutBuf& b : outq_) {
+      if (iovcnt == 16) break;
+      const std::size_t off = (iovcnt == 0) ? first_off : 0;
+      iov[iovcnt].iov_base =
+          const_cast<std::byte*>(b.bytes.data() + off);
+      iov[iovcnt].iov_len = b.bytes.size() - off;
+      ++iovcnt;
+    }
+    // sendmsg rather than writev: MSG_NOSIGNAL turns a write to a peer
+    // that died mid-run (SIGKILLed agent) into EPIPE instead of a
+    // process-killing SIGPIPE.
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<std::size_t>(iovcnt);
+    ssize_t n;
+    do {
+      n = ::sendmsg(stream_.fd(), &msg, MSG_NOSIGNAL);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        m.partial_flushes.inc();
+        return true;
+      }
+      return false;  // EPIPE/ECONNRESET: connection dead
+    }
+    m.flush_batches.inc();
+    m.bytes_out.inc(static_cast<std::uint64_t>(n));
+    std::size_t written = static_cast<std::size_t>(n);
+    pending_bytes_ -= written;
+    while (written > 0 && !outq_.empty()) {
+      OutBuf& b = outq_.front();
+      const std::size_t remain = b.bytes.size() - b.offset;
+      if (written >= remain) {
+        written -= remain;
+        outq_.pop_front();
+      } else {
+        b.offset += written;
+        written = 0;
+      }
+    }
+  }
+  return true;
+}
+
+CoalesceStats FramedSocket::stats_snapshot() {
+  auto& m = CoalesceMetrics::get();
+  CoalesceStats s;
+  s.frames_out = m.frames_out.value();
+  s.flush_batches = m.flush_batches.value();
+  s.batched_frames = m.batched_frames.value();
+  s.zero_copy_frames = m.zero_copy_frames.value();
+  s.partial_flushes = m.partial_flushes.value();
+  return s;
+}
+
+}  // namespace mojave::net

@@ -165,6 +165,49 @@ void TcpStream::set_io_deadline(double seconds) {
   set_socket_timeout(fd_, SO_SNDTIMEO, seconds);
 }
 
+void TcpStream::set_nonblocking() {
+  if (!valid()) return;
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+}
+
+TcpStream TcpStream::connect_begin(const std::string& host,
+                                   std::uint16_t port) {
+  const in_addr resolved = resolve_host(host, 0);
+  FdGuard fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (fd.get() < 0) {
+    TcpMetrics::get().connect_failures.inc();
+    fail("socket");
+  }
+  const int flags = ::fcntl(fd.get(), F_GETFL, 0);
+  ::fcntl(fd.get(), F_SETFL, flags | O_NONBLOCK);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr = resolved;
+  const int rc =
+      ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    TcpMetrics::get().connect_failures.inc();
+    fail("connect to " + host + ":" + std::to_string(port));
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpStream(fd.release());
+}
+
+bool TcpStream::connect_finished() {
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len) != 0) fail("SO_ERROR");
+  if (err != 0) {
+    TcpMetrics::get().connect_failures.inc();
+    errno = err;
+    fail("connect");
+  }
+  return true;
+}
+
 TcpStream TcpStream::connect(const std::string& host, std::uint16_t port,
                              const Deadlines& deadlines) {
   Stopwatch sw;
@@ -349,6 +392,32 @@ std::optional<TcpStream> TcpListener::accept() {
     if (errno == EINTR) continue;
     if (errno == EBADF || errno == EINVAL) return std::nullopt;  // shut down
     fail("accept");
+  }
+}
+
+void TcpListener::set_nonblocking() {
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd < 0) return;
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+std::optional<TcpStream> TcpListener::try_accept() {
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd < 0 || shut_.load(std::memory_order_acquire)) return std::nullopt;
+  while (true) {
+    const int client = ::accept(fd, nullptr, nullptr);
+    if (client >= 0) {
+      if (shut_.load(std::memory_order_acquire)) {
+        ::close(client);
+        return std::nullopt;
+      }
+      return TcpStream(client);
+    }
+    if (errno == EINTR) continue;
+    // EAGAIN (nothing pending), shutdown races, and transient per-
+    // connection errors (ECONNABORTED) all mean "no connection now".
+    return std::nullopt;
   }
 }
 

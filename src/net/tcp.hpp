@@ -47,6 +47,19 @@ class TcpStream {
                                          std::uint16_t port,
                                          const Deadlines& deadlines = {});
 
+  /// Begin a non-blocking connect for event-loop callers: the returned
+  /// stream's fd is O_NONBLOCK with the TCP handshake (usually) still in
+  /// flight. Register it for writability with a Poller and check
+  /// connect_finished() when it fires. Names resolve synchronously.
+  [[nodiscard]] static TcpStream connect_begin(const std::string& host,
+                                               std::uint16_t port);
+  /// After a connect_begin() fd polls writable: true when the handshake
+  /// succeeded, throws NetError when it failed. The fd stays O_NONBLOCK.
+  [[nodiscard]] bool connect_finished();
+
+  /// Put the fd in non-blocking mode (event-loop ownership).
+  void set_nonblocking();
+
   [[nodiscard]] bool valid() const { return fd_ >= 0; }
 
   /// Raw descriptor, for relays that operate below the framing layer
@@ -92,8 +105,20 @@ class TcpListener {
 
   [[nodiscard]] std::uint16_t port() const { return port_; }
 
+  /// Raw listening descriptor, for event loops that register it with a
+  /// Poller. Ownership stays with the listener.
+  [[nodiscard]] int fd() const { return fd_.load(); }
+
   /// Accept one connection; empty optional if the listener was shut down.
   [[nodiscard]] std::optional<TcpStream> accept();
+
+  /// Non-blocking accept for event-loop callers (set_nonblocking first):
+  /// empty optional when no connection is pending or the listener is shut
+  /// down. Never blocks.
+  [[nodiscard]] std::optional<TcpStream> try_accept();
+
+  /// Put the listening fd in non-blocking mode (event-loop ownership).
+  void set_nonblocking();
 
   /// Unblock any accept() and stop taking connections. The fd itself is
   /// closed by the destructor, after the owner has joined its accept

@@ -144,9 +144,50 @@ RunResult Interpreter::run() {
 
 RunResult Interpreter::run_from(FunIndex fun, std::vector<Value> args) {
   MetricsFlusher flusher{*this};
+  start(fun, std::move(args));
+  const SliceResult r = exec_slice(0);
+  slice_active_ = false;
+  switch (r.status) {
+    case SliceResult::Status::kMigratedAway:
+      return RunResult{RunResult::Kind::kMigratedAway, r.exit_code};
+    case SliceResult::Status::kBlocked:
+      // An agent-style external escaped into a plain run: there is no
+      // scheduler to park under, so this is a programming error.
+      throw Error("external would block outside run_slice");
+    default:
+      return RunResult{RunResult::Kind::kHalted, r.exit_code};
+  }
+}
+
+void Interpreter::start(FunIndex fun, std::vector<Value> args) {
+  if (slice_active_ && mid_function_) {
+    throw Error("start() while a slice is suspended mid-function");
+  }
   pending_fun_ = fun;
   pending_args_ = std::move(args);
+  mid_function_ = false;
+  slice_active_ = true;
+}
 
+SliceResult Interpreter::run_slice(std::uint64_t max_insns) {
+  if (!slice_active_) throw Error("run_slice without start()");
+  SliceResult r;
+  try {
+    r = exec_slice(max_insns);
+  } catch (...) {
+    slice_active_ = false;
+    flush_metrics();
+    throw;
+  }
+  if (r.status == SliceResult::Status::kHalted ||
+      r.status == SliceResult::Status::kMigratedAway) {
+    slice_active_ = false;
+    flush_metrics();
+  }
+  return r;
+}
+
+SliceResult Interpreter::exec_slice(std::uint64_t max_insns) {
   // Build the native engine on first use. When the tier is disabled or
   // the host cannot run it, `engine` stays null and this function is a
   // pure interpreter — bit-identical behaviour either way.
@@ -159,42 +200,61 @@ RunResult Interpreter::run_from(FunIndex fun, std::vector<Value> args) {
   // 0 means "unlimited"; folding that into a sentinel keeps the per-
   // instruction budget check to a single compare. `executed` mirrors the
   // lifetime instruction count in a register; the authoritative total is
-  // derived from op_class_counts_ in flush_metrics().
+  // derived from op_class_counts_ in flush_metrics(). Two ceilings share
+  // that compare: the lifetime fuse (throws) and the slice budget
+  // (preempts); `limit` is the lower of the two.
   const std::uint64_t insn_budget =
       max_instructions_ != 0 ? max_instructions_ : ~std::uint64_t{0};
-  std::uint64_t executed = stats_.instructions;
+  std::uint64_t executed = 0;
+  for (const std::uint64_t v : op_class_counts_) executed += v;
+  const std::uint64_t slice_limit =
+      max_insns != 0 && max_insns < ~std::uint64_t{0} - executed
+          ? executed + max_insns
+          : ~std::uint64_t{0};
+  const std::uint64_t limit = std::min(insn_budget, slice_limit);
 
   while (true) {
     const CompiledFunction* f = &compiled_.function(pending_fun_);
-    validate_call(*f, pending_args_);
-    ++stats_.calls;
-
-    regs_.assign(f->num_regs, Value::unit());
-    for (std::size_t i = 0; i < pending_args_.size(); ++i) {
-      regs_[i] = pending_args_[i];
-    }
-    pending_args_.clear();
-
     std::size_t pc = 0;
-    if (engine != nullptr) {
-      // Offer the transfer to the native tier. On success the engine ran
-      // compiled code up to a deoptimization point and regs_ now holds the
-      // register file of (io.fun, io.pc); resume interpreting right there.
-      native::RunIo io;
-      io.regs = &regs_;
-      io.strings = &string_blocks_;
-      io.class_counts = op_class_counts_.data();
-      io.calls = &stats_.calls;
-      io.budget = static_cast<std::int64_t>(std::min<std::uint64_t>(
-          insn_budget - executed,
-          static_cast<std::uint64_t>(INT64_MAX)));
-      io.fun = pending_fun_;
-      const std::int64_t given = io.budget;
-      if (engine->try_run(io)) {
-        executed += static_cast<std::uint64_t>(given - io.budget);
-        pending_fun_ = io.fun;
-        f = &compiled_.function(io.fun);
-        pc = io.pc;
+    if (mid_function_) {
+      // Resuming a preempted/blocked slice: regs_ already hold the frame
+      // of pending_fun_ at resume_pc_ — skip entry validation and the
+      // native offer (that happens at control transfers only).
+      mid_function_ = false;
+      pc = resume_pc_;
+    } else {
+      validate_call(*f, pending_args_);
+      ++stats_.calls;
+
+      regs_.assign(f->num_regs, Value::unit());
+      for (std::size_t i = 0; i < pending_args_.size(); ++i) {
+        regs_[i] = pending_args_[i];
+      }
+      pending_args_.clear();
+
+      if (engine != nullptr) {
+        // Offer the transfer to the native tier. On success the engine ran
+        // compiled code up to a deoptimization point and regs_ now holds
+        // the register file of (io.fun, io.pc); resume interpreting right
+        // there. The slice budget rides the same allowance: compiled code
+        // deoptimizes with kBudget when it cannot cover the next block,
+        // and the dispatch loop below turns that into a preemption.
+        native::RunIo io;
+        io.regs = &regs_;
+        io.strings = &string_blocks_;
+        io.class_counts = op_class_counts_.data();
+        io.calls = &stats_.calls;
+        io.budget = static_cast<std::int64_t>(std::min<std::uint64_t>(
+            limit - executed,
+            static_cast<std::uint64_t>(INT64_MAX)));
+        io.fun = pending_fun_;
+        const std::int64_t given = io.budget;
+        if (engine->try_run(io)) {
+          executed += static_cast<std::uint64_t>(given - io.budget);
+          pending_fun_ = io.fun;
+          f = &compiled_.function(io.fun);
+          pc = io.pc;
+        }
       }
     }
     bool transfer = false;
@@ -204,8 +264,17 @@ RunResult Interpreter::run_from(FunIndex fun, std::vector<Value> args) {
       }
       const Insn& I = f->code[pc];
       ++op_class_counts_[I.cls];
-      if (++executed > insn_budget) {
-        throw Error("instruction budget exhausted");
+      if (++executed > limit) {
+        if (executed > insn_budget) {
+          throw Error("instruction budget exhausted");
+        }
+        // Slice budget exhausted: un-retire this instruction and park
+        // exactly before it — the resumed slice re-executes it.
+        --executed;
+        --op_class_counts_[I.cls];
+        resume_pc_ = pc;
+        mid_function_ = true;
+        return SliceResult{SliceResult::Status::kPreempted, 0, 0};
       }
       try {
       switch (I.op) {
@@ -391,7 +460,7 @@ RunResult Interpreter::run_from(FunIndex fun, std::vector<Value> args) {
           const auto action =
               hook_->on_migrate(*this, I.aux, target, callee, pending_args_);
           if (action == MigrationHook::Action::kExit) {
-            return RunResult{RunResult::Kind::kMigratedAway, 0};
+            return SliceResult{SliceResult::Status::kMigratedAway, 0, 0};
           }
           // "If migration fails for any reason, the process will continue
           // to execute on the original machine" — and the checkpoint
@@ -423,9 +492,20 @@ RunResult Interpreter::run_from(FunIndex fun, std::vector<Value> args) {
           break;
         }
         case Op::kHalt:
-          return RunResult{RunResult::Kind::kHalted, regs_[I.r1].as_int()};
+          return SliceResult{SliceResult::Status::kHalted,
+                             regs_[I.r1].as_int(), 0};
       }
       ++pc;
+      } catch (const WouldBlock& wb) {
+        // The external could not complete; un-retire its instruction and
+        // park exactly before it. Resume re-executes the external, which
+        // must be idempotent up to its blocking point.
+        --executed;
+        --op_class_counts_[I.cls];
+        resume_pc_ = pc;
+        mid_function_ = true;
+        return SliceResult{SliceResult::Status::kBlocked, 0,
+                           wb.deadline_seconds};
       } catch (const SafetyError&) {
         // Rx-style recovery: convert the trap into a rollback of the
         // newest speculation level and resume at its continuation.

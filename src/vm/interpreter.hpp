@@ -61,6 +61,32 @@ struct RunResult {
   std::int64_t exit_code = 0;
 };
 
+/// Thrown by an external function that cannot complete without waiting
+/// (an empty mailbox, a pacing gate). Only meaningful under run_slice():
+/// the instruction is un-retired, the interpreter parks exactly before it,
+/// and the scheduler re-executes the external once `deadline_seconds`
+/// passes or the event it waits for arrives. Externals that throw this
+/// must be idempotent up to the blocking point — re-execution is the
+/// resume mechanism, exactly as for a native-tier deoptimization.
+struct WouldBlock {
+  /// Steady-clock wake-by time in seconds; 0 = wake on event only.
+  double deadline_seconds = 0;
+};
+
+/// Outcome of one bounded slice of execution (the fiber-scheduler view of
+/// a rank: a CPS machine advanced some instructions and stopped at a
+/// clean suspension point).
+struct SliceResult {
+  enum class Status {
+    kHalted,        ///< program executed `halt`
+    kMigratedAway,  ///< migration hook took the process (or it yielded)
+    kPreempted,     ///< slice budget exhausted; resume with run_slice
+    kBlocked,       ///< an external threw WouldBlock; park, then resume
+  } status = Status::kHalted;
+  std::int64_t exit_code = 0;
+  double block_deadline = 0;  ///< kBlocked: WouldBlock::deadline_seconds
+};
+
 struct VmStats {
   std::uint64_t instructions = 0;
   std::uint64_t calls = 0;
@@ -114,6 +140,28 @@ class Interpreter final : public runtime::RootProvider {
   /// The function index and argument tags are validated first.
   RunResult run_from(FunIndex fun, std::vector<runtime::Value> args);
 
+  // --- Resumable slices (the fiber entry points) -----------------------
+  //
+  // start() arms a continuation; run_slice() advances it by at most
+  // `max_insns` instructions and returns at a suspension point: slice
+  // budget exhausted (kPreempted, resume by calling run_slice again), an
+  // external threw WouldBlock (kBlocked, the un-retired external will be
+  // re-executed on resume), or a terminal state. The suspended frame
+  // (registers, pc) lives in the interpreter and is enumerated as GC
+  // roots, so a parked fiber survives collections and checkpoints.
+  // The native tier composes: a slice may run natively and deoptimize
+  // back mid-function; the saved (fun, pc, frame) is the same state.
+
+  /// Arm the continuation (fun, args). Must not be called while a slice
+  /// is suspended mid-run.
+  void start(FunIndex fun, std::vector<runtime::Value> args);
+  /// Advance the armed continuation by at most `max_insns` instructions
+  /// (0 = unlimited). Requires start() first; callable again after
+  /// kPreempted/kBlocked until a terminal status is returned.
+  SliceResult run_slice(std::uint64_t max_insns);
+  /// True between start() and a terminal run_slice() status.
+  [[nodiscard]] bool slice_active() const { return slice_active_; }
+
   [[nodiscard]] runtime::Heap& heap() { return heap_; }
   [[nodiscard]] spec::SpeculationManager& spec() { return spec_; }
   [[nodiscard]] const CompiledProgram& compiled() const { return compiled_; }
@@ -143,6 +191,8 @@ class Interpreter final : public runtime::RootProvider {
   void validate_call(const CompiledFunction& fn,
                      std::span<const runtime::Value> args) const;
   [[nodiscard]] FunIndex resolve_callee(const runtime::Value& v) const;
+  /// The dispatch loop shared by run_from (unlimited) and run_slice.
+  SliceResult exec_slice(std::uint64_t max_insns);
 
   runtime::Heap& heap_;
   spec::SpeculationManager& spec_;
@@ -154,6 +204,11 @@ class Interpreter final : public runtime::RootProvider {
   std::vector<runtime::Value> regs_;
   FunIndex pending_fun_ = 0;
   std::vector<runtime::Value> pending_args_;
+  /// Slice suspension state: when mid_function_, the armed continuation
+  /// is (pending_fun_, resume_pc_, regs_) rather than a function entry.
+  std::size_t resume_pc_ = 0;
+  bool mid_function_ = false;
+  bool slice_active_ = false;
   std::vector<BlockIndex> string_blocks_;
   VmStats stats_;
   OpClassCounts op_class_counts_{};

@@ -328,4 +328,50 @@ TEST(DnodeCluster, BalancerMovesRankOffThrottledAgent) {
   coord.shutdown_agents();
 }
 
+/// Rank density under a hostile WAN profile: 32 fiber ranks over 2
+/// in-process agents (16 per event-loop thread) with every byte into
+/// agent 1 squeezed through a bandwidth-capped, frame-reordering,
+/// fragmenting WireChaosProxy. The cap backpressures the coalesced write
+/// path (the sender's batches stall against a full socket buffer), the
+/// reorderer swaps every 5th frame with its successor — tolerated because
+/// heat tags every halo with (direction, timestep) and mailboxes key on
+/// (src, tag) — and the sums must still bit-match the sequential
+/// reference.
+TEST(DnodeCluster, DenseRanksSurviveThrottledReorderingWire) {
+  const fs::path storage = fresh_dir("mojave_dnode_dense_wire");
+
+  gridapp::HeatConfig hcfg;
+  hcfg.nodes = 32;
+  hcfg.rows = 32;  // one row band per rank
+  hcfg.cols = 8;
+  hcfg.steps = 8;
+  hcfg.checkpoint_interval = 0;
+
+  dnode::AgentConfig acfg;
+  acfg.storage_root = storage;
+  acfg.heap.young_capacity = 64 * 1024;  // 32 co-hosted heaps
+  acfg.heap.old_capacity = 1024 * 1024;
+  dnode::NodeAgent a0(acfg), a1(acfg);
+
+  net::WireFaults faults;
+  faults.bandwidth_bytes_per_sec = 1.5e6;  // a narrow WAN, not a stall
+  faults.reorder_every_n = 5;
+  faults.split_bytes = 512;
+  net::WireChaosProxy proxy("127.0.0.1", a1.port(), faults);
+
+  dnode::Coordinator coord(
+      coord_config({a0.port(), proxy.port()}, hcfg.nodes));
+  coord.launch_spmd(gridapp::heat_program(hcfg));
+  ASSERT_TRUE(coord.wait_all(120.0)) << "dense chaotic-wire run timed out";
+  expect_sums_match(coord, hcfg);
+
+  const auto stats = proxy.stats();
+  EXPECT_GE(stats.connections, 2u);  // coordinator + agent 0's data link
+  EXPECT_GT(stats.frames_reordered, 0u) << "reorder profile never fired";
+  EXPECT_GT(stats.throttle_waits, 0u) << "bandwidth cap never engaged";
+  EXPECT_GT(stats.split_writes, 0u);
+  EXPECT_EQ(stats.resets, 0u);
+  coord.shutdown_agents();
+}
+
 }  // namespace

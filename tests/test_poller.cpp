@@ -1,0 +1,250 @@
+// Poller + FramedSocket unit tests (src/net/poller.*): the non-blocking
+// I/O core under the rank-dense agent. The cases here are the edges the
+// event loop must survive without a blocking reader thread to hide them:
+// a peer dying mid-frame (EPOLLHUP with a partial frame buffered), a
+// writev that the kernel cuts short (the partial-flush cursor), and a
+// wake() racing a socket teardown.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "net/poller.hpp"
+#include "net/tcp.hpp"
+
+namespace {
+
+using namespace mojave;
+using net::FramedSocket;
+using net::Poller;
+
+/// A connected loopback pair: first = client side, second = accepted side.
+std::pair<net::TcpStream, net::TcpStream> tcp_pair() {
+  net::TcpListener listener(0);
+  auto client = net::TcpStream::connect("127.0.0.1", listener.port());
+  auto server = listener.accept();
+  EXPECT_TRUE(server.has_value());
+  return {std::move(client), std::move(*server)};
+}
+
+std::vector<std::byte> make_payload(std::size_t n, std::uint8_t seed) {
+  std::vector<std::byte> p(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p[i] = std::byte{static_cast<std::uint8_t>(seed + i)};
+  }
+  return p;
+}
+
+TEST(Poller, WakeUnblocksWaitFromAnotherThread) {
+  Poller poller;
+  std::atomic<bool> woke{false};
+  std::thread waker([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    woke.store(true);
+    poller.wake();
+  });
+  std::vector<Poller::Event> events;
+  // Without the wake this would sleep the full 5 s and fail the bound.
+  const auto start = std::chrono::steady_clock::now();
+  poller.wait(events, 5000);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  waker.join();
+  EXPECT_TRUE(woke.load());
+  EXPECT_LT(elapsed, std::chrono::seconds(2));
+  EXPECT_TRUE(events.empty()) << "wake() must be consumed silently";
+}
+
+TEST(Poller, WakeBeforeWaitReturnsImmediately) {
+  Poller poller;
+  poller.wake();
+  poller.wake();  // coalesces
+  std::vector<Poller::Event> events;
+  const auto start = std::chrono::steady_clock::now();
+  poller.wait(events, 5000);
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::seconds(2));
+  EXPECT_TRUE(events.empty());
+}
+
+/// The peer dies after sending a frame header and a sliver of payload.
+/// The poller must surface hup, and on_readable must report the
+/// connection finished rather than wait forever for the missing bytes.
+TEST(Poller, HupMidFrameFinishesConnection) {
+  auto [client, server] = tcp_pair();
+
+  // Hand-build a frame header announcing 100 payload bytes, send 10.
+  std::uint32_t len = 100;
+  std::byte header[4];
+  std::memcpy(header, &len, 4);
+  ASSERT_EQ(::send(client.fd(), header, 4, MSG_NOSIGNAL), 4);
+  const auto sliver = make_payload(10, 7);
+  ASSERT_EQ(::send(client.fd(), sliver.data(), sliver.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(sliver.size()));
+  client.shutdown();  // orderly close, frame forever incomplete
+
+  FramedSocket sock{std::move(server)};
+  Poller poller;
+  poller.add(sock.fd(), 1, /*want_read=*/true, /*want_write=*/false);
+
+  std::vector<Poller::Event> events;
+  bool finished = false;
+  std::vector<std::vector<std::byte>> frames;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!finished && std::chrono::steady_clock::now() < deadline) {
+    poller.wait(events, 100);
+    for (const auto& ev : events) {
+      if (ev.token != 1) continue;
+      EXPECT_TRUE(ev.readable || ev.hup);
+      if (!sock.on_readable(frames)) finished = true;
+    }
+  }
+  EXPECT_TRUE(finished) << "EOF mid-frame never reported";
+  EXPECT_TRUE(frames.empty()) << "a partial frame must not be delivered";
+  poller.remove(sock.fd());
+}
+
+/// wake() aimed at a loop that has just torn down its only socket: the
+/// eventfd must still fire (and be swallowed) with no stale events for
+/// the removed fd.
+TEST(Poller, WakeupAfterCloseIsSilent) {
+  Poller poller;
+  auto [client, server] = tcp_pair();
+  FramedSocket sock{std::move(server)};
+  poller.add(sock.fd(), 42, true, false);
+
+  // Teardown: deregister, close, then a late wake from another thread —
+  // the shutdown race every agent hits when stop() interrupts the loop.
+  poller.remove(sock.fd());
+  sock.shutdown();
+  std::thread waker([&] { poller.wake(); });
+  std::vector<Poller::Event> events;
+  poller.wait(events, 1000);
+  waker.join();
+  for (const auto& ev : events) {
+    EXPECT_NE(ev.token, 42u) << "event for a removed fd";
+  }
+}
+
+/// Ten small frames queued back to back must coalesce into one batch
+/// buffer (one writev) and come out the far side intact and in order.
+TEST(FramedSocket, CoalescesSmallFramesIntoOneBatch) {
+  auto [client, server] = tcp_pair();
+  FramedSocket tx{std::move(client)};
+  FramedSocket rx{std::move(server)};
+
+  const auto before = FramedSocket::stats_snapshot();
+  std::vector<std::vector<std::byte>> sent;
+  for (int i = 0; i < 10; ++i) {
+    sent.push_back(make_payload(64 + i, static_cast<std::uint8_t>(i)));
+    tx.queue_frame(std::span<const std::byte>(sent.back()));
+  }
+  ASSERT_TRUE(tx.flush());
+  EXPECT_FALSE(tx.want_write()) << "tiny batch should fit the socket buffer";
+  const auto after = FramedSocket::stats_snapshot();
+  EXPECT_EQ(after.batched_frames - before.batched_frames, 10u);
+  EXPECT_EQ(after.flush_batches - before.flush_batches, 1u)
+      << "ten small frames should cost one writev";
+
+  Poller poller;
+  poller.add(rx.fd(), 1, true, false);
+  std::vector<std::vector<std::byte>> got;
+  std::vector<Poller::Event> events;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (got.size() < sent.size() &&
+         std::chrono::steady_clock::now() < deadline) {
+    poller.wait(events, 100);
+    for (const auto& ev : events) {
+      if (ev.token == 1) ASSERT_TRUE(rx.on_readable(got));
+    }
+  }
+  ASSERT_EQ(got.size(), sent.size());
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    EXPECT_EQ(got[i], sent[i]) << "frame " << i;
+  }
+}
+
+/// Force writev short-writes: a tiny SO_SNDBUF and far more queued bytes
+/// than it holds. flush() must keep its cursor across partial writes and
+/// every byte must arrive in order once the reader drains the other end.
+TEST(FramedSocket, PartialWritevKeepsCursorAndDeliversEverything) {
+  auto [client, server] = tcp_pair();
+  const int sndbuf = 4096;
+  ASSERT_EQ(::setsockopt(client.fd(), SOL_SOCKET, SO_SNDBUF, &sndbuf,
+                         sizeof sndbuf),
+            0);
+  FramedSocket tx{std::move(client)};
+  FramedSocket rx{std::move(server)};
+
+  // 32 zero-copy frames of 8 KiB ≫ the send buffer: flush() must hit
+  // EAGAIN mid-writev and leave want_write() set.
+  const auto before = FramedSocket::stats_snapshot();
+  std::vector<std::vector<std::byte>> sent;
+  for (int i = 0; i < 32; ++i) {
+    sent.push_back(make_payload(8192, static_cast<std::uint8_t>(i * 3)));
+    tx.queue_frame(std::vector<std::byte>(sent.back()));
+  }
+  ASSERT_TRUE(tx.flush());
+  EXPECT_TRUE(tx.want_write()) << "256 KiB cannot fit a 4 KiB send buffer";
+  EXPECT_GT(tx.pending_bytes(), 0u);
+
+  Poller poller;
+  poller.add(tx.fd(), 1, false, true);
+  poller.add(rx.fd(), 2, true, false);
+  std::vector<std::vector<std::byte>> got;
+  std::vector<Poller::Event> events;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (got.size() < sent.size() &&
+         std::chrono::steady_clock::now() < deadline) {
+    poller.wait(events, 100);
+    for (const auto& ev : events) {
+      if (ev.token == 1 && ev.writable) {
+        ASSERT_TRUE(tx.flush());
+        if (!tx.want_write()) poller.modify(tx.fd(), 1, false, false);
+      } else if (ev.token == 2 && (ev.readable || ev.hup)) {
+        ASSERT_TRUE(rx.on_readable(got));
+      }
+    }
+  }
+  ASSERT_EQ(got.size(), sent.size());
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    EXPECT_EQ(got[i], sent[i]) << "frame " << i;
+  }
+  EXPECT_FALSE(tx.want_write());
+  const auto after = FramedSocket::stats_snapshot();
+  EXPECT_GT(after.partial_flushes - before.partial_flushes, 0u)
+      << "the send buffer never backed up — partial path untested";
+  EXPECT_EQ(after.zero_copy_frames - before.zero_copy_frames, 32u);
+}
+
+/// Writing into a peer that closed must fail the flush (EPIPE/ECONNRESET),
+/// not crash or spin: this is how the agent notices a dead link when it
+/// only ever writes to it.
+TEST(FramedSocket, FlushIntoClosedPeerFails) {
+  auto [client, server] = tcp_pair();
+  FramedSocket tx{std::move(client)};
+  {
+    net::TcpStream dead = std::move(server);
+    const struct linger lg {1, 0};
+    ::setsockopt(dead.fd(), SOL_SOCKET, SO_LINGER, &lg, sizeof lg);
+  }  // abortive close: RST
+
+  // Give the RST time to land, then write until the failure surfaces
+  // (the first flush after a reset may still be accepted by the kernel).
+  bool failed = false;
+  for (int i = 0; i < 50 && !failed; ++i) {
+    tx.queue_frame(make_payload(1024, 9));
+    failed = !tx.flush();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_TRUE(failed) << "flush never reported the dead peer";
+}
+
+}  // namespace

@@ -239,4 +239,98 @@ TEST(VmBasic, SerializationRoundTripPreservesBehaviour) {
   EXPECT_EQ(p.run().exit_code, 64);
 }
 
+/// A CPS loop big enough to be preempted many times: run to completion in
+/// tiny slices and the answer, instruction count, and preemption count
+/// must all line up with the unbounded run. This is the contract the
+/// fiber scheduler stands on.
+TEST(VmBasic, SlicedRunMatchesUnboundedRun) {
+  const auto build = [] {
+    ProgramBuilder pb("sum1k");
+    auto main_id = pb.declare("main", {});
+    auto loop_id = pb.declare("loop", {Type::integer(), Type::integer()});
+    {
+      auto fb = pb.define(main_id, {});
+      fb.tail_call(Atom::fun_ref(loop_id),
+                   {Atom::integer(1), Atom::integer(0)});
+    }
+    {
+      auto fb = pb.define(loop_id, {"i", "acc"});
+      auto done =
+          fb.let_binop("done", Binop::kGt, fb.arg(0), Atom::integer(1000));
+      fb.branch(
+          fb.v(done), [&](auto& t) { t.halt(t.arg(1)); },
+          [&](auto& e) {
+            auto i1 =
+                e.let_binop("i1", Binop::kAdd, e.arg(0), Atom::integer(1));
+            auto a1 = e.let_binop("a1", Binop::kAdd, e.arg(1), e.arg(0));
+            e.tail_call(Atom::fun_ref(loop_id), {e.v(i1), e.v(a1)});
+          });
+    }
+    return pb.take("main");
+  };
+
+  vm::Process whole(build());
+  const auto full = whole.run();
+  ASSERT_EQ(full.kind, vm::RunResult::Kind::kHalted);
+  EXPECT_EQ(full.exit_code, 1000 * 1001 / 2);
+  const std::uint64_t full_insns = whole.vm().stats().instructions;
+
+  vm::Process sliced(build());
+  auto& vm = sliced.vm();
+  vm.start(vm.compiled().entry, {});
+  ASSERT_TRUE(vm.slice_active());
+  int preemptions = 0;
+  vm::SliceResult r;
+  do {
+    r = vm.run_slice(50);
+    if (r.status == vm::SliceResult::Status::kPreempted) ++preemptions;
+    ASSERT_NE(r.status, vm::SliceResult::Status::kBlocked);
+    ASSERT_LT(preemptions, 100000) << "slice loop ran away";
+  } while (r.status == vm::SliceResult::Status::kPreempted);
+  ASSERT_EQ(r.status, vm::SliceResult::Status::kHalted);
+  EXPECT_FALSE(vm.slice_active());
+  EXPECT_EQ(r.exit_code, full.exit_code);
+  EXPECT_EQ(vm.stats().instructions, full_insns)
+      << "preemption must not retire extra instructions";
+  EXPECT_GT(preemptions, 10) << "budget of 50 never preempted a ~1k-iter loop";
+}
+
+/// An external that blocks is re-executed on resume (WouldBlock un-retires
+/// it), so a gated external must see every attempt while the program
+/// observes exactly one successful call with the right result.
+TEST(VmBasic, WouldBlockParksAndReExecutesExternal) {
+  ProgramBuilder pb("blocky");
+  auto main_id = pb.declare("main", {});
+  {
+    auto fb = pb.define(main_id, {});
+    auto v = fb.let_external("v", Type::integer(), "gated_value", {});
+    auto v2 = fb.let_binop("v2", Binop::kAdd, fb.v(v), Atom::integer(1));
+    fb.halt(fb.v(v2));
+  }
+  vm::Process p(pb.take("main"));
+  auto& vm = p.vm();
+  int attempts = 0;
+  vm.register_external(
+      "gated_value", [&](vm::Interpreter&, std::span<const runtime::Value>) {
+        if (++attempts < 3) throw vm::WouldBlock{123.5};
+        return Value::from_int(41);
+      });
+  vm.start(vm.compiled().entry, {});
+  auto r = vm.run_slice(0);
+  ASSERT_EQ(r.status, vm::SliceResult::Status::kBlocked);
+  EXPECT_DOUBLE_EQ(r.block_deadline, 123.5);
+  EXPECT_TRUE(vm.slice_active());
+  const std::uint64_t parked_insns = vm.stats().instructions;
+
+  r = vm.run_slice(0);  // blocks again (attempt 2)
+  ASSERT_EQ(r.status, vm::SliceResult::Status::kBlocked);
+  EXPECT_EQ(vm.stats().instructions, parked_insns)
+      << "a blocked external must be un-retired, not counted per retry";
+
+  r = vm.run_slice(0);  // attempt 3 succeeds
+  ASSERT_EQ(r.status, vm::SliceResult::Status::kHalted);
+  EXPECT_EQ(r.exit_code, 42);
+  EXPECT_EQ(attempts, 3);
+}
+
 }  // namespace
