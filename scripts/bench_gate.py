@@ -18,6 +18,8 @@ Gated metrics:
   rank_density.ranks_per_core            higher is better (fiber density)
   rank_density.coalesce_ratio            higher is better (frames/batch)
   rank_density.perrank_cost_ratio        lower is better (dense vs small)
+  ckpt_engine.small_put_per_s            higher is better (tiny-ckpt rate)
+  ckpt_engine.small_put_extents          lower is better (files per 10^6)
 
 Metrics missing from either file, non-positive baselines, and native-tier
 metrics on hosts where the vm record says jit_supported=0 are skipped with
@@ -39,6 +41,10 @@ import sys
 # stops completing), and coalesce_ratio's baseline of 50 is well under the
 # ~90+ a healthy run batches, so the gate trips on "coalescing broke"
 # (ratio collapses toward 1) rather than on scheduler timing jitter.
+# ckpt_engine baselines are likewise a floor (puts/s well under the
+# measured rate, tripping only on an order-of-magnitude collapse such as
+# an accidental fsync-per-put) and a ceiling (10^6 small checkpoints must
+# leave <= ~1000 extent files; the flat layout would leave 10^6).
 GATED = [
     ("grid_checkpoint", "heat_fault_free_ms", "lower"),
     ("grid_checkpoint", "incremental_write_ratio", "lower"),
@@ -49,6 +55,8 @@ GATED = [
     ("rank_density", "ranks_per_core", "higher"),
     ("rank_density", "coalesce_ratio", "higher"),
     ("rank_density", "perrank_cost_ratio", "lower"),
+    ("ckpt_engine", "small_put_per_s", "higher"),
+    ("ckpt_engine", "small_put_extents", "lower"),
 ]
 
 # Metrics only meaningful when the native tier actually ran.

@@ -1,0 +1,229 @@
+// Log-structured chunk store engine.
+//
+// The flat layout ("one chunk, one file") makes a million checkpoints a
+// million files — readdir-scale metadata, one inode + one fsync per tiny
+// chunk. This engine replaces it with the WiredTiger/Bitcask shape the
+// ROADMAP asks for: chunks are appended as checksummed records to large
+// *extent* files (~64 MiB), an in-memory index maps content key →
+// (extent, offset), reads go through an LRU block cache, deletions are
+// tombstone records, and compaction rewrites the live tail of
+// mostly-dead extents into fresh ones.
+//
+// Record format inside an extent (little-endian, docs/CONTROL_PLANE.md
+// sibling of the WAL framing):
+//
+//   u32 magic 'MJX1' | u8 kind (1 put, 2 tombstone) | u64 seq
+//   | u64 key.hi | u64 key.lo | u32 raw_len | u32 stored_len | u8 codec
+//   | payload[stored_len] | u64 fnv1a(body after magic)
+//
+// `seq` is a global monotonic stamp: rebuilding the index replays records
+// in seq order, so a tombstone and a later re-put resolve correctly no
+// matter which extent file each landed in.
+//
+// Concurrency: every agent process owns its *own* active extent (the file
+// name embeds pid + nonce), so writers never contend. Extents are
+// append-only and records self-framing, which makes cross-process reads
+// safe: a reader that misses in its index rescans grown/new extents from
+// its last offset (`refresh`), stopping at any partially-visible tail
+// record and retrying later. Optional compression is a dependency-free
+// zero-run RLE — checkpoint images carry large zeroed buffers, which is
+// exactly what it folds away.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ckpt/key.hpp"
+
+namespace mojave::ckpt {
+
+/// Point-in-time engine statistics (`mojc ckpt stats`, bench).
+struct EngineStats {
+  std::size_t extents = 0;
+  std::size_t live_chunks = 0;
+  std::uint64_t live_raw_bytes = 0;     ///< uncompressed logical bytes
+  std::uint64_t live_stored_bytes = 0;  ///< bytes on disk for live records
+  std::uint64_t dead_stored_bytes = 0;  ///< overwritten/tombstoned debris
+  std::uint64_t extent_file_bytes = 0;  ///< total size of all extent files
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t compactions = 0;
+
+  /// Fraction of extent bytes that are live (1.0 = no debris).
+  [[nodiscard]] double live_ratio() const {
+    const std::uint64_t total = live_stored_bytes + dead_stored_bytes;
+    return total == 0 ? 1.0
+                      : static_cast<double>(live_stored_bytes) /
+                            static_cast<double>(total);
+  }
+  [[nodiscard]] double cache_hit_rate() const {
+    const std::uint64_t total = cache_hits + cache_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(cache_hits) /
+                            static_cast<double>(total);
+  }
+};
+
+struct CompactStats {
+  std::size_t extents_compacted = 0;
+  std::size_t records_rewritten = 0;
+  std::uint64_t bytes_reclaimed = 0;
+};
+
+class ChunkEngine {
+ public:
+  struct Options {
+    /// Rotate the active extent once it exceeds this many bytes.
+    std::uint64_t extent_target_bytes = 64ull << 20;
+    /// Block cache budget (raw chunk bytes). 0 disables the cache.
+    std::uint64_t cache_bytes = 64ull << 20;
+    /// Zero-run RLE compression for stored payloads (codec falls back to
+    /// raw per record when it does not help).
+    bool compress = true;
+    /// compact() rewrites an extent when its dead fraction exceeds this.
+    double compact_min_dead_ratio = 0.5;
+    /// Never compact an extent modified more recently than this — it may
+    /// be another process's active extent.
+    double compact_min_idle_seconds = 2.0;
+  };
+
+  ChunkEngine(std::filesystem::path dir, Options opts);
+  explicit ChunkEngine(std::filesystem::path dir);
+  ~ChunkEngine();
+
+  ChunkEngine(const ChunkEngine&) = delete;
+  ChunkEngine& operator=(const ChunkEngine&) = delete;
+
+  /// True if the key is stored live (rescans foreign extents on miss).
+  [[nodiscard]] bool exists(const ChunkKey& key);
+
+  /// Append the chunk (no-op if already live).
+  void put(const ChunkKey& key, std::span<const std::byte> data);
+
+  /// Checksum-verified read; nullopt on missing or corrupt.
+  [[nodiscard]] std::optional<std::vector<std::byte>> read(
+      const ChunkKey& key);
+
+  /// Tombstone the key (no-op if absent).
+  void remove(const ChunkKey& key);
+
+  /// Every live key with its raw length.
+  [[nodiscard]] std::vector<std::pair<ChunkKey, std::uint32_t>> live_chunks();
+
+  /// fsync the active extent (called before a manifest is published, so
+  /// chunks-before-manifest durability survives the engine).
+  void flush();
+
+  /// Rewrite live records out of dead-heavy extents and delete the husks.
+  /// `force` compacts any extent with any dead bytes (CLI verb).
+  CompactStats compact(bool force = false);
+
+  [[nodiscard]] EngineStats stats();
+
+  /// Where a live chunk's payload bytes sit on disk (diagnostics and the
+  /// corruption tests, which flip bytes in place).
+  struct Location {
+    std::filesystem::path extent;
+    std::uint64_t payload_offset = 0;
+    std::uint32_t stored_len = 0;
+  };
+  [[nodiscard]] std::optional<Location> locate(const ChunkKey& key);
+
+  [[nodiscard]] const std::filesystem::path& dir() const { return dir_; }
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const std::pair<std::uint64_t, std::uint64_t>& k)
+        const noexcept {
+      return static_cast<std::size_t>(k.first ^ (k.second * 0x9e3779b97f4a7c15ULL));
+    }
+  };
+  using KeyPair = std::pair<std::uint64_t, std::uint64_t>;
+
+  struct IndexEntry {
+    std::uint32_t extent_id = 0;
+    std::uint64_t offset = 0;  ///< record start (the magic)
+    std::uint32_t raw_len = 0;
+    std::uint32_t stored_len = 0;
+    std::uint8_t codec = 0;
+    std::uint64_t seq = 0;
+  };
+
+  struct Extent {
+    std::filesystem::path path;
+    std::uint64_t scanned = 0;     ///< bytes indexed so far
+    std::uint64_t live_stored = 0; ///< payload+header bytes of live records
+    std::uint64_t dead_stored = 0;
+    bool own = false;              ///< written by this engine instance
+  };
+
+  // All private methods require mu_.
+  void open_active_locked();
+  void rotate_if_needed_locked();
+  void append_record_locked(std::uint8_t kind, const ChunkKey& key,
+                            std::uint32_t raw_len,
+                            std::span<const std::byte> stored,
+                            std::uint8_t codec);
+  void refresh_locked();                    ///< rescan foreign extents
+  void scan_extent_locked(std::uint32_t id);
+  [[nodiscard]] std::optional<std::vector<std::byte>> read_locked(
+      const ChunkKey& key);
+  void cache_insert_locked(const KeyPair& key, std::vector<std::byte> data);
+  [[nodiscard]] std::optional<std::vector<std::byte>> cache_get_locked(
+      const KeyPair& key);
+  void cache_erase_locked(const KeyPair& key);
+  [[nodiscard]] std::uint64_t record_cost(const IndexEntry& e) const;
+
+  std::filesystem::path dir_;
+  Options opts_;
+
+  // Latest tombstone per dead key. Needed so a compaction that deletes
+  // the extent holding a tombstone can re-append it when an older put of
+  // the same key may still exist in another, not-yet-compacted extent.
+  struct TombInfo {
+    std::uint64_t seq = 0;
+    std::uint32_t extent_id = 0;
+  };
+
+  std::mutex mu_;
+  std::vector<Extent> extents_;
+  std::unordered_map<KeyPair, IndexEntry, KeyHash> index_;
+  std::unordered_map<KeyPair, TombInfo, KeyHash> tombs_;
+  std::uint64_t next_seq_ = 1;
+
+  int active_fd_ = -1;
+  std::uint32_t active_id_ = 0;
+  std::uint64_t active_bytes_ = 0;
+  std::uint64_t active_nonce_ = 0;
+  std::uint32_t active_count_ = 0;  ///< extents created by this instance
+  bool dirty_ = false;
+
+  // LRU block cache: list front = most recent; map points into the list.
+  struct CacheSlot {
+    KeyPair key;
+    std::vector<std::byte> data;
+  };
+  std::list<CacheSlot> cache_lru_;
+  std::unordered_map<KeyPair, std::list<CacheSlot>::iterator, KeyHash>
+      cache_map_;
+  std::uint64_t cache_used_ = 0;
+};
+
+/// Zero-run RLE used by the engine's codec 1. Exposed for tests.
+[[nodiscard]] std::vector<std::byte> zero_rle_compress(
+    std::span<const std::byte> raw);
+/// Throws ImageError when the stream is malformed or does not decode to
+/// exactly `raw_len` bytes.
+[[nodiscard]] std::vector<std::byte> zero_rle_decompress(
+    std::span<const std::byte> stored, std::uint32_t raw_len);
+
+}  // namespace mojave::ckpt

@@ -19,9 +19,6 @@ namespace {
 
 constexpr std::uint32_t kManifestMagic = 0x74666b6d;  // "mkft"
 constexpr std::uint32_t kManifestVersion = 1;
-/// Seed diversifier for the second FNV pass of a ChunkKey, so (hi, lo)
-/// are not trivially correlated.
-constexpr std::uint64_t kLoSeedSalt = 0x9e3779b97f4a7c15ULL;
 
 struct CkptMetrics {
   obs::Counter& chunks_written;
@@ -90,13 +87,6 @@ std::string manifest_name(const std::string& snapshot, std::uint64_t seq) {
 }
 
 }  // namespace
-
-ChunkKey ChunkKey::of(std::span<const std::byte> data) {
-  ChunkKey key;
-  key.hi = fnv1a(data);
-  key.lo = fnv1a(data, key.hi ^ kLoSeedSalt);
-  return key;
-}
 
 std::string ChunkKey::hex() const { return hex16(hi) + hex16(lo); }
 
@@ -168,6 +158,18 @@ CheckpointStore::CheckpointStore(fs::path root, Options opts)
   if (opts_.keep_manifests == 0) {
     throw Error("ckpt: keep_manifests must be >= 1");
   }
+  engine_ = std::make_unique<ChunkEngine>(storage_.root() / kExtentDir,
+                                          opts_.engine);
+}
+
+bool CheckpointStore::chunk_exists_locked(const ChunkKey& key) const {
+  return engine_->exists(key) || storage_.exists(chunk_name(key));
+}
+
+std::optional<std::vector<std::byte>> CheckpointStore::chunk_read_locked(
+    const ChunkKey& key) const {
+  if (auto data = engine_->read(key)) return data;
+  return storage_.read(chunk_name(key));
 }
 
 std::shared_ptr<CheckpointStore> CheckpointStore::open_shared(
@@ -251,15 +253,17 @@ PutStats CheckpointStore::put(const std::string& snapshot,
     man.chunks.push_back({key, static_cast<std::uint32_t>(chunk.size())});
     ++stats.chunks_total;
     stats.bytes_total += chunk.size();
-    const std::string name = chunk_name(key);
-    if (storage_.exists(name)) {
+    if (chunk_exists_locked(key)) {
       ++stats.chunks_deduped;
     } else {
-      storage_.write(name, chunk);
+      engine_->put(key, chunk);
       ++stats.chunks_written;
       stats.bytes_written += chunk.size();
     }
   }
+  // fsync appended chunk records before the manifest rename makes them
+  // reachable — chunks-before-manifest durability holds for the engine.
+  engine_->flush();
   storage_.write(manifest_name(snapshot, stats.seq), man.encode());
 
   m.chunks_written.inc(stats.chunks_written);
@@ -310,7 +314,7 @@ std::optional<std::vector<std::byte>> CheckpointStore::restore(
     image.reserve(man.image_bytes);
     bool ok = true;
     for (const ManifestEntry& e : man.chunks) {
-      const auto chunk = storage_.read(chunk_name(e.key));
+      const auto chunk = chunk_read_locked(e.key);
       if (!chunk.has_value() || chunk->size() != e.length ||
           ChunkKey::of(*chunk) != e.key) {
         ok = false;
@@ -407,6 +411,7 @@ GcStats CheckpointStore::collect_garbage_locked() {
   // them references it. An undecodable manifest can never be restored,
   // so it is dropped rather than pinning garbage forever.
   std::set<std::string> referenced;
+  std::set<std::pair<std::uint64_t, std::uint64_t>> referenced_keys;
   for (const ManifestFile& mf : survivors) {
     const auto raw = storage_.read(mf.name);
     bool good = false;
@@ -415,6 +420,7 @@ GcStats CheckpointStore::collect_garbage_locked() {
         const Manifest man = Manifest::decode(*raw);
         for (const ManifestEntry& e : man.chunks) {
           referenced.insert(chunk_name(e.key));
+          referenced_keys.insert({e.key.hi, e.key.lo});
         }
         good = true;
       } catch (const Error&) {
@@ -425,6 +431,12 @@ GcStats CheckpointStore::collect_garbage_locked() {
       ++gc.manifests_pruned;
     }
   }
+  for (const auto& [key, raw_len] : engine_->live_chunks()) {
+    if (referenced_keys.contains({key.hi, key.lo})) continue;
+    engine_->remove(key);
+    gc.bytes_evicted += raw_len;
+    ++gc.chunks_evicted;
+  }
   for (const std::string& name : storage_.list(kChunkDir)) {
     if (referenced.contains(name)) continue;
     std::error_code ec;
@@ -433,6 +445,9 @@ GcStats CheckpointStore::collect_garbage_locked() {
     storage_.remove(name);
     ++gc.chunks_evicted;
   }
+  // Opportunistic compaction: extents whose dead fraction crossed the
+  // engine threshold are rewritten now that eviction tombstoned them.
+  engine_->compact(/*force=*/false);
   m.chunks_evicted.inc(gc.chunks_evicted);
   m.manifests_pruned.inc(gc.manifests_pruned);
   return gc;
@@ -458,9 +473,16 @@ VerifyReport CheckpointStore::verify() const {
       const std::string name = chunk_name(e.key);
       referenced.insert(name);
       if (!checked.insert(name).second) continue;  // verified already
-      const auto chunk = storage_.read(name);
+      // Present-but-unreadable in the engine is corruption (the record
+      // is indexed; its payload fails the checksum), not absence.
+      const bool in_engine = engine_->exists(e.key);
+      const auto chunk = chunk_read_locked(e.key);
       if (!chunk.has_value()) {
-        ++report.chunks_missing;
+        if (in_engine) {
+          ++report.chunks_corrupt;
+        } else {
+          ++report.chunks_missing;
+        }
       } else if (chunk->size() != e.length ||
                  ChunkKey::of(*chunk) != e.key) {
         ++report.chunks_corrupt;
@@ -468,6 +490,9 @@ VerifyReport CheckpointStore::verify() const {
         ++report.chunks_ok;
       }
     }
+  }
+  for (const auto& [key, raw_len] : engine_->live_chunks()) {
+    if (!referenced.contains(chunk_name(key))) ++report.chunks_orphaned;
   }
   for (const std::string& name : storage_.list(kChunkDir)) {
     if (!referenced.contains(name)) ++report.chunks_orphaned;
@@ -494,13 +519,38 @@ StoreStats CheckpointStore::stats() const {
   }
   s.snapshots = latest.size();
   for (const auto& [snapshot, bytes] : latest) s.latest_image_bytes += bytes;
+  s.engine = engine_->stats();
+  s.chunks = s.engine.live_chunks;
+  s.stored_chunk_bytes = s.engine.live_stored_bytes;
   for (const std::string& name : storage_.list(kChunkDir)) {
     ++s.chunks;
+    ++s.legacy_chunk_files;
     std::error_code ec;
     const auto size = fs::file_size(storage_.path_for(name), ec);
     if (!ec) s.stored_chunk_bytes += size;
   }
   return s;
+}
+
+CompactStats CheckpointStore::compact(bool force) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Fold legacy flat chunk files into extents first, so the store
+  // converges on the log-structured layout; a file that fails its own
+  // content hash is left in place for verify() to flag.
+  std::size_t folded = 0;
+  for (const std::string& name : storage_.list(kChunkDir)) {
+    const auto data = storage_.read(name);
+    if (!data.has_value()) continue;
+    const ChunkKey key = ChunkKey::of(*data);
+    if (chunk_name(key) != name) continue;  // corrupt: keep for verify()
+    if (!engine_->exists(key)) engine_->put(key, *data);
+    storage_.remove(name);
+    ++folded;
+  }
+  if (folded > 0) engine_->flush();
+  CompactStats out = engine_->compact(force);
+  out.records_rewritten += folded;
+  return out;
 }
 
 }  // namespace mojave::ckpt

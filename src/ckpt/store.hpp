@@ -38,20 +38,11 @@
 #include <vector>
 
 #include "ckpt/chunker.hpp"
+#include "ckpt/engine.hpp"
+#include "ckpt/key.hpp"
 #include "cluster/storage.hpp"
 
 namespace mojave::ckpt {
-
-/// 128-bit content address: two independently seeded FNV-1a passes.
-struct ChunkKey {
-  std::uint64_t hi = 0;
-  std::uint64_t lo = 0;
-
-  [[nodiscard]] static ChunkKey of(std::span<const std::byte> data);
-  [[nodiscard]] std::string hex() const;  ///< 32 lowercase hex chars
-
-  auto operator<=>(const ChunkKey&) const = default;
-};
 
 struct ManifestEntry {
   ChunkKey key;
@@ -115,9 +106,11 @@ struct StoreStats {
   std::size_t snapshots = 0;
   std::size_t manifests = 0;
   std::size_t chunks = 0;
-  std::uint64_t stored_chunk_bytes = 0;  ///< bytes in chunk files (unique)
+  std::uint64_t stored_chunk_bytes = 0;  ///< bytes on disk for live chunks
   std::uint64_t logical_bytes = 0;       ///< sum of image_bytes over manifests
   std::uint64_t latest_image_bytes = 0;  ///< sum of latest image per snapshot
+  std::size_t legacy_chunk_files = 0;    ///< flat chunks/*.ch not yet folded
+  EngineStats engine;                    ///< log-structured engine stats
 
   /// logical bytes the store represents per stored byte (>= 1 once any
   /// two snapshots share content).
@@ -138,6 +131,8 @@ class CheckpointStore {
     std::uint32_t keep_manifests = 4;
     /// Run retention + chunk GC automatically after every put().
     bool auto_gc = true;
+    /// Log-structured engine knobs (extent size, cache, compression).
+    ChunkEngine::Options engine;
   };
 
   explicit CheckpointStore(std::filesystem::path root, Options opts);
@@ -182,10 +177,16 @@ class CheckpointStore {
   [[nodiscard]] VerifyReport verify() const;
   [[nodiscard]] StoreStats stats() const;
 
+  /// Compact the engine (rewrite dead-heavy extents) and fold any legacy
+  /// flat chunk files into extents. Returns engine-side stats plus the
+  /// number of legacy files folded in `records_rewritten` growth.
+  CompactStats compact(bool force = true);
+
   [[nodiscard]] const std::filesystem::path& root() const {
     return storage_.root();
   }
   [[nodiscard]] cluster::SharedStorage& storage() { return storage_; }
+  [[nodiscard]] ChunkEngine& engine() { return *engine_; }
 
   static constexpr const char* kChunkDir = "chunks";
   static constexpr const char* kManifestDir = "manifests";
@@ -205,9 +206,19 @@ class CheckpointStore {
       const std::string& snapshot) const;
   GcStats collect_garbage_locked();
 
+  // Chunk access routed engine-first with a read fallback to the legacy
+  // flat chunks/<hex>.ch layout, so stores written before the engine
+  // existed stay restorable.
+  [[nodiscard]] bool chunk_exists_locked(const ChunkKey& key) const;
+  [[nodiscard]] std::optional<std::vector<std::byte>> chunk_read_locked(
+      const ChunkKey& key) const;
+
   Options opts_;
   cluster::SharedStorage storage_;
+  std::unique_ptr<ChunkEngine> engine_;
   mutable std::mutex mu_;
+
+  static constexpr const char* kExtentDir = "extents";
 };
 
 }  // namespace mojave::ckpt

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "support/serialize.hpp"
+
 namespace mojave::cluster {
 
 void DependencyTracker::record(net::NodeId sender, SpecLevel sender_level,
@@ -83,6 +85,25 @@ std::size_t DependencyTracker::dependency_count() const {
 std::uint64_t DependencyTracker::poisons_issued() const {
   std::lock_guard<std::mutex> lock(mu_);
   return poisons_;
+}
+
+std::vector<std::byte> DependencyTracker::encode_state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(deps_.size()));
+  for (const auto& [sender, vec] : deps_) {
+    w.u32(sender);
+    w.u32(static_cast<std::uint32_t>(vec.size()));
+    for (const Dep& d : vec) {
+      w.u32(d.receiver);
+      w.u32(d.sender_level);
+      w.u32(d.receiver_level);
+    }
+  }
+  w.u32(static_cast<std::uint32_t>(poisoned_.size()));
+  for (const net::NodeId n : poisoned_) w.u32(n);
+  w.u64(poisons_);
+  return w.take();
 }
 
 }  // namespace mojave::cluster

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "ckpt/store.hpp"
+#include "ctrl/lease.hpp"
 #include "core/engine.hpp"
 #include "dnode/agent.hpp"
 #include "dnode/coord.hpp"
@@ -65,9 +66,10 @@ int usage() {
       "  mojc node --storage ROOT [--bind ADDR] [--port P] [--throttle-ms X]\n"
       "  mojc cluster --nodes host:port,... [--ranks N] [--storage ROOT]\n"
       "       [--balance-interval S] [--balance-threshold X] [--timeout S]\n"
+      "       [--wal-root DIR] [--standby] [--lease-ttl S]\n"
       "       run <file.mjc>\n"
       "  mojc inspect <image>\n"
-      "  mojc ckpt <store-root> [list|stats|verify|gc]\n"
+      "  mojc ckpt <store-root> [list|stats|verify|gc|compact]\n"
       "  mojc dump <file.mjc> [--risc]\n"
       "execution (run/exec/resume/serve/node/cluster):\n"
       "  --jit=on|off|threshold=N  native-tier policy (comma-combinable,\n"
@@ -116,6 +118,10 @@ struct Flags {
   double balance_interval_s = 0;
   double balance_threshold = 1.5;
   double cluster_timeout_s = 300;
+  // HA control plane (docs/CONTROL_PLANE.md).
+  std::string wal_root;
+  bool standby = false;
+  double lease_ttl_s = 2.0;
   std::vector<std::string> positional;
 };
 
@@ -177,6 +183,12 @@ Flags parse_flags(int argc, char** argv, int first) {
       flags.balance_threshold = std::stod(argv[++i]);
     } else if (arg == "--timeout" && i + 1 < argc) {
       flags.cluster_timeout_s = std::stod(argv[++i]);
+    } else if (arg == "--wal-root" && i + 1 < argc) {
+      flags.wal_root = argv[++i];
+    } else if (arg == "--standby") {
+      flags.standby = true;
+    } else if (arg == "--lease-ttl" && i + 1 < argc) {
+      flags.lease_ttl_s = std::stod(argv[++i]);
     } else if (arg == "-o" && i + 1 < argc) {
       flags.output = argv[++i];
     } else {
@@ -384,17 +396,50 @@ int cmd_cluster(const Flags& flags) {
   cfg.balance_interval_seconds = flags.balance_interval_s;
   cfg.balance_threshold = flags.balance_threshold;
   if (flags.recv_timeout_s) cfg.recv_timeout_seconds = *flags.recv_timeout_s;
+  cfg.wal_root = flags.wal_root;
+  cfg.lease_ttl_seconds = flags.lease_ttl_s;
+
+  if (flags.standby) {
+    if (flags.wal_root.empty()) {
+      std::cerr << "mojc cluster: --standby requires --wal-root DIR (the "
+                   "primary's WAL + lease directory)\n";
+      return usage();
+    }
+    // Hot standby: wait out the primary's lease, then take over its run
+    // (replay WAL, seal, re-adopt agents — docs/CONTROL_PLANE.md).
+    std::cerr << "[mojc] standby: watching lease under " << flags.wal_root
+              << "\n";
+    while (true) {
+      const auto info = ctrl::Lease::read(flags.wal_root);
+      if (!info.has_value() || info->expired(ctrl::Lease::wall_now())) break;
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          std::max(0.05, info->ttl_seconds / 4.0)));
+    }
+    std::cerr << "[mojc] standby: lease expired, taking over\n";
+    cfg.resume = true;
+  }
 
   Engine engine = make_engine(flags);
   const fir::Program program = engine.compile_file(flags.positional[1]);
 
   dnode::Coordinator coord(cfg);
-  coord.launch_spmd(program);
+  // A takeover re-adopts the ranks already running; only a fresh run (or
+  // a standby that found an empty WAL) launches the program.
+  if (!coord.resumed()) coord.launch_spmd(program);
   const bool all_done = coord.wait_all(flags.cluster_timeout_s);
 
   int rc = all_done ? 0 : 1;
   for (const dnode::RankOutcome& r : coord.results()) {
     if (!r.output.empty()) std::cout << r.output;
+    if (r.has_reported) {
+      // Machine-readable per-rank result, bit-exact (%.17g round-trips a
+      // double): the coordinator-chaos CI job diffs these lines between a
+      // failure-free run and a kill-the-primary failover run.
+      char line[64];
+      std::snprintf(line, sizeof(line), "RANK_SUM rank=%u sum=%.17g\n",
+                    r.rank, r.reported);
+      std::cout << line;
+    }
     if (!r.done) {
       std::cerr << "[mojc] rank " << r.rank << " did not finish\n";
     } else if (r.result_kind == 2) {
@@ -445,6 +490,15 @@ int cmd_ckpt(const Flags& flags) {
   if (flags.positional.empty() || flags.positional.size() > 2) return usage();
   const std::string sub =
       flags.positional.size() == 2 ? flags.positional[1] : "list";
+  // An absent root would be silently created by the store constructor —
+  // for read-only verbs that hides a typo'd path behind "store OK".
+  const bool absent = !std::filesystem::exists(flags.positional[0]);
+  if (absent && sub == "verify") {
+    std::cerr << "mojc ckpt verify: no checkpoint store at '"
+              << flags.positional[0]
+              << "' (path does not exist; nothing to verify)\n";
+    return 2;
+  }
   ckpt::CheckpointStore store(flags.positional[0]);
 
   if (sub == "list") {
@@ -475,10 +529,25 @@ int cmd_ckpt(const Flags& flags) {
               << "stored chunk bytes: " << s.stored_chunk_bytes << "\n"
               << "logical bytes:      " << s.logical_bytes << "\n"
               << "latest image bytes: " << s.latest_image_bytes << "\n"
-              << "dedup ratio:        " << s.dedup_ratio() << "\n";
+              << "dedup ratio:        " << s.dedup_ratio() << "\n"
+              << "engine extents:     " << s.engine.extents << " ("
+              << s.engine.extent_file_bytes << " bytes)\n"
+              << "engine live chunks: " << s.engine.live_chunks << "\n"
+              << "engine live ratio:  " << s.engine.live_ratio() << "\n"
+              << "engine cache hits:  " << s.engine.cache_hits << " ("
+              << s.engine.cache_hit_rate() << " hit rate)\n"
+              << "engine compactions: " << s.engine.compactions << "\n"
+              << "legacy chunk files: " << s.legacy_chunk_files << "\n";
     return 0;
   }
   if (sub == "verify") {
+    const auto s = store.stats();
+    if (s.manifests == 0 && s.chunks == 0 && s.legacy_chunk_files == 0) {
+      std::cerr << "mojc ckpt verify: store at '" << flags.positional[0]
+                << "' is empty (no manifests, no chunks) — nothing to "
+                   "verify\n";
+      return 2;
+    }
     const auto report = store.verify();
     std::cout << "manifests: " << report.manifests_ok << " ok, "
               << report.manifests_corrupt << " corrupt\n"
@@ -494,6 +563,16 @@ int cmd_ckpt(const Flags& flags) {
     std::cout << "pruned " << gc.manifests_pruned << " manifest(s), evicted "
               << gc.chunks_evicted << " chunk(s) (" << gc.bytes_evicted
               << " bytes)\n";
+    return 0;
+  }
+  if (sub == "compact") {
+    const auto c = store.compact();
+    const auto s = store.stats();
+    std::cout << "compacted " << c.extents_compacted << " extent(s), rewrote "
+              << c.records_rewritten << " record(s), reclaimed "
+              << c.bytes_reclaimed << " bytes\n"
+              << "store now: " << s.engine.extents << " extent(s), live ratio "
+              << s.engine.live_ratio() << "\n";
     return 0;
   }
   return usage();

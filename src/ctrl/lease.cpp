@@ -1,0 +1,158 @@
+#include "ctrl/lease.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <random>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "support/hash.hpp"
+#include "support/log.hpp"
+#include "support/serialize.hpp"
+
+namespace mojave::ctrl {
+
+namespace {
+
+constexpr std::uint32_t kLeaseMagic = 0x314c4a4d;  // "MJL1"
+constexpr const char* kLeaseFile = "lease";
+
+std::uint64_t make_nonce() {
+  static std::atomic<std::uint64_t> counter{0};
+  std::random_device rd;
+  const std::uint64_t r =
+      (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+  return (static_cast<std::uint64_t>(::getpid()) << 40) ^ r ^
+         counter.fetch_add(1);
+}
+
+}  // namespace
+
+double Lease::wall_now() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+Lease::Lease(std::filesystem::path dir, double ttl_seconds)
+    : dir_(std::move(dir)), ttl_(ttl_seconds), nonce_(make_nonce()) {
+  std::filesystem::create_directories(dir_);
+}
+
+std::optional<Lease::Info> Lease::read(const std::filesystem::path& dir) {
+  std::ifstream in(dir / kLeaseFile, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::vector<char> raw((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  const auto data = std::as_bytes(std::span(raw.data(), raw.size()));
+  if (data.size() < 8) return std::nullopt;
+  const auto body = data.first(data.size() - 8);
+  std::uint64_t stored = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    stored |= std::to_integer<std::uint64_t>(data[body.size() + i]) << (8 * i);
+  }
+  if (stored != fnv1a(body)) return std::nullopt;
+  try {
+    Reader r(body);
+    if (r.u32() != kLeaseMagic) return std::nullopt;
+    Info info;
+    info.epoch = r.u64();
+    info.owner = r.u64();
+    info.expires_at = r.f64();
+    info.ttl_seconds = r.f64();
+    return info;
+  } catch (const ImageError&) {
+    return std::nullopt;
+  }
+}
+
+bool Lease::write_lease(std::uint64_t epoch, double expires_at) {
+  Writer w;
+  w.u32(kLeaseMagic);
+  w.u64(epoch);
+  w.u64(nonce_);
+  w.f64(expires_at);
+  w.f64(ttl_);
+  std::vector<std::byte> body = w.take();
+  const std::uint64_t h = fnv1a(body);
+  for (std::size_t i = 0; i < 8; ++i) {
+    body.push_back(std::byte{static_cast<std::uint8_t>(h >> (8 * i))});
+  }
+  // Atomic publish: temp + rename, so a reader never sees a half lease.
+  const std::filesystem::path tmp =
+      dir_ / (std::string(kLeaseFile) + "." + std::to_string(nonce_) + ".tmp");
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(reinterpret_cast<const char*>(body.data()),
+              static_cast<std::streamsize>(body.size()));
+    if (!out.good()) return false;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, dir_ / kLeaseFile, ec);
+  return !ec;
+}
+
+bool Lease::try_acquire() {
+  const double now = wall_now();
+  const auto current = read(dir_);
+  if (current.has_value() && !current->expired(now)) {
+    if (current->owner == nonce_) {
+      held_ = true;  // already ours
+      return true;
+    }
+    held_ = false;
+    return false;
+  }
+  const std::uint64_t next_epoch =
+      (current.has_value() ? current->epoch : 0) + 1;
+  if (!write_lease(next_epoch, now + ttl_)) return false;
+  // Read back: if two contenders raced the rename, exactly one nonce
+  // survived — that one holds the lease.
+  const auto after = read(dir_);
+  held_ = after.has_value() && after->owner == nonce_ &&
+          after->epoch == next_epoch;
+  if (held_) {
+    epoch_ = next_epoch;
+    obs::MetricsRegistry::instance()
+        .gauge("ctrl.lease.epoch")
+        .set(static_cast<std::int64_t>(epoch_));
+    MOJAVE_LOG(kInfo, "ctrl")
+        << "lease acquired: epoch " << epoch_ << " ttl " << ttl_ << "s";
+  }
+  return held_;
+}
+
+bool Lease::renew() {
+  if (!held_) return false;
+  const auto current = read(dir_);
+  if (!current.has_value() || current->owner != nonce_ ||
+      current->epoch != epoch_) {
+    // Deposed: a standby acquired a newer epoch (or the file was lost).
+    held_ = false;
+    obs::MetricsRegistry::instance().counter("ctrl.lease.deposed").inc();
+    MOJAVE_LOG(kWarn, "ctrl") << "lease lost: epoch " << epoch_
+                              << " superseded; this coordinator is fenced";
+    return false;
+  }
+  if (!write_lease(epoch_, wall_now() + ttl_)) return false;
+  obs::MetricsRegistry::instance().counter("ctrl.lease.renewals").inc();
+  return true;
+}
+
+void Lease::release() {
+  if (!held_) return;
+  const auto current = read(dir_);
+  if (current.has_value() && current->owner == nonce_ &&
+      current->epoch == epoch_) {
+    // Expire in place: a standby polling the lease takes over now rather
+    // than after a full TTL.
+    write_lease(epoch_, 0.0);
+  }
+  held_ = false;
+}
+
+}  // namespace mojave::ctrl

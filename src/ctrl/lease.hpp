@@ -1,0 +1,72 @@
+// Coordinator lease: who is allowed to write the control-plane WAL.
+//
+// A single lease file lives next to the WAL segments. It names the
+// current holder (an opaque owner nonce), a fenced epoch, and a wall
+// clock expiry. The protocol (docs/CONTROL_PLANE.md):
+//
+//  * acquire: if the file is absent, unreadable, or expired, write a new
+//    lease at epoch+1 with our nonce (temp file + rename, the same
+//    atomic-publish idiom as cluster::SharedStorage), then read it back —
+//    whoever's nonce survived the rename race owns the lease.
+//  * renew: rewrite the same epoch with a fresh expiry. If the file now
+//    carries a different owner or a higher epoch, we have been deposed:
+//    renew() fails and the holder must stop acting as primary (it is a
+//    zombie; its WAL segment has been sealed by the successor).
+//  * release: a graceful shutdown expires the lease in place so a standby
+//    takes over immediately instead of waiting out the TTL.
+//
+// Epochs are the fence the rest of the control plane hangs off: the WAL
+// segment is named by epoch, HELLO frames carry it so agents reject a
+// deposed coordinator, and takeover seals are written under it.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+
+namespace mojave::ctrl {
+
+class Lease {
+ public:
+  struct Info {
+    std::uint64_t epoch = 0;
+    std::uint64_t owner = 0;
+    double expires_at = 0;  ///< wall clock seconds (system_clock)
+    double ttl_seconds = 0;
+    [[nodiscard]] bool expired(double now) const { return now >= expires_at; }
+  };
+
+  /// `dir` holds the lease file (created on first acquire).
+  Lease(std::filesystem::path dir, double ttl_seconds);
+
+  /// Try once to become (or stay) the holder. True = we hold the lease.
+  bool try_acquire();
+
+  /// Extend our lease. False = deposed (someone else holds a newer
+  /// epoch); the caller must stop acting as primary.
+  bool renew();
+
+  /// Expire the lease in place if we still hold it (graceful handoff).
+  void release();
+
+  [[nodiscard]] bool held() const { return held_; }
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  [[nodiscard]] double ttl_seconds() const { return ttl_; }
+
+  /// Read whatever lease is on disk right now (any process).
+  static std::optional<Info> read(const std::filesystem::path& dir);
+
+  /// Wall clock seconds — the shared time base for expiry checks.
+  static double wall_now();
+
+ private:
+  bool write_lease(std::uint64_t epoch, double expires_at);
+
+  std::filesystem::path dir_;
+  double ttl_ = 0;
+  std::uint64_t nonce_ = 0;  ///< this process+instance's identity
+  std::uint64_t epoch_ = 0;
+  bool held_ = false;
+};
+
+}  // namespace mojave::ctrl

@@ -1,0 +1,121 @@
+// The coordinator's replicated state machine.
+//
+// Everything the coordinator must not forget across a crash lives here:
+// rank placement, the speculation join's DependencyTracker, per-rank
+// rollback fences and commit counts, and terminal rank outcomes. The
+// live coordinator mutates this state ONLY through apply() — the same
+// function WAL replay calls — so "replay the log" and "run the
+// transitions live" are one code path and the rebuilt state bit-matches
+// the original by construction (snapshot_bytes() is the canonical image
+// the equivalence tests compare).
+//
+// apply() returns the side effects the caller owes the wire: which ranks
+// to poison, whether a dep record was fenced stale. The live coordinator
+// turns those into POISON frames; replay drops them (the frames either
+// reached their agents before the crash or the RE-ADOPT census will
+// reconcile).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "cluster/tracker.hpp"
+#include "ctrl/wal.hpp"
+
+namespace mojave::ctrl {
+
+constexpr std::uint32_t kNoAgent = ~std::uint32_t{0};
+
+/// Rollback fence (docs/SPECULATION.md, "epoch fencing"): a DEP_RECORD
+/// whose (epoch, sender_level) predates one of these joins a speculation
+/// that no longer exists. `commits` is the rank's discharge count at the
+/// rollback, so committed data re-consumed late is not poisoned.
+struct RollbackFence {
+  std::uint64_t epoch = 0;
+  std::uint32_t level = 0;
+  std::uint64_t commits = 0;
+};
+
+/// One rank's placement.
+struct RankPlacement {
+  std::uint32_t agent = 0;
+  bool alive = false;
+};
+
+/// Final state of one rank, aggregated across incarnations (mirrors
+/// dnode::RankOutcome minus the rank number, which is the index).
+struct RankState {
+  bool done = false;
+  std::uint8_t result_kind = 0;
+  std::int64_t exit_code = 0;
+  std::string error;
+  std::string output;
+  bool has_reported = false;
+  double reported = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t speculates = 0, commits = 0, rollbacks = 0;
+  std::uint64_t restarts = 0;
+};
+
+class CoordState {
+ public:
+  struct ApplyResult {
+    /// Ranks the transition poisoned (live coordinator: send POISON).
+    std::vector<std::uint32_t> poisoned;
+    /// kDepRecord only: the record was fenced stale (receiver poisoned).
+    bool stale_dep = false;
+    /// kRankResult only: the rank was already done (duplicate RESULT
+    /// re-sent across a failover; the transition was a no-op).
+    bool duplicate_result = false;
+  };
+
+  /// The one transition function. NOT thread-safe; callers serialize
+  /// (the coordinator under its mutex, replay single-threaded).
+  ApplyResult apply(const WalRecord& rec);
+
+  // --- read side --------------------------------------------------------
+  [[nodiscard]] std::uint32_t num_ranks() const { return num_ranks_; }
+  [[nodiscard]] const std::vector<AgentEndpoint>& agents() const {
+    return agents_;
+  }
+  [[nodiscard]] std::uint64_t max_instructions() const {
+    return max_instructions_;
+  }
+  [[nodiscard]] double recv_timeout_seconds() const {
+    return recv_timeout_seconds_;
+  }
+  [[nodiscard]] const std::vector<RankPlacement>& placement() const {
+    return placement_;
+  }
+  [[nodiscard]] const std::vector<RankState>& ranks() const { return ranks_; }
+  [[nodiscard]] std::uint64_t commit_count(std::uint32_t rank) const;
+  [[nodiscard]] bool run_complete() const { return run_complete_; }
+  [[nodiscard]] bool all_done() const;
+  [[nodiscard]] cluster::DependencyTracker& tracker() { return tracker_; }
+
+  /// Canonical byte image of the whole state (placement, fences, commit
+  /// counts, outcomes, tracker). Two CoordStates that applied equivalent
+  /// transition streams produce identical bytes.
+  [[nodiscard]] std::vector<std::byte> snapshot_bytes() const;
+
+ private:
+  static constexpr std::size_t kRollbackRingCap = 64;
+
+  void push_fence(std::uint32_t rank, RollbackFence f);
+
+  std::uint32_t num_ranks_ = 0;
+  std::vector<AgentEndpoint> agents_;
+  std::uint64_t max_instructions_ = 0;
+  double recv_timeout_seconds_ = 30.0;
+
+  std::vector<RankPlacement> placement_;
+  std::vector<RankState> ranks_;
+  std::map<std::uint32_t, std::uint64_t> commit_counts_;
+  std::map<std::uint32_t, std::deque<RollbackFence>> rollback_ring_;
+  cluster::DependencyTracker tracker_;
+  bool run_complete_ = false;
+};
+
+}  // namespace mojave::ctrl

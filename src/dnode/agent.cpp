@@ -172,6 +172,16 @@ struct NodeAgent::RankSlot {
   /// paper's Figure 2 "re-request border information" arrow).
   std::map<std::pair<std::uint32_t, std::int32_t>, std::vector<std::byte>>
       sent_log;
+
+  // --- HA takeover bookkeeping (loop thread only) -----------------------
+  /// True once this slot yielded (checkpointed and parked): reported as
+  /// state 2 in the RE_ADOPT census so a takeover coordinator re-grants
+  /// the resurrect instead of waiting forever for a RESULT.
+  bool yielded = false;
+  /// The encoded RESULT frame, kept after completion: a RESULT that raced
+  /// the primary coordinator's death is re-sent to the standby at
+  /// RE_ADOPT (its duplicate guard absorbs the common already-seen case).
+  std::vector<std::byte> last_result;
 };
 
 namespace {
@@ -326,6 +336,13 @@ void NodeAgent::loop() {
       if (stopping_.load()) return;
     }
     const double now = now_seconds();
+    if (coord_lost_at_ >= 0 && !coordinator_ &&
+        now - coord_lost_at_ >= cfg_.coordinator_grace_seconds) {
+      MOJAVE_LOG(kInfo, "dnode")
+          << "no coordinator takeover within grace period; shutting down";
+      coord_lost_at_ = -1;
+      request_shutdown();
+    }
     if (now >= next_heartbeat_) {
       next_heartbeat_ = now + cfg_.heartbeat_seconds;
       if (coordinator_) {
@@ -397,11 +414,20 @@ void NodeAgent::drop_conn(std::uint64_t token) {
   if (conn == coordinator_) {
     coordinator_.reset();
     if (!stopping_.load()) {
-      // Coordinator gone: nothing can place, poison, or collect us
-      // anymore.
-      MOJAVE_LOG(kInfo, "dnode")
-          << "coordinator connection lost; shutting down";
-      request_shutdown();
+      if (cfg_.coordinator_grace_seconds > 0) {
+        // HA mode: keep the ranks running and wait for a standby
+        // coordinator to acquire the lease and re-adopt us.
+        coord_lost_at_ = now_seconds();
+        MOJAVE_LOG(kWarn, "dnode")
+            << "coordinator connection lost; holding ranks "
+            << cfg_.coordinator_grace_seconds << "s for a takeover";
+      } else {
+        // Coordinator gone: nothing can place, poison, or collect us
+        // anymore.
+        MOJAVE_LOG(kInfo, "dnode")
+            << "coordinator connection lost; shutting down";
+        request_shutdown();
+      }
     }
   }
 }
@@ -486,10 +512,81 @@ void NodeAgent::flush_io() {
 // --- Frame handling --------------------------------------------------------
 
 void NodeAgent::handle_frame(const Msg& m, const std::shared_ptr<Conn>& conn) {
+  // Fencing, part two: commands are only honored from the adopted control
+  // connection. A deposed primary's established conn keeps delivering
+  // frames after the standby takes over (the HELLO epoch check only fires
+  // on reconnect); those must not launch, poison, or shut anything down.
+  switch (m.type) {
+    case MsgType::kConfig:
+    case MsgType::kPlacement:
+    case MsgType::kLaunch:
+    case MsgType::kPoison:
+    case MsgType::kForceRoll:
+    case MsgType::kResurrect:
+    case MsgType::kYieldRank:
+    case MsgType::kShutdown:
+    case MsgType::kReAdopt:
+      if (conn != coordinator_) return;
+      break;
+    default:
+      break;
+  }
   switch (m.type) {
     case MsgType::kHello: {
       conn->kind = m.peer_kind;
-      if (m.peer_kind == PeerKind::kCoordinator) coordinator_ = conn;
+      if (m.peer_kind == PeerKind::kCoordinator) {
+        // Lease fencing (docs/CONTROL_PLANE.md): a deposed primary that
+        // is still alive carries a lower lease epoch than the standby
+        // that replaced it — its writes must not reach the cluster.
+        if (m.coord_epoch < coord_epoch_) {
+          MOJAVE_LOG(kWarn, "dnode")
+              << "rejecting coordinator with stale lease epoch "
+              << m.coord_epoch << " < " << coord_epoch_;
+          drop_conn(conn->token);
+          break;
+        }
+        coord_epoch_ = m.coord_epoch;
+        if (coordinator_ && coordinator_ != conn) {
+          // Adopt the new primary before dropping the old control
+          // connection so the drop does not look like a coordinator loss.
+          const std::uint64_t old_token = coordinator_->token;
+          coordinator_ = conn;
+          drop_conn(old_token);
+        } else {
+          coordinator_ = conn;
+        }
+        coord_lost_at_ = -1;
+        while (!coord_backlog_.empty()) {
+          coordinator_->sock.queue_frame(std::move(coord_backlog_.front()));
+          coord_backlog_.pop_front();
+        }
+      }
+      break;
+    }
+    case MsgType::kReAdopt: {
+      // A standby coordinator took over: answer with the rank census so
+      // it can reconcile its replayed WAL state against what is actually
+      // running here, then re-send any RESULT the dead primary may never
+      // have durably recorded.
+      std::vector<CensusEntry> census;
+      std::vector<std::vector<std::byte>> results;
+      for (const auto& [rank, slot] : slots_) {
+        CensusEntry e;
+        e.rank = rank;
+        e.commit_seq = slot->commit_seq.load();
+        if (slot->yielded) {
+          e.state = 2;
+        } else if (slot->done.load()) {
+          if (slot->last_result.empty()) continue;  // failed-resurrect husk
+          e.state = 1;
+          results.push_back(slot->last_result);
+        } else {
+          e.state = 0;
+        }
+        census.push_back(e);
+      }
+      send_to_coordinator(encode_re_adopt_ack(my_agent_, census));
+      for (auto& f : results) send_to_coordinator(std::move(f));
       break;
     }
     case MsgType::kConfig: {
@@ -668,7 +765,15 @@ bool NodeAgent::send_to_agent(std::uint32_t agent,
 }
 
 void NodeAgent::send_to_coordinator(std::vector<std::byte> frame) {
-  if (!coordinator_) return;
+  if (!coordinator_) {
+    // Between primaries: hold control-plane frames for the adopting
+    // coordinator. Bounded — under a long outage the oldest (least
+    // actionable) frames age out first.
+    constexpr std::size_t kMaxCoordBacklog = 1024;
+    if (coord_backlog_.size() >= kMaxCoordBacklog) coord_backlog_.pop_front();
+    coord_backlog_.push_back(std::move(frame));
+    return;
+  }
   coordinator_->sock.queue_frame(std::move(frame));
 }
 
@@ -937,6 +1042,7 @@ RankScheduler::Step NodeAgent::step_rank(RankSlot& slot) {
         AgentMetrics::get().yields.inc();
         MOJAVE_LOG(kInfo, "dnode") << "rank " << slot.rank << " yielded";
         send_to_coordinator(encode_rank_yielded(slot.rank, true));
+        slot.yielded = true;
         slot.done.store(true);
         return RankScheduler::Step{RankScheduler::Step::Kind::kDone, 0, 0};
       }
@@ -967,7 +1073,8 @@ void NodeAgent::finish_rank(RankSlot& slot, int result_kind,
   }
   res.has_reported = slot.has_reported.load();
   res.reported = slot.reported.load();
-  if (!stopping_.load()) send_to_coordinator(encode_result(res));
+  slot.last_result = encode_result(res);
+  if (!stopping_.load()) send_to_coordinator(slot.last_result);
   slot.done.store(true);
 }
 

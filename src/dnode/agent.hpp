@@ -82,6 +82,11 @@ struct AgentConfig {
   /// Instructions a rank may run per scheduler slice before it is
   /// preempted back to the event loop.
   std::uint64_t slice_instructions = 20000;
+  /// How long the agent keeps its ranks running after losing the
+  /// coordinator connection, waiting for a standby to take over
+  /// (docs/CONTROL_PLANE.md). 0 = shut down immediately (the pre-HA
+  /// behavior).
+  double coordinator_grace_seconds = 10.0;
   runtime::HeapConfig heap;
   ckpt::CheckpointStore::Options ckpt;
 };
@@ -182,6 +187,15 @@ class NodeAgent {
   std::map<std::uint64_t, std::shared_ptr<Conn>> conns_;  // token → conn
   std::uint64_t next_conn_id_ = 0;
   std::shared_ptr<Conn> coordinator_;
+  /// Highest coordinator lease epoch adopted. A HELLO from a lower epoch
+  /// is a fenced zombie primary and is rejected.
+  std::uint64_t coord_epoch_ = 0;
+  /// When the control connection died (-1 = connected). The agent keeps
+  /// running for coordinator_grace_seconds awaiting a takeover.
+  double coord_lost_at_ = -1;
+  /// Coordinator-bound frames buffered while disconnected, flushed to the
+  /// adopting coordinator (bounded; oldest dropped first).
+  std::deque<std::vector<std::byte>> coord_backlog_;
   std::map<std::uint32_t, std::unique_ptr<Link>> links_;  // agent → link
   double next_heartbeat_ = 0;
 

@@ -11,8 +11,6 @@ namespace mojave::dnode {
 
 namespace {
 
-constexpr std::size_t kRollbackRingCap = 64;
-
 double now_seconds() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
@@ -28,6 +26,8 @@ struct CoordMetrics {
   obs::Counter& agent_failures;
   obs::Counter& resurrect_requests;
   obs::Counter& yield_requests;
+  obs::Counter& takeovers;
+  obs::Counter& readopted_ranks;
   obs::Gauge& live_agents;
 
   static CoordMetrics& get() {
@@ -41,6 +41,8 @@ struct CoordMetrics {
         r.counter("node.agent_failures"),
         r.counter("node.resurrect_requests"),
         r.counter("node.yield_requests"),
+        r.counter("ctrl.takeovers"),
+        r.counter("ctrl.readopted_ranks"),
         r.gauge("node.live_agents"),
     };
     return m;
@@ -50,35 +52,121 @@ struct CoordMetrics {
 }  // namespace
 
 Coordinator::Coordinator(CoordinatorConfig cfg) : cfg_(std::move(cfg)) {
-  if (cfg_.agents.empty()) throw NetError("coordinator needs agents");
-  placement_.resize(cfg_.num_ranks);
-  outcomes_.resize(cfg_.num_ranks);
-  for (std::uint32_t r = 0; r < cfg_.num_ranks; ++r) {
-    placement_[r] = PlacementEntry{
-        r, r % static_cast<std::uint32_t>(cfg_.agents.size()), true};
-    outcomes_[r].rank = r;
+  const bool ha = !cfg_.wal_root.empty();
+  ctrl::ReplayStats replayed;
+  if (ha) {
+    std::filesystem::create_directories(cfg_.wal_root);
+    lease_ =
+        std::make_unique<ctrl::Lease>(cfg_.wal_root, cfg_.lease_ttl_seconds);
+    if (!lease_->try_acquire()) {
+      throw NetError("coordinator lease is held by a live primary");
+    }
+    if (cfg_.resume) {
+      // Rebuild the dead primary's state through the same transition
+      // function it used live. Side effects are not re-emitted: the
+      // frames either reached their agents before the crash or the
+      // RE_ADOPT census reconciles the difference.
+      replayed = ctrl::replay_wal(
+          cfg_.wal_root,
+          [this](const ctrl::WalRecord& rec) { (void)state_.apply(rec); });
+    }
   }
+  resumed_ = cfg_.resume && !replayed.empty();
+  if (resumed_) {
+    // Adopt the logged run configuration; an explicit agent list on the
+    // takeover command line (same cluster, maybe new ports) overrides.
+    if (cfg_.agents.empty()) {
+      for (const ctrl::AgentEndpoint& a : state_.agents()) {
+        cfg_.agents.push_back(AgentAddr{a.host, a.port});
+      }
+    }
+    cfg_.num_ranks = state_.num_ranks();
+    cfg_.max_instructions = state_.max_instructions();
+    cfg_.recv_timeout_seconds = state_.recv_timeout_seconds();
+  }
+  if (cfg_.agents.empty()) throw NetError("coordinator needs agents");
+  if (ha) {
+    wal_ = std::make_unique<ctrl::WalWriter>(cfg_.wal_root, lease_->epoch());
+    // The first record of a new epoch seals everything replay consumed:
+    // a zombie primary still appending to an older segment can never get
+    // those bytes replayed (docs/CONTROL_PLANE.md, zombie fencing).
+    ctrl::WalRecord take;
+    take.op = ctrl::WalOp::kTakeover;
+    take.seals = replayed.consumed;
+    wal_->append(take);
+    (void)state_.apply(take);
+    wal_->flush();
+    if (resumed_) {
+      CoordMetrics::get().takeovers.inc();
+      MOJAVE_LOG(kInfo, "dnode")
+          << "takeover at lease epoch " << lease_->epoch() << ": replayed "
+          << replayed.records << " WAL records across " << replayed.segments
+          << " segments (" << replayed.sealed_off << " zombie bytes sealed, "
+          << replayed.truncated << " torn tails)";
+    }
+  }
+  if (!resumed_) {
+    ctrl::WalRecord meta;
+    meta.op = ctrl::WalOp::kMeta;
+    meta.num_ranks = cfg_.num_ranks;
+    for (const AgentAddr& a : cfg_.agents) {
+      meta.agents.push_back(ctrl::AgentEndpoint{a.host, a.port});
+    }
+    meta.max_instructions = cfg_.max_instructions;
+    meta.recv_timeout_seconds = cfg_.recv_timeout_seconds;
+    if (wal_) wal_->append(meta);
+    (void)state_.apply(meta);
+    for (std::uint32_t r = 0; r < cfg_.num_ranks; ++r) {
+      ctrl::WalRecord p;
+      p.op = ctrl::WalOp::kPlacement;
+      p.rank = r;
+      p.agent = r % static_cast<std::uint32_t>(cfg_.agents.size());
+      p.alive = true;
+      if (wal_) wal_->append(p);
+      (void)state_.apply(p);
+    }
+    if (wal_) wal_->flush();
+  }
+
   const auto config_frame = [&](std::uint32_t agent) {
     return encode_config(agent, cfg_.num_ranks, cfg_.agents,
                          cfg_.max_instructions, cfg_.recv_timeout_seconds);
   };
+  const std::uint64_t epoch = lease_ ? lease_->epoch() : 0;
+  std::vector<std::uint32_t> unreachable;
   for (std::uint32_t a = 0; a < cfg_.agents.size(); ++a) {
     auto conn = std::make_unique<AgentConn>();
     net::TcpStream stream;
     net::Backoff backoff(cfg_.retry);
+    bool connected = false;
     while (true) {
       try {
         stream = net::TcpStream::connect(
             cfg_.agents[a].host, cfg_.agents[a].port, cfg_.retry.deadlines());
+        connected = true;
         break;
       } catch (const NetError&) {
-        if (!backoff.retry_after_failure()) throw;
+        if (!backoff.retry_after_failure()) {
+          // A takeover tolerates dead agents (their ranks resurrect
+          // elsewhere); a fresh run still needs the full cluster.
+          if (resumed_) break;
+          throw;
+        }
       }
+    }
+    if (!connected) {
+      unreachable.push_back(a);
+      conns_.push_back(std::move(conn));
+      continue;
     }
     // Session setup stays blocking (the agent must hold CONFIG before any
     // later frame); the stream then moves to the event loop non-blocking.
-    stream.send_frame(encode_hello(PeerKind::kCoordinator, a));
+    stream.send_frame(encode_hello(PeerKind::kCoordinator, a, epoch));
     stream.send_frame(config_frame(a));
+    if (resumed_) {
+      stream.send_frame(encode_re_adopt(epoch));
+      ++readopt_waiting_;
+    }
     conn->sock = net::FramedSocket(std::move(stream));
     conn->last_heartbeat = now_seconds();
     poller_.add(conn->sock.fd(), a, true, false);
@@ -86,6 +174,18 @@ Coordinator::Coordinator(CoordinatorConfig cfg) : cfg_(std::move(cfg)) {
   }
   CoordMetrics::get().live_agents.set(
       static_cast<std::int64_t>(conns_.size()));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const std::uint32_t a : unreachable) agent_down_locked(a);
+    if (resumed_) {
+      resuming_ = true;
+      readopt_deadline_ = now_seconds() + cfg_.heartbeat_timeout_seconds;
+      // CONFIG reset every reachable agent's placement map; push the
+      // replayed one before their census answers refine it.
+      broadcast_placement_locked();
+      if (readopt_waiting_ == 0) finish_readopt_locked();
+    }
+  }
   loop_thread_ = std::thread([this] { loop(); });
 }
 
@@ -94,35 +194,61 @@ Coordinator::~Coordinator() {
   if (loop_thread_.joinable()) loop_thread_.join();
 }
 
+ctrl::CoordState::ApplyResult Coordinator::apply_locked(ctrl::WalRecord rec) {
+  if (wal_ && wal_->is_open() && !fenced_.load()) wal_->append(rec);
+  ctrl::CoordState::ApplyResult res = state_.apply(rec);
+  for (const std::uint32_t p : res.poisoned) poison_rank_locked(p);
+  return res;
+}
+
+std::vector<std::byte> Coordinator::state_snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_.snapshot_bytes();
+}
+
 void Coordinator::launch_spmd(const fir::Program& program) {
   const std::vector<std::byte> image = fir::encode_program(program);
   std::lock_guard<std::mutex> lock(mu_);
   broadcast_placement_locked();
-  for (const PlacementEntry& e : placement_) {
-    send_to_agent(e.agent, encode_launch(e.rank, image));
+  const auto& placement = state_.placement();
+  for (std::uint32_t r = 0; r < placement.size(); ++r) {
+    send_to_agent(placement[r].agent, encode_launch(r, image));
   }
 }
 
 bool Coordinator::wait_all(double timeout_seconds) {
   std::unique_lock<std::mutex> lock(mu_);
-  return done_cv_.wait_for(
-      lock, std::chrono::duration<double>(timeout_seconds), [this] {
-        for (const RankOutcome& o : outcomes_) {
-          if (!o.done) return false;
-        }
-        return true;
-      });
+  return done_cv_.wait_for(lock,
+                           std::chrono::duration<double>(timeout_seconds),
+                           [this] { return state_.all_done(); });
 }
 
 std::vector<RankOutcome> Coordinator::results() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return outcomes_;
+  std::vector<RankOutcome> out(state_.ranks().size());
+  for (std::uint32_t r = 0; r < out.size(); ++r) {
+    const ctrl::RankState& s = state_.ranks()[r];
+    out[r].rank = r;
+    out[r].done = s.done;
+    out[r].result_kind = s.result_kind;
+    out[r].exit_code = s.exit_code;
+    out[r].error = s.error;
+    out[r].output = s.output;
+    out[r].has_reported = s.has_reported;
+    out[r].reported = s.reported;
+    out[r].instructions = s.instructions;
+    out[r].speculates = s.speculates;
+    out[r].commits = s.commits;
+    out[r].rollbacks = s.rollbacks;
+    out[r].restarts = s.restarts;
+  }
+  return out;
 }
 
 void Coordinator::force_rollback(std::uint32_t rank) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (rank >= placement_.size()) return;
-  send_to_agent(placement_[rank].agent, encode_force_roll(rank));
+  if (rank >= state_.placement().size()) return;
+  send_to_agent(state_.placement()[rank].agent, encode_force_roll(rank));
 }
 
 void Coordinator::shutdown_agents() {
@@ -142,13 +268,25 @@ void Coordinator::shutdown_agents() {
       // All frames must be in the outbox BEFORE stopping_ becomes
       // visible: the loop thread exits its final flush the moment it
       // sees stopping_ with an empty outbox, so a frame queued after
-      // that is a dead letter and its agent never exits.
-      {
+      // that is a dead letter and its agent never exits. A fenced
+      // (deposed) instance queues nothing — the agents belong to the
+      // new primary now.
+      if (!fenced_.load()) {
         std::lock_guard<std::mutex> qlock(outbox_mu_);
         for (std::uint32_t a = 0; a < conns_.size(); ++a) {
           outbox_.emplace_back(a, encode_shutdown());
         }
       }
+      if (wal_ && wal_->is_open() && !fenced_.load()) {
+        if (state_.all_done() && !state_.run_complete()) {
+          ctrl::WalRecord rec;
+          rec.op = ctrl::WalOp::kRunComplete;
+          wal_->append(rec);
+          (void)state_.apply(rec);
+        }
+        wal_->close();  // fsync + close: the segment is durable on exit
+      }
+      if (lease_ && !fenced_.load()) lease_->release();
       stopping_.store(true);
     }
   }
@@ -159,7 +297,8 @@ void Coordinator::shutdown_agents() {
 
 std::uint32_t Coordinator::agent_of(std::uint32_t rank) const {
   std::lock_guard<std::mutex> lock(mu_);
-  return rank < placement_.size() ? placement_[rank].agent : kNoAgent;
+  return rank < state_.placement().size() ? state_.placement()[rank].agent
+                                          : kNoAgent;
 }
 
 bool Coordinator::agent_alive(std::uint32_t agent) const {
@@ -262,10 +401,11 @@ void Coordinator::handle_frame(std::uint32_t agent, const Msg& m) {
       break;
     case MsgType::kCommitDischarge: {
       CoordMetrics::get().discharges.inc();
-      tracker_.on_commit_to_zero(m.rank);
       std::lock_guard<std::mutex> lock(mu_);
-      ++commit_counts_[m.rank];
-      rollback_ring_.erase(m.rank);
+      ctrl::WalRecord rec;
+      rec.op = ctrl::WalOp::kCommit;
+      rec.rank = m.rank;
+      apply_locked(std::move(rec));
       break;
     }
     case MsgType::kRankYielded:
@@ -274,22 +414,31 @@ void Coordinator::handle_frame(std::uint32_t agent, const Msg& m) {
     case MsgType::kRankUp:
       handle_rank_up(m);
       break;
+    case MsgType::kReAdoptAck: {
+      std::lock_guard<std::mutex> lock(mu_);
+      handle_re_adopt_ack_locked(agent, m);
+      break;
+    }
     case MsgType::kResult: {
       std::lock_guard<std::mutex> lock(mu_);
-      if (m.rank < outcomes_.size()) {
-        RankOutcome& o = outcomes_[m.rank];
-        o.done = true;
-        o.result_kind = m.result_kind;
-        o.exit_code = m.exit_code;
-        o.error = m.error;
-        o.output += m.output;
-        o.has_reported = m.has_reported;
-        o.reported = m.reported;
-        o.instructions += m.instructions;
-        o.speculates += m.speculates;
-        o.commits += m.commits;
-        o.rollbacks += m.rollbacks;
+      if (m.rank < state_.ranks().size() && !state_.ranks()[m.rank].done) {
+        ctrl::WalRecord rec;
+        rec.op = ctrl::WalOp::kRankResult;
+        rec.rank = m.rank;
+        rec.result_kind = m.result_kind;
+        rec.exit_code = m.exit_code;
+        rec.has_reported = m.has_reported;
+        rec.reported = m.reported;
+        rec.error = m.error;
+        rec.output = m.output;
+        rec.instructions = m.instructions;
+        rec.speculates = m.speculates;
+        rec.commits = m.commits;
+        rec.rollbacks = m.rollbacks;
+        apply_locked(std::move(rec));
         migrating_.erase(m.rank);
+        pending_resurrect_.erase(m.rank);
+        censused_.insert(m.rank);  // a RESULT is as good as a census row
       }
       done_cv_.notify_all();
       break;
@@ -301,61 +450,59 @@ void Coordinator::handle_frame(std::uint32_t agent, const Msg& m) {
 
 void Coordinator::handle_dep_record(const Msg& m) {
   CoordMetrics::get().dep_records.inc();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    const auto ring = rollback_ring_.find(m.sender);
-    if (ring != rollback_ring_.end()) {
-      for (const RollbackFence& f : ring->second) {
-        // Commits between the send and this rollback discharged that many
-        // levels of the send's speculation; what the rollback reverted is
-        // only the remainder. Effective level 0 = the data was committed
-        // before the rollback and stays valid no matter what the sender
-        // did afterwards.
-        const std::uint64_t commits_since =
-            f.commits > m.commit_seq ? f.commits - m.commit_seq : 0;
-        const std::uint32_t effective =
-            m.sender_level > commits_since
-                ? m.sender_level - static_cast<std::uint32_t>(commits_since)
-                : 0;
-        if (effective > 0 && f.epoch > m.epoch && f.level <= effective) {
-          // Epoch fence: the data was sent before a rollback that already
-          // reverted sender_level — the speculation this record would
-          // join no longer exists. Poison the receiver directly.
-          CoordMetrics::get().stale_deps.inc();
-          poison_rank_locked(m.receiver);
-          return;
-        }
-      }
-    }
-  }
-  tracker_.record(m.sender, m.sender_level, m.receiver, m.receiver_level);
+  std::lock_guard<std::mutex> lock(mu_);
+  ctrl::WalRecord rec;
+  rec.op = ctrl::WalOp::kDepRecord;
+  rec.sender = m.sender;
+  rec.sender_level = m.sender_level;
+  rec.receiver = m.receiver;
+  rec.receiver_level = m.receiver_level;
+  rec.epoch = m.epoch;
+  rec.commit_seq = m.commit_seq;
+  const auto res = apply_locked(std::move(rec));
+  if (res.stale_dep) CoordMetrics::get().stale_deps.inc();
 }
 
 void Coordinator::handle_roll_poison(const Msg& m) {
   CoordMetrics::get().roll_poisons.inc();
-  const std::vector<std::uint32_t> poisoned =
-      tracker_.on_rollback(m.rank, m.level);
   std::lock_guard<std::mutex> lock(mu_);
-  auto& ring = rollback_ring_[m.rank];
-  ring.push_back(RollbackFence{m.epoch, m.level, commit_counts_[m.rank]});
-  if (ring.size() > kRollbackRingCap) ring.pop_front();
-  for (const std::uint32_t p : poisoned) {
-    tracker_.consume_poison(p);  // delivered as a POISON frame instead
-    poison_rank_locked(p);
-  }
+  ctrl::WalRecord rec;
+  rec.op = ctrl::WalOp::kRollback;
+  rec.rank = m.rank;
+  rec.level = m.level;
+  rec.epoch = m.epoch;
+  apply_locked(std::move(rec));
 }
 
 void Coordinator::poison_rank_locked(std::uint32_t rank) {
-  if (rank >= placement_.size()) return;
+  if (rank >= state_.placement().size()) return;
   CoordMetrics::get().poisons_sent.inc();
-  send_to_agent(placement_[rank].agent, encode_poison(rank));
+  send_to_agent(state_.placement()[rank].agent, encode_poison(rank));
+}
+
+void Coordinator::issue_resurrect_locked(std::uint32_t rank,
+                                         std::uint32_t target) {
+  ctrl::WalRecord g;
+  g.op = ctrl::WalOp::kResurrectGrant;
+  g.rank = rank;
+  g.agent = target;
+  g.commit_seq = state_.commit_count(rank);
+  apply_locked(std::move(g));
+  CoordMetrics::get().resurrect_requests.inc();
+  send_to_agent(target, encode_resurrect(rank, state_.commit_count(rank)));
 }
 
 void Coordinator::handle_rank_yielded(std::uint32_t rank) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (rank >= placement_.size()) return;
-  placement_[rank].alive = false;
-  const std::uint32_t target = pick_target_locked(placement_[rank].agent);
+  if (rank >= state_.placement().size()) return;
+  const std::uint32_t from = state_.placement()[rank].agent;
+  ctrl::WalRecord down;
+  down.op = ctrl::WalOp::kPlacement;
+  down.rank = rank;
+  down.agent = from;
+  down.alive = false;
+  apply_locked(std::move(down));
+  const std::uint32_t target = pick_target_locked(from);
   if (target == kNoAgent) {
     // Nowhere to go: resurrect where it was (still counts as a restart).
     pending_resurrect_[rank] = PendingResurrect{};
@@ -363,15 +510,13 @@ void Coordinator::handle_rank_yielded(std::uint32_t rank) {
     return;
   }
   migrations_.fetch_add(1);
-  placement_[rank].agent = target;
+  issue_resurrect_locked(rank, target);
   broadcast_placement_locked();
-  CoordMetrics::get().resurrect_requests.inc();
-  send_to_agent(target, encode_resurrect(rank, commit_counts_[rank]));
 }
 
 void Coordinator::handle_rank_up(const Msg& m) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (m.rank >= placement_.size()) return;
+  if (m.rank >= state_.placement().size()) return;
   if (!m.ok) {
     // Usually "no checkpoint yet" — retry after a beat, anywhere live.
     pending_resurrect_[m.rank] =
@@ -379,12 +524,102 @@ void Coordinator::handle_rank_up(const Msg& m) {
     return;
   }
   resurrections_.fetch_add(1);
-  placement_[m.rank].alive = true;
+  ctrl::WalRecord rec;
+  rec.op = ctrl::WalOp::kRankUp;
+  rec.rank = m.rank;
+  apply_locked(std::move(rec));
   pending_resurrect_.erase(m.rank);
   migrating_.erase(m.rank);
-  rollback_ring_.erase(m.rank);  // fresh incarnation, fresh epochs
-  outcomes_[m.rank].restarts += 1;
   broadcast_placement_locked();
+}
+
+void Coordinator::handle_re_adopt_ack_locked(std::uint32_t agent,
+                                             const Msg& m) {
+  if (readopt_waiting_ > 0) --readopt_waiting_;
+  const auto& placement = state_.placement();
+  for (const CensusEntry& e : m.census) {
+    if (e.rank >= placement.size()) continue;
+    // A stale yielded/done husk can coexist with the running incarnation
+    // the rank migrated to: a running claim always wins the census.
+    if (e.state != 0 && censused_.count(e.rank) != 0) continue;
+    censused_.insert(e.rank);
+    CoordMetrics::get().readopted_ranks.inc();
+    // Census commit counts can be ahead of the replayed WAL (the commit
+    // raced the primary's death); raise ours so RESURRECT seeds and the
+    // epoch fence stay consistent with what the agents stamped.
+    if (e.commit_seq > state_.commit_count(e.rank)) {
+      ctrl::WalRecord cs;
+      cs.op = ctrl::WalOp::kCommitSeqSet;
+      cs.rank = e.rank;
+      cs.commit_seq = e.commit_seq;
+      apply_locked(std::move(cs));
+    }
+    switch (e.state) {
+      case 0: {  // running right where the agent says
+        if (placement[e.rank].agent != agent || !placement[e.rank].alive) {
+          ctrl::WalRecord p;
+          p.op = ctrl::WalOp::kPlacement;
+          p.rank = e.rank;
+          p.agent = agent;
+          p.alive = true;
+          apply_locked(std::move(p));
+        }
+        pending_resurrect_.erase(e.rank);
+        break;
+      }
+      case 1:  // done; the agent re-sends the RESULT right behind the ack
+        pending_resurrect_.erase(e.rank);
+        break;
+      case 2: {  // yielded: checkpointed and parked, waiting for a grant
+        if (!state_.ranks()[e.rank].done) {
+          ctrl::WalRecord p;
+          p.op = ctrl::WalOp::kPlacement;
+          p.rank = e.rank;
+          p.agent = agent;
+          p.alive = false;
+          apply_locked(std::move(p));
+          pending_resurrect_[e.rank] = PendingResurrect{};
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  if (resuming_ && readopt_waiting_ == 0) finish_readopt_locked();
+}
+
+void Coordinator::finish_readopt_locked() {
+  if (!resuming_) return;
+  resuming_ = false;
+  readopt_deadline_ = 0;
+  const auto& placement = state_.placement();
+  for (std::uint32_t r = 0; r < placement.size(); ++r) {
+    if (state_.ranks()[r].done || censused_.count(r) != 0) continue;
+    // No agent accounts for this rank: it died with the old primary's
+    // view of the world. Same treatment as a rank lost with its agent —
+    // dependents poisoned, fence at every epoch, resurrect from the last
+    // checkpoint.
+    const std::uint32_t was_on = placement[r].agent;
+    if (placement[r].alive) {
+      ctrl::WalRecord p;
+      p.op = ctrl::WalOp::kPlacement;
+      p.rank = r;
+      p.agent = was_on;
+      p.alive = false;
+      apply_locked(std::move(p));
+    }
+    ctrl::WalRecord rb;
+    rb.op = ctrl::WalOp::kRollback;
+    rb.rank = r;
+    rb.level = 1;
+    rb.epoch = ~std::uint64_t{0};
+    apply_locked(std::move(rb));
+    pending_resurrect_[r] = PendingResurrect{};
+  }
+  broadcast_placement_locked();
+  censused_.clear();
+  MOJAVE_LOG(kInfo, "dnode") << "takeover reconciliation complete";
 }
 
 void Coordinator::agent_down_locked(std::uint32_t agent) {
@@ -397,23 +632,19 @@ void Coordinator::agent_down_locked(std::uint32_t agent) {
   CoordMetrics::get().agent_failures.inc();
   CoordMetrics::get().live_agents.add(-1);
   MOJAVE_LOG(kInfo, "dnode") << "agent " << agent << " is down";
-  for (PlacementEntry& e : placement_) {
-    if (e.agent != agent || !e.alive) continue;
-    e.alive = false;
-    // The rank died with uncommitted speculation: everyone who consumed
-    // its speculative sends must roll back, and any DEP_RECORD still in
-    // flight for it is stale at every level.
-    for (const std::uint32_t p : tracker_.on_rollback(e.rank, 1)) {
-      tracker_.consume_poison(p);
-      poison_rank_locked(p);
-    }
-    auto& ring = rollback_ring_[e.rank];
-    ring.push_back(
-        RollbackFence{~std::uint64_t{0}, 1, commit_counts_[e.rank]});
-    if (ring.size() > kRollbackRingCap) ring.pop_front();
-    if (!outcomes_[e.rank].done) {
-      pending_resurrect_[e.rank] = PendingResurrect{};
-    }
+  // Snapshot which live ranks the verdict hits before the transition
+  // flips them to not-alive.
+  std::vector<std::uint32_t> hit;
+  const auto& placement = state_.placement();
+  for (std::uint32_t r = 0; r < placement.size(); ++r) {
+    if (placement[r].agent == agent && placement[r].alive) hit.push_back(r);
+  }
+  ctrl::WalRecord rec;
+  rec.op = ctrl::WalOp::kAgentDown;
+  rec.agent = agent;
+  apply_locked(std::move(rec));
+  for (const std::uint32_t r : hit) {
+    if (!state_.ranks()[r].done) pending_resurrect_[r] = PendingResurrect{};
   }
   broadcast_placement_locked();
 }
@@ -436,7 +667,14 @@ std::uint32_t Coordinator::pick_target_locked(std::uint32_t except) const {
 }
 
 void Coordinator::broadcast_placement_locked() {
-  const auto frame = encode_placement(placement_);
+  std::vector<PlacementEntry> entries;
+  const auto& placement = state_.placement();
+  entries.reserve(placement.size());
+  for (std::uint32_t r = 0; r < placement.size(); ++r) {
+    entries.push_back(
+        PlacementEntry{r, placement[r].agent, placement[r].alive});
+  }
+  const auto frame = encode_placement(entries);
   for (std::uint32_t a = 0; a < conns_.size(); ++a) {
     if (conns_[a]->alive.load()) send_to_agent(a, frame);
   }
@@ -461,28 +699,54 @@ void Coordinator::balance_locked(double now) {
       cfg_.balance_threshold) {
     return;
   }
-  for (const PlacementEntry& e : placement_) {
-    if (e.agent != max_agent || !e.alive) continue;
-    if (outcomes_[e.rank].done || migrating_.count(e.rank) != 0) continue;
+  const auto& placement = state_.placement();
+  for (std::uint32_t r = 0; r < placement.size(); ++r) {
+    if (placement[r].agent != max_agent || !placement[r].alive) continue;
+    if (state_.ranks()[r].done || migrating_.count(r) != 0) continue;
     MOJAVE_LOG(kInfo, "dnode")
-        << "balancer: yielding rank " << e.rank << " off agent " << max_agent
+        << "balancer: yielding rank " << r << " off agent " << max_agent
         << " (load " << conns_[max_agent]->load << " vs "
         << conns_[min_agent]->load << ")";
     CoordMetrics::get().yield_requests.inc();
-    migrating_.insert(e.rank);
-    send_to_agent(max_agent, encode_yield_rank(e.rank));
+    migrating_.insert(r);
+    send_to_agent(max_agent, encode_yield_rank(r));
     return;  // one rank per balancing round
   }
 }
 
 void Coordinator::monitor_tick(double now) {
+  // Lease renewal rides the monitor cadence. Failing to renew means a
+  // standby already owns a higher epoch: this instance is a zombie. It
+  // fences itself — no more WAL appends, no more SHUTDOWN authority —
+  // and the agents reject its epoch if it ever reconnects.
+  if (lease_ && !fenced_.load() && now >= next_lease_renew_) {
+    next_lease_renew_ = now + lease_->ttl_seconds() / 3.0;
+    if (!lease_->renew()) {
+      fenced_.store(true);
+      MOJAVE_LOG(kWarn, "dnode")
+          << "coordinator deposed (lease lost); fencing all writes";
+    }
+  }
   std::lock_guard<std::mutex> lock(mu_);
+  // Batched WAL durability: appends since the last tick hit disk here
+  // (and unconditionally at close).
+  if (wal_ && wal_->is_open() && now >= next_wal_flush_) {
+    next_wal_flush_ = now + 0.05;
+    wal_->flush();
+  }
+  if (resuming_ && readopt_deadline_ > 0 && now >= readopt_deadline_) {
+    MOJAVE_LOG(kWarn, "dnode")
+        << "re-adopt census incomplete at deadline; reconciling without "
+        << readopt_waiting_ << " acks";
+    finish_readopt_locked();
+  }
   for (std::uint32_t a = 0; a < conns_.size(); ++a) {
     if (!conns_[a]->alive.load()) continue;
     if (now - conns_[a]->last_heartbeat > cfg_.heartbeat_timeout_seconds) {
       agent_down_locked(a);
     }
   }
+  if (resuming_) return;  // resurrects/balancing wait for the census
   for (auto it = pending_resurrect_.begin();
        it != pending_resurrect_.end(); ++it) {
     const std::uint32_t rank = it->first;
@@ -495,9 +759,7 @@ void Coordinator::monitor_tick(double now) {
       pr.target = pick_target_locked(kNoAgent);
     }
     if (pr.target == kNoAgent) break;  // no live agents; keep pending
-    placement_[rank].agent = pr.target;
-    CoordMetrics::get().resurrect_requests.inc();
-    send_to_agent(pr.target, encode_resurrect(rank, commit_counts_[rank]));
+    issue_resurrect_locked(rank, pr.target);
     // Re-arm far enough out that a slow restore is not double-issued;
     // RANK_UP erases the entry.
     pr.not_before = now + 1.0;

@@ -22,6 +22,15 @@
 //    on the most-loaded agent is told to YIELD_RANK at its next
 //    checkpoint and is resurrected on the least-loaded one.
 //
+// Durability (docs/CONTROL_PLANE.md): all of the state above lives in a
+// ctrl::CoordState and is mutated ONLY through log-then-apply — the
+// transition is appended to the control-plane WAL (when `wal_root` is
+// set), applied through ctrl::CoordState::apply, and only then do its
+// side effects go out on the wire. A standby started with `resume = true`
+// replays the log through the same apply function, acquires the lease at
+// a higher epoch, seals the dead primary's segment, and re-adopts the
+// still-running agents via RE_ADOPT instead of relaunching the world.
+//
 // `mojc cluster --nodes host:port,... run prog.mjc` drives this class;
 // tests drive it in-process against `mojc node` child processes.
 #pragma once
@@ -30,6 +39,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -39,6 +49,9 @@
 #include <vector>
 
 #include "cluster/tracker.hpp"
+#include "ctrl/lease.hpp"
+#include "ctrl/state.hpp"
+#include "ctrl/wal.hpp"
 #include "dnode/wire.hpp"
 #include "fir/ir.hpp"
 #include "net/poller.hpp"
@@ -59,6 +72,15 @@ struct CoordinatorConfig {
   double balance_threshold = 1.5;
   std::uint64_t max_instructions = 0;
   double recv_timeout_seconds = 30.0;
+  /// WAL + lease directory (docs/CONTROL_PLANE.md). Empty = volatile
+  /// coordinator: no durability, no failover — the pre-HA behavior.
+  std::filesystem::path wal_root;
+  /// Take over an existing run: replay the WAL under wal_root, seal the
+  /// prior primary's segment, and RE_ADOPT live agents instead of
+  /// launching. With an empty `agents` list the logged endpoints are
+  /// reused.
+  bool resume = false;
+  double lease_ttl_seconds = 2.0;
   net::RetryPolicy retry = net::RetryPolicy::process_defaults();
 };
 
@@ -80,7 +102,9 @@ struct RankOutcome {
 class Coordinator {
  public:
   /// Connects to every agent and configures the session. Throws NetError
-  /// when an agent is unreachable within the retry policy's budget.
+  /// when an agent is unreachable within the retry policy's budget (a
+  /// resume-mode takeover instead marks unreachable agents down and
+  /// resurrects their ranks elsewhere), or when the lease is held.
   explicit Coordinator(CoordinatorConfig cfg);
   ~Coordinator();
 
@@ -101,7 +125,9 @@ class Coordinator {
   /// use this to force a cross-agent poison avalanche).
   void force_rollback(std::uint32_t rank);
 
-  /// Send SHUTDOWN to every live agent and stop the control plane.
+  /// Send SHUTDOWN to every live agent and stop the control plane. In HA
+  /// mode also fsync+close the WAL segment (appending kRunComplete when
+  /// every rank finished) and release the lease for a clean handoff.
   void shutdown_agents();
 
   [[nodiscard]] std::uint32_t agent_of(std::uint32_t rank) const;
@@ -111,7 +137,23 @@ class Coordinator {
     return resurrections_.load();
   }
   /// The join-protocol state machine (shared with the simulated cluster).
-  [[nodiscard]] cluster::DependencyTracker& tracker() { return tracker_; }
+  [[nodiscard]] cluster::DependencyTracker& tracker() {
+    return state_.tracker();
+  }
+
+  /// Lease epoch this coordinator writes under (0 = volatile mode).
+  [[nodiscard]] std::uint64_t lease_epoch() const {
+    return lease_ ? lease_->epoch() : 0;
+  }
+  /// True once the lease was lost: this instance is a zombie and has
+  /// stopped writing the WAL and commanding agents.
+  [[nodiscard]] bool fenced() const { return fenced_.load(); }
+  /// True when this instance took over an existing run's WAL.
+  [[nodiscard]] bool resumed() const { return resumed_; }
+
+  /// Canonical byte image of the replicated state (tests compare this
+  /// against an offline WAL replay).
+  [[nodiscard]] std::vector<std::byte> state_snapshot() const;
 
  private:
   /// One agent's control connection, owned by the event loop. All frames
@@ -141,6 +183,16 @@ class Coordinator {
   void handle_roll_poison(const Msg& m);
   void handle_rank_yielded(std::uint32_t rank);
   void handle_rank_up(const Msg& m);
+  void handle_re_adopt_ack_locked(std::uint32_t agent, const Msg& m);
+  /// End of the takeover census (all acks in or deadline hit): ranks no
+  /// agent claimed are treated as lost — poisoned and resurrected.
+  void finish_readopt_locked();
+
+  /// Log-then-apply: append the transition to the WAL (unless fenced or
+  /// volatile), apply it to the state machine, send the owed POISON
+  /// frames. The single mutation path for all replicated state.
+  /// Requires mu_.
+  ctrl::CoordState::ApplyResult apply_locked(ctrl::WalRecord rec);
 
   /// Mark the agent dead, poison dependents of its ranks, and schedule
   /// their resurrection on surviving agents. Requires mu_.
@@ -149,6 +201,8 @@ class Coordinator {
   /// Thread-safe: enqueue a frame for the loop thread to transmit.
   void send_to_agent(std::uint32_t agent, std::vector<std::byte> frame);
   void poison_rank_locked(std::uint32_t rank);
+  /// Log a kResurrectGrant for rank → target and send the RESURRECT.
+  void issue_resurrect_locked(std::uint32_t rank, std::uint32_t target);
   /// Least-loaded live agent (excluding `except`; kNoAgent = none).
   [[nodiscard]] std::uint32_t pick_target_locked(std::uint32_t except) const;
   void balance_locked(double now);
@@ -156,40 +210,37 @@ class Coordinator {
   static constexpr std::uint32_t kNoAgent = ~std::uint32_t{0};
 
   CoordinatorConfig cfg_;
-  cluster::DependencyTracker tracker_;
   std::vector<std::unique_ptr<AgentConn>> conns_;
   net::Poller poller_;
   std::thread loop_thread_;
   std::mutex outbox_mu_;
   std::vector<std::pair<std::uint32_t, std::vector<std::byte>>> outbox_;
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> fenced_{false};
   std::atomic<std::uint64_t> migrations_{0};
   std::atomic<std::uint64_t> resurrections_{0};
+  bool resumed_ = false;
 
   mutable std::mutex mu_;
   std::condition_variable done_cv_;
-  std::vector<PlacementEntry> placement_;
-  std::vector<RankOutcome> outcomes_;
-  /// Epoch fence: recent rollbacks per rank. A DEP_RECORD whose (epoch,
-  /// sender_level) predates one of these joins a speculation that no
-  /// longer exists. `commits` is the rank's discharge count at the
-  /// rollback: commits between the fenced send and the rollback lower the
-  /// send's effective level (a commit-to-zero made level-1 data durable),
-  /// so a late re-consume of committed data — a resurrected rank reading
-  /// its neighbors' replay logs — is not poisoned. Cleared on
-  /// commit-to-zero and on resurrection (both reset speculation state).
-  struct RollbackFence {
-    std::uint64_t epoch = 0;
-    std::uint32_t level = 0;
-    std::uint64_t commits = 0;
-  };
-  std::map<std::uint32_t, std::deque<RollbackFence>> rollback_ring_;
-  /// COMMIT_DISCHARGE count per rank (survives resurrection; RESURRECT
-  /// carries it so the new incarnation stamps sends consistently).
-  std::map<std::uint32_t, std::uint64_t> commit_counts_;
+  /// The replicated state machine: placement, tracker, fences, commit
+  /// counts, outcomes. Mutated only via apply_locked.
+  ctrl::CoordState state_;
+  std::unique_ptr<ctrl::WalWriter> wal_;  ///< null in volatile mode
+  std::unique_ptr<ctrl::Lease> lease_;
+  double next_lease_renew_ = 0;  ///< loop thread cadence (steady clock)
+  double next_wal_flush_ = 0;
+
+  // --- Takeover reconciliation (resume mode) ----------------------------
+  bool resuming_ = false;          ///< census still in progress
+  std::uint32_t readopt_waiting_ = 0;
+  double readopt_deadline_ = 0;
+  std::set<std::uint32_t> censused_;  ///< ranks some agent accounted for
+
   /// Ranks awaiting a (re)try of RESURRECT. `target` pins the agent a
   /// request was issued to, so a retry cannot start a second incarnation
-  /// somewhere else while the first is still restoring.
+  /// somewhere else while the first is still restoring. Volatile by
+  /// design: a takeover regenerates it from the census.
   struct PendingResurrect {
     double not_before = 0;
     std::uint32_t target = kNoAgent;

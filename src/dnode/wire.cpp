@@ -46,14 +46,18 @@ const char* msg_type_name(MsgType t) {
     case MsgType::kResult: return "result";
     case MsgType::kForceRoll: return "force-roll";
     case MsgType::kShutdown: return "shutdown";
+    case MsgType::kReAdopt: return "re-adopt";
+    case MsgType::kReAdoptAck: return "re-adopt-ack";
   }
   return "?";
 }
 
-std::vector<std::byte> encode_hello(PeerKind kind, std::uint32_t agent) {
+std::vector<std::byte> encode_hello(PeerKind kind, std::uint32_t agent,
+                                    std::uint64_t coord_epoch) {
   Writer w = begin(MsgType::kHello);
   w.u8(static_cast<std::uint8_t>(kind));
   w.u32(agent);
+  w.u64(coord_epoch);
   return finish(w);
 }
 
@@ -220,6 +224,25 @@ std::vector<std::byte> encode_shutdown() {
   return finish(w);
 }
 
+std::vector<std::byte> encode_re_adopt(std::uint64_t coord_epoch) {
+  Writer w = begin(MsgType::kReAdopt);
+  w.u64(coord_epoch);
+  return finish(w);
+}
+
+std::vector<std::byte> encode_re_adopt_ack(
+    std::uint32_t agent, const std::vector<CensusEntry>& census) {
+  Writer w = begin(MsgType::kReAdoptAck);
+  w.u32(agent);
+  w.u32(static_cast<std::uint32_t>(census.size()));
+  for (const CensusEntry& e : census) {
+    w.u32(e.rank);
+    w.u8(e.state);
+    w.u64(e.commit_seq);
+  }
+  return finish(w);
+}
+
 std::vector<std::byte> encode_data_payload(std::uint32_t spec_level,
                                            std::uint64_t epoch,
                                            std::uint64_t commit_seq,
@@ -252,6 +275,7 @@ std::optional<Msg> decode(std::span<const std::byte> frame) {
       case MsgType::kHello:
         m.peer_kind = static_cast<PeerKind>(r.u8());
         m.agent = r.u32();
+        m.coord_epoch = r.u64();
         break;
       case MsgType::kConfig: {
         m.agent = r.u32();
@@ -347,6 +371,21 @@ std::optional<Msg> decode(std::span<const std::byte> frame) {
         break;
       case MsgType::kShutdown:
         break;
+      case MsgType::kReAdopt:
+        m.coord_epoch = r.u64();
+        break;
+      case MsgType::kReAdoptAck: {
+        m.agent = r.u32();
+        const std::uint32_t n = r.u32();
+        for (std::uint32_t i = 0; i < n; ++i) {
+          CensusEntry e;
+          e.rank = r.u32();
+          e.state = r.u8();
+          e.commit_seq = r.u64();
+          m.census.push_back(e);
+        }
+        break;
+      }
       default:
         return std::nullopt;
     }

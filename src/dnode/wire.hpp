@@ -61,6 +61,11 @@ enum class MsgType : std::uint8_t {
   kResult,
   kForceRoll,
   kShutdown,
+  // HA control plane (docs/CONTROL_PLANE.md): a standby coordinator that
+  // takes over queries each live agent for its rank census instead of
+  // restarting the world.
+  kReAdopt,
+  kReAdoptAck,
 };
 
 [[nodiscard]] const char* msg_type_name(MsgType t);
@@ -79,11 +84,22 @@ struct PlacementEntry {
   bool alive = true;
 };
 
+/// One rank's answer to RE_ADOPT: what the agent is actually running.
+struct CensusEntry {
+  std::uint32_t rank = 0;
+  /// 0 = running, 1 = done (RESULT already produced), 2 = yielded
+  /// (checkpointed and parked, waiting for a resurrect grant).
+  std::uint8_t state = 0;
+  std::uint64_t commit_seq = 0;  ///< the rank's committed count
+};
+
 /// Decoded frame: a tagged superset of every message's fields (internal
 /// protocol, not a public API — a flat struct beats a 18-way variant).
 struct Msg {
   MsgType type = MsgType::kShutdown;
   PeerKind peer_kind = PeerKind::kAgent;  // HELLO
+  std::uint64_t coord_epoch = 0;          // HELLO/RE_ADOPT (lease epoch)
+  std::vector<CensusEntry> census;        // RE_ADOPT_ACK
   std::uint32_t agent = 0;                // HELLO/CONFIG/HEARTBEAT
   std::uint32_t rank = 0;       // LAUNCH/POISON/RESURRECT/YIELD/RESULT/...
   std::uint32_t num_ranks = 0;  // CONFIG
@@ -117,7 +133,8 @@ struct Msg {
 // --- Encoders (one per message type) ---------------------------------
 
 [[nodiscard]] std::vector<std::byte> encode_hello(PeerKind kind,
-                                                  std::uint32_t agent);
+                                                  std::uint32_t agent,
+                                                  std::uint64_t coord_epoch = 0);
 [[nodiscard]] std::vector<std::byte> encode_config(
     std::uint32_t your_agent, std::uint32_t num_ranks,
     const std::vector<AgentAddr>& agents, std::uint64_t max_instructions,
@@ -155,6 +172,9 @@ struct Msg {
 [[nodiscard]] std::vector<std::byte> encode_result(const Msg& result);
 [[nodiscard]] std::vector<std::byte> encode_force_roll(std::uint32_t rank);
 [[nodiscard]] std::vector<std::byte> encode_shutdown();
+[[nodiscard]] std::vector<std::byte> encode_re_adopt(std::uint64_t coord_epoch);
+[[nodiscard]] std::vector<std::byte> encode_re_adopt_ack(
+    std::uint32_t agent, const std::vector<CensusEntry>& census);
 
 /// Verify magic + checksum and parse. nullopt = corrupt or unknown frame
 /// (the caller counts it and drops it; TCP gives no re-delivery, but every

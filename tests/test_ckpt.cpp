@@ -209,30 +209,43 @@ TEST(CheckpointStore, DedupesAcrossSnapshots) {
 TEST(CheckpointStore, CorruptChunkFallsBackToPreviousManifest) {
   ckpt::CheckpointStore::Options opts;
   opts.auto_gc = false;
-  ckpt::CheckpointStore store(fresh_dir("mj_ckpt_corrupt_chunk"), opts);
+  const auto root = fresh_dir("mj_ckpt_corrupt_chunk");
   const auto v1 = random_bytes(64 * 1024, 14);
   auto v2 = v1;
   for (std::size_t i = 0; i < 4096; ++i) v2[20 * 1024 + i] = std::byte{0xab};
-  (void)store.put("a", v1);
-  (void)store.put("a", v2);
 
-  // Corrupt a chunk only the newest checkpoint references.
-  const auto manifests = store.manifests("a");
-  ASSERT_EQ(manifests.size(), 2u);
-  std::set<std::string> old_keys;
-  for (const auto& e : manifests[0].chunks) old_keys.insert(e.key.hex());
-  std::string fresh_key;
-  for (const auto& e : manifests[1].chunks) {
-    if (old_keys.count(e.key.hex()) == 0) fresh_key = e.key.hex();
+  // Flip payload bytes of a chunk only the newest checkpoint references,
+  // in place inside its extent file.
+  {
+    ckpt::CheckpointStore store(root, opts);
+    (void)store.put("a", v1);
+    (void)store.put("a", v2);
+    const auto manifests = store.manifests("a");
+    ASSERT_EQ(manifests.size(), 2u);
+    std::set<std::string> old_keys;
+    for (const auto& e : manifests[0].chunks) old_keys.insert(e.key.hex());
+    std::optional<ckpt::ChunkKey> fresh_key;
+    for (const auto& e : manifests[1].chunks) {
+      if (old_keys.count(e.key.hex()) == 0) fresh_key = e.key;
+    }
+    ASSERT_TRUE(fresh_key.has_value());
+    const auto loc = store.engine().locate(*fresh_key);
+    ASSERT_TRUE(loc.has_value());
+    ASSERT_GT(loc->stored_len, 0u);
+    std::fstream ext(loc->extent,
+                     std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(ext.good());
+    ext.seekp(static_cast<std::streamoff>(loc->payload_offset));
+    const char junk[] = "junk";
+    ext.write(junk, std::min<std::streamsize>(
+                        4, static_cast<std::streamsize>(loc->stored_len)));
+    ASSERT_TRUE(ext.good());
   }
-  ASSERT_FALSE(fresh_key.empty());
-  const char junk[] = "junk";
-  store.storage().write(
-      std::string(ckpt::CheckpointStore::kChunkDir) + "/" + fresh_key + ".ch",
-      std::as_bytes(std::span(junk, std::strlen(junk))));
 
-  // The checksum failure must not surface v2 (or garbage): restore falls
-  // back to the previous complete checkpoint.
+  // A fresh store (cold cache, index rebuilt from the extents) must not
+  // surface v2 (or garbage): restore falls back to the previous complete
+  // checkpoint.
+  ckpt::CheckpointStore store(root, opts);
   ckpt::RestoreStats rs;
   const auto back = store.restore("a", &rs);
   ASSERT_TRUE(back.has_value());

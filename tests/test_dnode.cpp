@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -25,6 +26,7 @@
 
 #include "ckpt/store.hpp"
 #include "cluster/cluster.hpp"
+#include "ctrl/lease.hpp"
 #include "dnode/agent.hpp"
 #include "dnode/coord.hpp"
 #include "gridapp/heat.hpp"
@@ -268,6 +270,95 @@ TEST(DnodeE2E, AgentDeathResurrectsRanksAndPoisonCrossesAgents) {
 
   coord.shutdown_agents();
   EXPECT_EQ(a0.reap(), 0);
+}
+
+/// The HA acceptance scenario (docs/CONTROL_PLANE.md): the *coordinator*
+/// is the process that dies. A real `mojc cluster --wal-root` primary is
+/// SIGKILLed mid-heat-grid; the agents hold their ranks through the
+/// coordinator_grace window; an in-process standby waits out the lease,
+/// replays the WAL, seals the dead primary's segment, and RE-ADOPTs the
+/// still-running agents. The run must complete with zero rank loss (no
+/// resurrection — nothing below the control plane failed) and the sums
+/// must still bit-match the sequential reference.
+TEST(DnodeE2E, CoordinatorKillFailsOverToStandbyWithSameSums) {
+  const fs::path storage = fresh_dir("mojave_dnode_e2e_ha");
+  const fs::path wal = fresh_dir("mojave_dnode_e2e_ha_wal");
+
+  gridapp::HeatConfig hcfg;
+  hcfg.nodes = 4;
+  hcfg.rows = 16;
+  hcfg.cols = 8;
+  hcfg.steps = 48;
+  hcfg.checkpoint_interval = 8;
+
+  const fs::path prog = storage / "heat.mjc";
+  {
+    std::ofstream out(prog);
+    out << gridapp::heat_mojc_source(hcfg);
+  }
+
+  AgentProc a0, a1;
+  a0.start(storage);
+  a1.start(storage);
+
+  const std::string nodes = "127.0.0.1:" + std::to_string(a0.port) +
+                            ",127.0.0.1:" + std::to_string(a1.port);
+  const pid_t primary = ::fork();
+  ASSERT_GE(primary, 0);
+  if (primary == 0) {
+    ::execl(MOJC_BIN, "mojc", "cluster", "--nodes", nodes.c_str(),
+            "--ranks", "4", "--wal-root", wal.c_str(), "--lease-ttl", "1.0",
+            "run", prog.c_str(), static_cast<char*>(nullptr));
+    ::_exit(127);
+  }
+
+  // Mid-run marker: with checkpoint_interval 8 of 48 steps, the first
+  // snapshots land early — the run is well underway and far from done.
+  const auto store = ckpt::CheckpointStore::open_shared(storage);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while ((!store->has_snapshot("rank_1") || !store->has_snapshot("rank_3")) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(store->has_snapshot("rank_1")) << "rank 1 never checkpointed";
+  ASSERT_TRUE(store->has_snapshot("rank_3")) << "rank 3 never checkpointed";
+
+  // kill -9 the primary: no WAL close, no lease release, no goodbye.
+  ::kill(primary, SIGKILL);
+  ::waitpid(primary, nullptr, 0);
+
+  // Standby protocol: wait out the dead primary's lease...
+  const auto lease_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (true) {
+    const auto info = ctrl::Lease::read(wal);
+    if (!info.has_value() || info->expired(ctrl::Lease::wall_now())) break;
+    ASSERT_LT(std::chrono::steady_clock::now(), lease_deadline)
+        << "dead primary's lease never expired";
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  // ...then take over: replay, seal, re-adopt. No launch_spmd — the
+  // ranks are already running on the agents.
+  auto ccfg = coord_config({a0.port, a1.port}, hcfg.nodes);
+  ccfg.wal_root = wal;
+  ccfg.lease_ttl_seconds = 1.0;
+  ccfg.resume = true;
+  dnode::Coordinator coord(std::move(ccfg));
+  EXPECT_TRUE(coord.resumed());
+  EXPECT_GE(coord.lease_epoch(), 2u);
+
+  ASSERT_TRUE(coord.wait_all(120.0)) << "standby did not complete the run";
+  expect_sums_match(coord, hcfg);
+  // Zero rank loss: the agents never died, so the takeover must re-adopt
+  // every rank rather than resurrect any.
+  EXPECT_EQ(coord.resurrections(), 0u);
+  EXPECT_FALSE(coord.fenced());
+
+  coord.shutdown_agents();
+  EXPECT_EQ(a0.reap(), 0);
+  EXPECT_EQ(a1.reap(), 0);
 }
 
 TEST(DnodeCluster, InProcessAgentsRunHeatGrid) {
